@@ -1,0 +1,175 @@
+// Package adsim is a reproduction of "The Architectural Implications of
+// Autonomous Driving: Constraints and Acceleration" (Lin et al., ASPLOS
+// 2018) as a Go library.
+//
+// It provides:
+//
+//   - An end-to-end autonomous driving pipeline with native Go
+//     implementations of every engine the paper builds: a YOLO-style object
+//     detector, a GOTURN-style tracker pool, an ORB-SLAM-style localizer
+//     (oFAST + rBRIEF + prior map + relocalization + loop closing), sensor
+//     fusion, lattice motion planners and a rule-based mission planner —
+//     see NewPipeline.
+//
+//   - Calibrated analytical models of the paper's four computing platforms
+//     (CPU, GPU, FPGA, ASIC) that regenerate its latency, power and
+//     scalability results — see NewModel and Simulate.
+//
+//   - The paper's design-constraint checks (performance, predictability,
+//     storage, thermal, power) — see CheckConstraints.
+//
+//   - Every table and figure of the paper's evaluation as a runnable
+//     experiment — see RunExperiment and the adbench command.
+//
+// The package is a facade over the internal implementation packages; the
+// exported names below are aliases, so values flow freely between the
+// facade and the engines.
+package adsim
+
+import (
+	"adsim/internal/accel"
+	"adsim/internal/constraint"
+	"adsim/internal/experiment"
+	"adsim/internal/pipeline"
+	"adsim/internal/scene"
+	"adsim/internal/stats"
+)
+
+// Platform identifies one of the paper's four computing platforms.
+type Platform = accel.Platform
+
+// Platform values (the paper's Table 2).
+const (
+	CPU  = accel.CPU
+	GPU  = accel.GPU
+	FPGA = accel.FPGA
+	ASIC = accel.ASIC
+)
+
+// Engine identifies one of the three computational bottlenecks.
+type Engine = accel.Engine
+
+// Engine values.
+const (
+	DET = accel.DET
+	TRA = accel.TRA
+	LOC = accel.LOC
+)
+
+// ScenarioKind selects a synthetic driving scenario archetype.
+type ScenarioKind = scene.Kind
+
+// Scenario kinds.
+const (
+	Highway = scene.Highway
+	Urban   = scene.Urban
+)
+
+// Model is the calibrated platform latency/power model.
+type Model = accel.Model
+
+// NewModel builds the platform model calibrated against the paper's
+// measurements (see internal/accel/calib.go for every constant).
+func NewModel() *Model { return accel.NewModel() }
+
+// Resolution is a camera resolution for the scalability sweep.
+type Resolution = accel.Resolution
+
+// Resolutions of the paper's Figure 13 sweep plus the KITTI base.
+var (
+	ResKITTI = accel.ResKITTI
+	ResHHD   = accel.ResHHD
+	Res720p  = accel.Res720p
+	ResHDP   = accel.ResHDP
+	Res1080p = accel.Res1080p
+	Res1440p = accel.Res1440p
+)
+
+// Assignment maps each bottleneck engine to a platform.
+type Assignment = pipeline.Assignment
+
+// Uniform returns the assignment running every engine on p.
+func Uniform(p Platform) Assignment { return pipeline.Uniform(p) }
+
+// SimConfig parameterizes a simulated (paper-scale) run.
+type SimConfig = pipeline.SimConfig
+
+// SimResult holds a simulated run's latency distributions.
+type SimResult = pipeline.SimResult
+
+// Simulate composes per-frame latency samples from the platform models
+// under the pipeline's dependency law.
+func Simulate(m *Model, cfg SimConfig) (SimResult, error) {
+	return pipeline.Simulate(m, cfg)
+}
+
+// Pipeline is the native end-to-end autonomous driving system.
+type Pipeline = pipeline.Pipeline
+
+// PipelineConfig parameterizes the native pipeline.
+type PipelineConfig = pipeline.Config
+
+// FrameResult is the output of one native pipeline step.
+type FrameResult = pipeline.FrameResult
+
+// DefaultPipelineConfig returns a ready-to-run configuration for a
+// scenario kind.
+func DefaultPipelineConfig(kind ScenarioKind) PipelineConfig {
+	return pipeline.DefaultConfig(kind)
+}
+
+// NewPipeline constructs the native pipeline for a scenario kind with
+// default settings. Use NewPipelineFromConfig for full control.
+func NewPipeline(kind ScenarioKind) (*Pipeline, error) {
+	return pipeline.NewNative(DefaultPipelineConfig(kind))
+}
+
+// NewPipelineFromConfig constructs the native pipeline from an explicit
+// configuration.
+func NewPipelineFromConfig(cfg PipelineConfig) (*Pipeline, error) {
+	return pipeline.NewNative(cfg)
+}
+
+// Distribution accumulates latency samples and answers quantile queries.
+type Distribution = stats.Distribution
+
+// NewDistribution returns an empty distribution with capacity n.
+func NewDistribution(n int) *Distribution { return stats.NewDistribution(n) }
+
+// ConstraintInput describes a candidate system for constraint checking.
+type ConstraintInput = constraint.Input
+
+// ConstraintReport is the verdict across all constraint classes.
+type ConstraintReport = constraint.Report
+
+// CheckConstraints evaluates the paper's Section 2.4 design constraints.
+func CheckConstraints(in ConstraintInput) ConstraintReport { return constraint.Check(in) }
+
+// TraceRecord is one frame's entry in a machine-readable pipeline trace.
+type TraceRecord = pipeline.TraceRecord
+
+// TraceWriter streams trace records as JSON Lines.
+type TraceWriter = pipeline.TraceWriter
+
+// NewTraceRecord flattens one native FrameResult into a trace record.
+func NewTraceRecord(res FrameResult) TraceRecord { return pipeline.NewTraceRecord(res) }
+
+// ExperimentOptions tune experiment execution.
+type ExperimentOptions = experiment.Options
+
+// DefaultExperimentOptions returns the standard experiment sizing.
+func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// ExperimentIDs lists the available experiments (one per paper table and
+// figure, plus the headline claim).
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// RunExperiment regenerates one paper table/figure and returns its rendered
+// output.
+func RunExperiment(id string, opts ExperimentOptions) (string, error) {
+	res, err := experiment.Run(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}

@@ -1,0 +1,112 @@
+package adsim
+
+// One benchmark per paper table and figure: each regenerates the
+// corresponding experiment end to end (workload generation, platform-model
+// sampling, aggregation, rendering), so `go test -bench=.` re-runs the full
+// evaluation and reports how long each reproduction takes.
+//
+// Sizing note: benchmarks use a reduced frame count per iteration (the
+// experiment drivers' tails converge well before the default 40k frames);
+// `cmd/adbench` runs the full-size versions.
+
+import (
+	"testing"
+
+	"adsim/internal/accel"
+	"adsim/internal/pipeline"
+	"adsim/internal/scene"
+)
+
+// benchOpts sizes experiments for benchmarking iterations.
+func benchOpts() ExperimentOptions {
+	return ExperimentOptions{Frames: 20000, Seed: 1, NativeFrames: 4}
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i + 1)
+		if _, err := RunExperiment(id, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { benchmarkExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchmarkExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchmarkExperiment(b, "table3") }
+
+// BenchmarkFig2 regenerates the driving-range-reduction analysis.
+func BenchmarkFig2(b *testing.B) { benchmarkExperiment(b, "fig2") }
+
+// BenchmarkFig6 regenerates the CPU per-component latency characterization.
+func BenchmarkFig6(b *testing.B) { benchmarkExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates the cycle breakdown via native instrumentation.
+func BenchmarkFig7(b *testing.B) { benchmarkExperiment(b, "fig7") }
+
+// BenchmarkFig10 regenerates the per-platform acceleration results.
+func BenchmarkFig10(b *testing.B) { benchmarkExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates the end-to-end configuration comparison.
+func BenchmarkFig11(b *testing.B) { benchmarkExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates the end-to-end power analysis.
+func BenchmarkFig12(b *testing.B) { benchmarkExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates the resolution scalability sweep.
+func BenchmarkFig13(b *testing.B) { benchmarkExperiment(b, "fig13") }
+
+// BenchmarkHeadline regenerates the 169x/10x/93x tail-reduction claim.
+func BenchmarkHeadline(b *testing.B) { benchmarkExperiment(b, "headline") }
+
+// BenchmarkNativePipelineFrame measures one full native end-to-end frame
+// (all engines, DNNs enabled) — the reproduction's own Fig 6 analogue.
+func BenchmarkNativePipelineFrame(b *testing.B) {
+	cfg := DefaultPipelineConfig(Highway)
+	cfg.Scene.Width, cfg.Scene.Height = 512, 256
+	cfg.SurveyFrames = 20
+	p, err := NewPipelineFromConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedFrame measures the cost of one simulated frame sample
+// across the three engines.
+func BenchmarkSimulatedFrame(b *testing.B) {
+	m := accel.NewModel()
+	frames := 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.Simulate(m, pipeline.SimConfig{
+			Assignment: pipeline.Uniform(accel.ASIC),
+			Frames:     frames,
+			Seed:       int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkSceneFrame measures synthetic frame generation at KITTI size.
+func BenchmarkSceneFrame(b *testing.B) {
+	cfg := scene.DefaultConfig(scene.Urban)
+	g, err := scene.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}

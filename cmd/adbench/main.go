@@ -1,0 +1,72 @@
+// Command adbench regenerates the paper's evaluation: every table and
+// figure is a named experiment.
+//
+// Usage:
+//
+//	adbench -list
+//	adbench -experiment fig10
+//	adbench -experiment all -frames 100000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"adsim"
+)
+
+func main() {
+	var (
+		expID    = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		frames   = flag.Int("frames", 40000, "simulated frames per configuration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		native   = flag.Int("native-frames", 12, "natively executed frames for instrumentation experiments")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (output stays in id order)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range adsim.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	opts := adsim.ExperimentOptions{Frames: *frames, Seed: *seed, NativeFrames: *native}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = adsim.ExperimentIDs()
+	}
+
+	outputs := make([]string, len(ids))
+	errs := make([]error, len(ids))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				outputs[i], errs[i] = adsim.RunExperiment(id, opts)
+			}(i, id)
+		}
+		wg.Wait()
+	} else {
+		for i, id := range ids {
+			outputs[i], errs[i] = adsim.RunExperiment(id, opts)
+		}
+	}
+	for i, id := range ids {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "adbench: %s: %v\n", id, errs[i])
+			os.Exit(1)
+		}
+		fmt.Println(strings.TrimRight(outputs[i], "\n"))
+		fmt.Println()
+	}
+}

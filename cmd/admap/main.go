@@ -1,0 +1,178 @@
+// Command admap plays the paper's map-provider role: it surveys a
+// synthetic scenario into a prior map, saves/loads the compact on-disk
+// format, reports storage density (the basis of the paper's 41 TB US-map
+// constraint), and verifies a saved map by localizing a replay against it.
+//
+// Usage:
+//
+//	admap -build map.adm -scenario urban -frames 120   # survey and save
+//	admap -info map.adm                                 # inspect
+//	admap -verify map.adm -scenario urban -frames 60    # localize a replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adsim/internal/scene"
+	"adsim/internal/slam"
+)
+
+func main() {
+	var (
+		build    = flag.String("build", "", "survey a scenario and write the map to this file")
+		info     = flag.String("info", "", "print statistics for a saved map")
+		verify   = flag.String("verify", "", "localize a scenario replay against a saved map")
+		scenario = flag.String("scenario", "urban", "scenario kind: urban or highway")
+		frames   = flag.Int("frames", 120, "frames to survey / verify")
+		width    = flag.Int("width", 640, "frame width")
+		height   = flag.Int("height", 320, "frame height")
+		seed     = flag.Int64("seed", 1, "scenario seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *build != "":
+		if err := runBuild(*build, *scenario, *frames, *width, *height, *seed); err != nil {
+			fatal(err)
+		}
+	case *info != "":
+		if err := runInfo(*info); err != nil {
+			fatal(err)
+		}
+	case *verify != "":
+		if err := runVerify(*verify, *scenario, *frames, *width, *height, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "admap: %v\n", err)
+	os.Exit(1)
+}
+
+func sceneConfig(kind string, frames, w, h int, seed int64) (scene.Config, error) {
+	cfg := scene.DefaultConfig(scene.Urban)
+	switch kind {
+	case "urban":
+	case "highway":
+		cfg = scene.DefaultConfig(scene.Highway)
+	default:
+		return cfg, fmt.Errorf("unknown scenario %q", kind)
+	}
+	cfg.Width, cfg.Height = w, h
+	cfg.Seed = seed
+	return cfg, nil
+}
+
+func runBuild(path, kind string, frames, w, h int, seed int64) error {
+	cfg, err := sceneConfig(kind, frames, w, h, seed)
+	if err != nil {
+		return err
+	}
+	gen, err := scene.New(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := slam.NewEngine(slam.DefaultConfig(), slam.NewPriorMap())
+	if err != nil {
+		return err
+	}
+	var meters float64
+	for i := 0; i < frames; i++ {
+		f := gen.Step()
+		eng.Survey(f.Image, f.EgoPose)
+		meters = f.EgoPose.Z
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := eng.Map().WriteTo(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("surveyed %.0f m (%d frames) -> %v\n", meters, frames, eng.Map())
+	fmt.Printf("wrote %s: %d bytes (%.1f KB/m; US extrapolation %.1f TB)\n",
+		path, n, float64(n)/meters/1024, float64(n)/meters*6.68e9/1e12)
+	return nil
+}
+
+func runInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := slam.ReadPriorMap(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %v\n", path, m)
+	if m.Len() == 0 {
+		return nil
+	}
+	first, last := m.All()[0], m.All()[m.Len()-1]
+	features := 0
+	for _, kf := range m.All() {
+		features += len(kf.Descriptors)
+	}
+	fmt.Printf("coverage  z = %.1f .. %.1f m\n", first.Pose.Z, last.Pose.Z)
+	fmt.Printf("features  %d total (%.0f per keyframe)\n",
+		features, float64(features)/float64(m.Len()))
+	return nil
+}
+
+func runVerify(path, kind string, frames, w, h int, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := slam.ReadPriorMap(f)
+	if err != nil {
+		return err
+	}
+	cfg, err := sceneConfig(kind, frames, w, h, seed)
+	if err != nil {
+		return err
+	}
+	gen, err := scene.New(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := slam.NewEngine(slam.DefaultConfig(), m)
+	if err != nil {
+		return err
+	}
+	tracked, reloc := 0, 0
+	var worst float64
+	for i := 0; i < frames; i++ {
+		fr := gen.Step()
+		est := eng.Localize(fr.Image)
+		if est.Relocalized {
+			reloc++
+		}
+		if est.Tracked {
+			tracked++
+			if e := est.Pose.Z - fr.EgoPose.Z; e > worst || -e > worst {
+				if e < 0 {
+					e = -e
+				}
+				worst = e
+			}
+		}
+	}
+	fmt.Printf("localized %d/%d frames (worst error %.2f m, %d relocalization frames)\n",
+		tracked, frames, worst, reloc)
+	if tracked < frames/2 {
+		return fmt.Errorf("map verification failed: tracked %d/%d", tracked, frames)
+	}
+	return nil
+}

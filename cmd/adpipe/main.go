@@ -1,0 +1,125 @@
+// Command adpipe runs the native end-to-end autonomous driving pipeline on
+// a synthetic scenario and reports per-stage statistics.
+//
+// Usage:
+//
+//	adpipe -scenario urban -frames 50
+//	adpipe -scenario highway -frames 100 -dnn=false -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adsim"
+	"adsim/internal/pipeline"
+	"adsim/internal/scene"
+	"adsim/internal/stats"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "urban", "scenario kind: urban or highway")
+		frames   = flag.Int("frames", 50, "frames to process")
+		width    = flag.Int("width", 512, "frame width")
+		height   = flag.Int("height", 256, "frame height")
+		survey   = flag.Int("survey", 60, "prior-map survey frames")
+		dnn      = flag.Bool("dnn", true, "execute the native DNNs (slower, full instrumentation)")
+		verbose  = flag.Bool("v", false, "print per-frame results")
+		hist     = flag.Bool("hist", false, "print an end-to-end latency histogram")
+		trace    = flag.String("trace", "", "write a JSON-lines trace of every frame to this file")
+	)
+	flag.Parse()
+
+	kind := adsim.Urban
+	switch *scenario {
+	case "urban":
+	case "highway":
+		kind = adsim.Highway
+	default:
+		fmt.Fprintf(os.Stderr, "adpipe: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	cfg := adsim.DefaultPipelineConfig(kind)
+	cfg.Scene.Width, cfg.Scene.Height = *width, *height
+	cfg.SurveyFrames = *survey
+	cfg.Detect.RunDNN = *dnn
+	cfg.Track.RunDNN = *dnn
+
+	p, err := adsim.NewPipelineFromConfig(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+		os.Exit(1)
+	}
+
+	var tw *pipeline.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = pipeline.NewTraceWriter(f)
+	}
+
+	e2e := adsim.NewDistribution(*frames)
+	var e2eSamples []float64
+	det := adsim.NewDistribution(*frames)
+	tra := adsim.NewDistribution(*frames)
+	loc := adsim.NewDistribution(*frames)
+	tracked := 0
+
+	fmt.Printf("running %d %s frames at %dx%d (dnn=%v, survey=%d)\n",
+		*frames, scene.Kind(kind), *width, *height, *dnn, *survey)
+	for i := 0; i < *frames; i++ {
+		res, err := p.Step()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+		e2e.Add(ms(res.Timing.E2E))
+		e2eSamples = append(e2eSamples, ms(res.Timing.E2E))
+		det.Add(ms(res.Timing.Det))
+		tra.Add(ms(res.Timing.Tra))
+		loc.Add(ms(res.Timing.Loc))
+		if res.Pose.Tracked {
+			tracked++
+		}
+		if tw != nil {
+			if err := tw.Write(pipeline.NewTraceRecord(res)); err != nil {
+				fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *verbose {
+			fmt.Printf("frame %3d: %2d det, %2d tracks, pose z=%7.1f (tracked=%v reloc=%v), plan=%v, e2e=%.1fms\n",
+				i, len(res.Detections), len(res.Tracks), res.Pose.Pose.Z,
+				res.Pose.Tracked, res.Pose.Relocalized, res.Plan.Decision, ms(res.Timing.E2E))
+		}
+	}
+
+	fmt.Printf("\nstage latency (ms, native execution on this machine):\n")
+	fmt.Printf("  DET  %s\n", det.Summary())
+	fmt.Printf("  TRA  %s\n", tra.Summary())
+	fmt.Printf("  LOC  %s\n", loc.Summary())
+	fmt.Printf("  E2E  %s\n", e2e.Summary())
+	fmt.Printf("localized %d/%d frames; relocalizations=%d, loop closures=%d, map=%v\n",
+		tracked, *frames, p.Localizer().Relocalizations(),
+		p.Localizer().LoopClosures(), p.Localizer().Map())
+
+	if tw != nil {
+		fmt.Printf("wrote %d trace records to %s\n", tw.Count(), *trace)
+	}
+	if *hist && len(e2eSamples) > 0 {
+		h := stats.NewHistogram(0, e2e.Max()*1.05, 20)
+		for _, v := range e2eSamples {
+			h.Add(v)
+		}
+		fmt.Printf("\nend-to-end latency histogram (ms):\n%s", h.Render(48))
+	}
+}

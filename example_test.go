@@ -1,0 +1,55 @@
+package adsim_test
+
+import (
+	"fmt"
+
+	"adsim"
+)
+
+// ExampleSimulate reproduces the paper's headline configuration: DET on a
+// GPU with TRA and LOC on ASICs meets the 100 ms tail-latency constraint
+// with an order of magnitude of headroom.
+func ExampleSimulate() {
+	m := adsim.NewModel()
+	sim, err := adsim.Simulate(m, adsim.SimConfig{
+		Assignment: adsim.Assignment{Det: adsim.GPU, Tra: adsim.ASIC, Loc: adsim.ASIC},
+		Frames:     40000,
+		Seed:       2,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("meets 100ms tail constraint: %v\n", sim.E2E.P9999() <= 100)
+	// Output:
+	// meets 100ms tail constraint: true
+}
+
+// ExampleCheckConstraints evaluates a candidate system against the paper's
+// Section 2.4 design constraints.
+func ExampleCheckConstraints() {
+	latency := adsim.NewDistribution(50000)
+	for i := 0; i < 50000; i++ {
+		latency.Add(16.5) // the paper's best accelerated configuration
+	}
+	report := adsim.CheckConstraints(adsim.ConstraintInput{
+		Latency:            latency,
+		FrameRate:          30,
+		AvailableStorageTB: 50,
+		ComputePowerW:      140, // ASIC-grade engines
+		MapTB:              41,
+		CoolingCapacityW:   800,
+	})
+	fmt.Println("all constraints pass:", report.Pass())
+	// Output:
+	// all constraints pass: true
+}
+
+// ExampleUniform shows platform-uniform assignments and their power draw.
+func ExampleUniform() {
+	m := adsim.NewModel()
+	a := adsim.Uniform(adsim.ASIC)
+	fmt.Printf("%s draws %.1f W per camera\n", a.Short(), a.ComputePowerW(m))
+	// Output:
+	// ASIC/ASIC/ASIC draws 17.3 W per camera
+}

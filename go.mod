@@ -1,0 +1,3 @@
+module adsim
+
+go 1.22

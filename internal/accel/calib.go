@@ -1,0 +1,103 @@
+package accel
+
+// Calibration constants.
+//
+// This file is the single place where the reproduction anchors itself to the
+// paper's measurements. The paper's Figure 10 reports, for each of the three
+// computational bottlenecks on each platform, the measured mean latency,
+// 99.99th-percentile latency and power of the authors' implementations
+// (Caffe/cuDNN on the GPU, hand-written RTL on the Stratix V, published
+// Eyeriss/EIE numbers extrapolated for the ASICs, a post-synthesis 45 nm
+// design for the FE ASIC).
+//
+// We cannot re-run those artifacts, so the latency models take the paper's
+// MEANS as effective-throughput calibration points:
+//
+//	rate(platform, engine) = workloadMACs(engine) / paperMean(platform, engine)
+//
+// and everything else is modeled, not copied:
+//
+//   - Tails come from predictability models: per-frame log-normal jitter for
+//     CPU/GPU whose sigma is fit to the paper's tail/mean ratio, explicit
+//     relocalization-spike events for LOC, and zero jitter for the
+//     fixed-latency FPGA/ASIC pipelines (the paper's Fig 10b shows
+//     tail == mean for them).
+//   - Resolution scaling (Fig 13) scales the convolutional/feature-extraction
+//     portion of each workload with pixel count; FC layers do not scale.
+//   - End-to-end latency (Fig 11) is composed from per-engine samples by the
+//     pipeline's dependency structure, not taken from the paper.
+//   - Power (Fig 10c) is taken directly as the per-engine board power of each
+//     platform; cooling/storage/vehicle models live in internal/power.
+//
+// All times are milliseconds, all powers watts.
+
+// paperMeanMs is Fig 10a: mean latency per engine per platform.
+var paperMeanMs = [NumPlatforms][NumEngines]float64{
+	CPU:  {7150.0, 799.0, 40.8},
+	GPU:  {11.2, 5.5, 20.3},
+	FPGA: {369.6, 536.0, 27.1},
+	ASIC: {95.9, 1.8, 10.1},
+}
+
+// paperTailMs is Fig 10b: 99.99th-percentile latency per engine per
+// platform. FPGA and ASIC designs are fixed-latency, so tail == mean.
+var paperTailMs = [NumPlatforms][NumEngines]float64{
+	CPU:  {7734.4, 1334.0, 294.2},
+	GPU:  {14.3, 6.4, 54.0},
+	FPGA: {369.6, 536.0, 27.1},
+	ASIC: {95.9, 1.8, 10.1},
+}
+
+// paperPowerW is Fig 10c: measured power per engine per platform (single
+// camera stream). The 0.1 W LOC ASIC entry is the Table 3 FE ASIC (21.97 mW
+// rounded up with I/O).
+var paperPowerW = [NumPlatforms][NumEngines]float64{
+	CPU:  {51.2, 106.9, 53.8},
+	GPU:  {54.0, 55.0, 53.0},
+	FPGA: {21.5, 22.7, 19.0},
+	ASIC: {7.9, 9.3, 0.1},
+}
+
+// Fusion and motion planning run on the host CPU in every configuration and
+// are not bottlenecks (Fig 6: 0.1 ms and 0.5 ms).
+const (
+	FusionMeanMs  = 0.1
+	MotPlanMeanMs = 0.5
+)
+
+// locFEShare is Fig 7's LOC cycle breakdown: feature extraction consumes
+// 85.9% of the engine, matching/pose/map the rest. Used to split the LOC
+// calibration point into a resolution-scaling FE part and a fixed part.
+const locFEShare = 0.859
+
+// locFEAccelerated maps, per platform, the latency of the FE portion after
+// acceleration. On the CPU the split follows Fig 7 exactly; on accelerators
+// the non-FE portion ("other") stays host-side and constant, so the FE part
+// is the platform mean minus the CPU-resident remainder.
+func locFEMs(p Platform) float64 {
+	other := locOtherMs()
+	fe := paperMeanMs[p][LOC] - other
+	if fe < 0.05 {
+		fe = 0.05
+	}
+	return fe
+}
+
+// locOtherMs is the host-resident non-FE portion of LOC (matching, pose
+// update, map maintenance) under normal tracking.
+func locOtherMs() float64 {
+	return paperMeanMs[CPU][LOC] * (1 - locFEShare)
+}
+
+// Relocalization events: the behavioural source of LOC's latency tail. The
+// lost tracker searches a much larger candidate set, so the frame costs the
+// paper's tail latency instead of the mean. One frame in 500 relocalizes,
+// which (a) leaves the mean essentially unchanged and (b) sits above the
+// 99.99th percentile, so the tail equals the relocalization cost — matching
+// Fig 10b. FPGA/ASIC LOC designs are fixed-latency pipelines provisioned for
+// the worst case (the paper measures tail == mean), so no spike applies.
+const relocProbability = 1.0 / 500
+
+// cpuGPUJitterZ is the standard normal quantile for the 99.99th percentile,
+// used to fit log-normal jitter sigmas from the paper's tail/mean ratios.
+const tailZ = 3.719

@@ -1,0 +1,131 @@
+package accel
+
+import (
+	"fmt"
+
+	"adsim/internal/dnn"
+)
+
+// Roofline analysis: classifies each DNN layer as compute- or memory-bound
+// on each platform using the layer's arithmetic intensity (MACs per byte
+// moved) against the platform's balance point (peak MACs/s ÷ memory GB/s
+// from Table 2). This is the analysis behind the paper's Finding 1: the
+// FPGA's DSP count bounds DET/TRA compute, while GOTURN's FC layers — tens
+// of MB of weights touched once per inference — sit far below every
+// platform's balance point and are memory-bound everywhere, which is why
+// the paper reaches for EIE's compressed-weight FC ASIC.
+
+// Bound classifies a layer's limiting resource on a platform.
+type Bound int
+
+const (
+	// ComputeBound: arithmetic intensity above the platform balance point.
+	ComputeBound Bound = iota
+	// MemoryBound: intensity below the balance point.
+	MemoryBound
+)
+
+func (b Bound) String() string {
+	if b == ComputeBound {
+		return "compute"
+	}
+	return "memory"
+}
+
+// LayerRoofline is the roofline classification of one layer on one
+// platform.
+type LayerRoofline struct {
+	Name      string
+	MACs      int64
+	Bytes     int64   // weights + activations moved
+	Intensity float64 // MACs per byte
+	Bound     Bound
+}
+
+// PlatformBalance returns the balance point (MACs per byte) of a platform:
+// layers with lower arithmetic intensity are memory-bound on it. Peaks
+// derive from Table 2; the ASIC balance uses the Eyeriss design's on-chip
+// reuse, making almost everything compute-bound (its point).
+func PlatformBalance(p Platform) float64 {
+	switch p {
+	case CPU:
+		// 409.6 GMAC/s peak ÷ 59 GB/s.
+		return 409.6 / 59.0
+	case GPU:
+		// 5017.6 GMAC/s ÷ 480 GB/s.
+		return 5017.6 / 480.0
+	case FPGA:
+		// 204.8 GMAC/s ÷ 6.4 GB/s: the Stratix V's thin DDR interface
+		// gives it the highest balance point — most layers memory-bound.
+		return 204.8 / 6.4
+	default:
+		// Eyeriss's row-stationary dataflow reuses weights and
+		// activations on-chip; effective off-chip traffic is ~10x lower,
+		// so the effective balance point drops accordingly.
+		return 33.6 / 25.0
+	}
+}
+
+// AnalyzeNetwork classifies every layer of a network on a platform. Bytes
+// per layer count the weights (read once per inference) plus input and
+// output activations.
+func AnalyzeNetwork(n *dnn.Network, p Platform) []LayerRoofline {
+	balance := PlatformBalance(p)
+	costs := n.LayerCosts()
+	out := make([]LayerRoofline, len(costs))
+	shape := n.Input
+	for i, l := range n.Layers {
+		c := costs[i]
+		inBytes := int64(4 * shape.Elems())
+		bytes := c.WeightBytes + c.ActBytes + inBytes
+		intensity := float64(c.MACs) / float64(bytes)
+		bound := ComputeBound
+		if intensity < balance {
+			bound = MemoryBound
+		}
+		out[i] = LayerRoofline{
+			Name:      l.Name(),
+			MACs:      c.MACs,
+			Bytes:     bytes,
+			Intensity: intensity,
+			Bound:     bound,
+		}
+		shape = l.OutShape(shape)
+	}
+	return out
+}
+
+// NetworkSummary aggregates a roofline analysis: the share of MACs in
+// memory-bound layers.
+type NetworkSummary struct {
+	Platform        Platform
+	Network         string
+	TotalMACs       int64
+	MemoryBoundMACs int64
+}
+
+// MemoryBoundShare returns the fraction of the network's MACs that sit in
+// memory-bound layers on this platform.
+func (s NetworkSummary) MemoryBoundShare() float64 {
+	if s.TotalMACs == 0 {
+		return 0
+	}
+	return float64(s.MemoryBoundMACs) / float64(s.TotalMACs)
+}
+
+func (s NetworkSummary) String() string {
+	return fmt.Sprintf("%s on %v: %.0f%% of MACs memory-bound",
+		s.Network, s.Platform, 100*s.MemoryBoundShare())
+}
+
+// Summarize aggregates AnalyzeNetwork for a network/platform pair.
+func Summarize(n *dnn.Network, p Platform) NetworkSummary {
+	s := NetworkSummary{Platform: p, Network: n.Name}
+	for _, l := range AnalyzeNetwork(n, p) {
+		s.TotalMACs += l.MACs
+		if l.Bound == MemoryBound {
+			s.MemoryBoundMACs += l.MACs
+		}
+	}
+	return s
+}

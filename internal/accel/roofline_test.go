@@ -1,0 +1,133 @@
+package accel
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adsim/internal/dnn"
+	"adsim/internal/stats"
+)
+
+func TestBoundString(t *testing.T) {
+	if ComputeBound.String() != "compute" || MemoryBound.String() != "memory" {
+		t.Error("Bound strings wrong")
+	}
+}
+
+func TestPlatformBalancePoints(t *testing.T) {
+	// The FPGA's thin 6.4 GB/s link gives it the highest balance point;
+	// the reuse-heavy ASIC the lowest.
+	if PlatformBalance(FPGA) <= PlatformBalance(GPU) {
+		t.Error("FPGA balance should exceed GPU")
+	}
+	if PlatformBalance(FPGA) <= PlatformBalance(CPU) {
+		t.Error("FPGA balance should exceed CPU")
+	}
+	if PlatformBalance(ASIC) >= PlatformBalance(CPU) {
+		t.Error("ASIC effective balance should be the lowest")
+	}
+	for _, p := range Platforms() {
+		if PlatformBalance(p) <= 0 {
+			t.Fatalf("%v balance non-positive", p)
+		}
+	}
+}
+
+func TestAnalyzeNetworkClassification(t *testing.T) {
+	// A 3x3 conv over a deep feature map has high arithmetic intensity
+	// (compute-bound on the GPU); a huge FC layer touches every weight
+	// once (memory-bound everywhere).
+	n := dnn.MustNetwork("probe", dnn.Shape{C: 64, H: 32, W: 32},
+		dnn.NewConv(64, 3, 1, 1, dnn.Leaky, 1),
+		dnn.NewFC(4096, dnn.Linear, 2),
+	)
+	rows := AnalyzeNetwork(n, GPU)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	conv, fc := rows[0], rows[1]
+	if conv.Bound != ComputeBound {
+		t.Errorf("deep conv classified %v (intensity %.1f)", conv.Bound, conv.Intensity)
+	}
+	if fc.Bound != MemoryBound {
+		t.Errorf("fc classified %v (intensity %.2f)", fc.Bound, fc.Intensity)
+	}
+	if fc.Intensity >= 1 {
+		t.Errorf("fc intensity %.2f should be <1 MAC/byte", fc.Intensity)
+	}
+	if conv.MACs <= 0 || conv.Bytes <= 0 {
+		t.Error("missing layer accounting")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	head := dnn.GOTURNHead(dnn.Shape{C: 256, H: 6, W: 6})
+	s := Summarize(head, FPGA)
+	if s.MemoryBoundShare() < 0.99 {
+		t.Errorf("GOTURN head on FPGA %.2f memory-bound, want ~1", s.MemoryBoundShare())
+	}
+	if !strings.Contains(s.String(), "memory-bound") {
+		t.Errorf("summary string %q", s.String())
+	}
+	if (NetworkSummary{}).MemoryBoundShare() != 0 {
+		t.Error("empty summary share should be 0")
+	}
+}
+
+func TestWorkloadsAccessor(t *testing.T) {
+	m := NewModel()
+	w := m.Workloads()
+	if w.Det.MACs <= 0 || w.LocFEOps <= 0 {
+		t.Error("workloads accessor broken")
+	}
+}
+
+func TestLocLatencyAccessors(t *testing.T) {
+	m := NewModel()
+	// Tracking latency at zero noise equals the tracking mean component.
+	base := m.LocTrackingLatency(CPU, ResKITTI, 0)
+	if base <= 0 {
+		t.Fatal("non-positive tracking latency")
+	}
+	// Jitter multiplier is mean-preserving: z=0 gives exp(-sigma^2/2) < 1.
+	if base >= m.locTrackingMs(CPU, ResKITTI) {
+		t.Error("z=0 sample should sit slightly below the raw mean (mean-preserving log-normal)")
+	}
+	// Reloc latency reproduces the paper tail at base resolution.
+	if r := m.LocRelocLatency(CPU, ResKITTI); math.Abs(r-PaperTail(CPU, LOC)) > 0.5 {
+		t.Errorf("CPU reloc latency %.1f, want ~%.1f", r, PaperTail(CPU, LOC))
+	}
+	// Fixed-latency platforms have reloc == tracking mean.
+	if r := m.LocRelocLatency(ASIC, ResKITTI); math.Abs(r-m.locTrackingMs(ASIC, ResKITTI)) > 1e-9 {
+		t.Error("ASIC reloc should equal its fixed tracking latency")
+	}
+}
+
+func TestLocFEMsFloor(t *testing.T) {
+	// Every platform's FE component must be positive (the 0.05 ms floor
+	// guards the ASIC whose Fig 10 LOC mean sits below the CPU-resident
+	// 'other' share would otherwise imply).
+	for _, p := range Platforms() {
+		if locFEMs(p) <= 0 {
+			t.Fatalf("%v FE component non-positive", p)
+		}
+	}
+}
+
+func TestSampleSharedMatchesSampleStatistics(t *testing.T) {
+	// Sample and SampleShared draw from the same family: their means over
+	// many frames must agree.
+	m := NewModel()
+	r1 := stats.NewRNG(11)
+	r2 := stats.NewRNG(11)
+	d1 := stats.NewDistribution(20000)
+	d2 := stats.NewDistribution(20000)
+	for i := 0; i < 20000; i++ {
+		d1.Add(m.Sample(GPU, DET, ResKITTI, r1))
+		d2.Add(m.SampleShared(GPU, DET, ResKITTI, r2.Normal(0, 1), r2))
+	}
+	if math.Abs(d1.Mean()-d2.Mean()) > 0.05 {
+		t.Errorf("means diverge: %.3f vs %.3f", d1.Mean(), d2.Mean())
+	}
+}

@@ -1,0 +1,125 @@
+// Package accel models the four computing platforms the paper evaluates —
+// multicore CPU, GPU, FPGA and ASIC — and converts the pipeline's workload
+// profiles (DNN MAC/byte counts from internal/dnn, feature-extraction op
+// counts from the SLAM front-end) into per-frame latency samples and power
+// figures.
+//
+// Real GPU/FPGA/ASIC hardware is unavailable to this reproduction, so each
+// platform is an analytical model: a spec sheet (the paper's Table 2/3), an
+// effective-throughput latency model whose efficiency constants are
+// calibrated against the paper's measured means (see calib.go for every
+// constant and its derivation), and a predictability model (log-normal
+// execution jitter for CPU/GPU, relocalization spikes for the localization
+// engine, fixed-latency pipelines for FPGA/ASIC). The calibration pins the
+// means; the tails, scaling behaviour, end-to-end composition and every
+// figure's *shape* then emerge from the models.
+package accel
+
+import "fmt"
+
+// Platform enumerates the computing platforms of the paper's Table 2.
+type Platform int
+
+const (
+	CPU Platform = iota
+	GPU
+	FPGA
+	ASIC
+	NumPlatforms = 4
+)
+
+var platformNames = [NumPlatforms]string{"CPU", "GPU", "FPGA", "ASIC"}
+
+func (p Platform) String() string {
+	if p < 0 || int(p) >= NumPlatforms {
+		return fmt.Sprintf("platform(%d)", int(p))
+	}
+	return platformNames[p]
+}
+
+// Platforms lists all platforms in display order.
+func Platforms() []Platform { return []Platform{CPU, GPU, FPGA, ASIC} }
+
+// Engine enumerates the three computational bottlenecks the paper
+// accelerates.
+type Engine int
+
+const (
+	DET Engine = iota
+	TRA
+	LOC
+	NumEngines = 3
+)
+
+var engineNames = [NumEngines]string{"DET", "TRA", "LOC"}
+
+func (e Engine) String() string {
+	if e < 0 || int(e) >= NumEngines {
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+	return engineNames[e]
+}
+
+// Engines lists all bottleneck engines in display order.
+func Engines() []Engine { return []Engine{DET, TRA, LOC} }
+
+// Spec is one row of the paper's Table 2 (computing platform
+// specifications), plus the FE ASIC of Table 3.
+type Spec struct {
+	Platform   Platform
+	Model      string
+	FreqGHz    float64
+	Cores      int     // CPU cores / GPU CUDA cores / FPGA DSPs
+	MemGB      float64 // on-board or on-chip memory
+	MemBWGBs   float64 // memory bandwidth
+	Technology string
+}
+
+// Table2 returns the paper's Table 2 platform specifications.
+func Table2() []Spec {
+	return []Spec{
+		{Platform: CPU, Model: "Intel Xeon E5-2630 v3 (dual socket)", FreqGHz: 3.2, Cores: 16, MemGB: 128, MemBWGBs: 59.0},
+		{Platform: GPU, Model: "NVIDIA Titan X (Pascal)", FreqGHz: 1.4, Cores: 3584, MemGB: 12, MemBWGBs: 480.0},
+		{Platform: FPGA, Model: "Altera Stratix V (256 DSPs)", FreqGHz: 0.8, Cores: 256, MemGB: 2, MemBWGBs: 6.4},
+		{Platform: ASIC, Model: "Eyeriss-style CNN ASIC", FreqGHz: 0.2, Cores: 168, MemGB: 181.5e-6, Technology: "TSMC 65 nm"},
+		{Platform: ASIC, Model: "EIE-style FC ASIC", FreqGHz: 0.8, Technology: "TSMC 45 nm"},
+		{Platform: ASIC, Model: "FE ASIC (this work)", FreqGHz: 4.0, Technology: "ARM 45 nm"},
+	}
+}
+
+// FEASICSpec is the paper's Table 3: the custom feature-extraction ASIC.
+type FEASICSpec struct {
+	Technology  string
+	AreaUm2     float64
+	ClockGHz    float64
+	PowerMilliW float64
+}
+
+// Table3 returns the paper's Table 3 FE ASIC specification.
+func Table3() FEASICSpec {
+	return FEASICSpec{
+		Technology:  "ARM Artisan IBM SOI 45 nm",
+		AreaUm2:     6539.9,
+		ClockGHz:    4.0,
+		PowerMilliW: 21.97,
+	}
+}
+
+// IndustrySurveyRow is one row of the paper's Table 1 (autonomous driving
+// vehicles under experimentation at industry leaders).
+type IndustrySurveyRow struct {
+	Manufacturer string
+	Automation   string
+	ComputePlat  string
+	Sensors      string
+}
+
+// Table1 returns the paper's Table 1 industry survey.
+func Table1() []IndustrySurveyRow {
+	return []IndustrySurveyRow{
+		{"Mobileye", "level 2", "SoCs", "camera"},
+		{"Tesla", "level 2", "SoCs + GPUs", "camera, radar"},
+		{"Nvidia/Audi", "level 3", "SoCs + GPUs", "lidar, camera, radar"},
+		{"Waymo", "level 3", "SoCs + GPUs", "lidar, camera, radar"},
+	}
+}

@@ -1,0 +1,96 @@
+package accel
+
+import (
+	"adsim/internal/detect"
+	"adsim/internal/dnn"
+	"adsim/internal/track"
+)
+
+// Resolution is a camera resolution from the paper's Fig 13 sweep.
+type Resolution struct {
+	Name string
+	W, H int
+}
+
+// The paper's Fig 13 x-axis, plus the KITTI base resolution its Fig 10
+// measurements correspond to.
+var (
+	ResKITTI = Resolution{"KITTI", 1242, 375}
+	ResHHD   = Resolution{"HHD", 640, 360}
+	Res720p  = Resolution{"HD (720p)", 1280, 720}
+	ResHDP   = Resolution{"HD+", 1600, 900}
+	Res1080p = Resolution{"FHD (1080p)", 1920, 1080}
+	Res1440p = Resolution{"QHD (1440p)", 2560, 1440}
+)
+
+// SweepResolutions returns the Fig 13 resolutions in sweep order.
+func SweepResolutions() []Resolution {
+	return []Resolution{ResHHD, Res720p, ResHDP, Res1080p, Res1440p}
+}
+
+// Pixels returns the pixel count of the resolution.
+func (r Resolution) Pixels() int { return r.W * r.H }
+
+// ScaleFrom returns the compute-scaling factor of this resolution relative
+// to base: the ratio of pixel counts, which is how convolutional and
+// feature-extraction work grows with input size.
+func (r Resolution) ScaleFrom(base Resolution) float64 {
+	return float64(r.Pixels()) / float64(base.Pixels())
+}
+
+// Workloads aggregates the pipeline's per-frame computational profiles at
+// the paper's scale. Built once via PaperWorkloads.
+type Workloads struct {
+	// Det is the YOLOv2 detection cost per frame.
+	Det dnn.Cost
+	// Tra is the GOTURN cost per frame (two tower passes + FC head),
+	// matching the per-inference numbers the paper reports.
+	Tra dnn.Cost
+	// LocFEOps is the feature-extraction operation count per frame:
+	// the per-pixel FAST segment-test work plus per-feature rBRIEF work.
+	LocFEOps int64
+	// BaseRes is the resolution the profiles correspond to.
+	BaseRes Resolution
+}
+
+// PaperWorkloads builds the paper-scale workload profiles from the actual
+// network definitions in internal/dnn — the same layer stacks the native
+// engines execute at tiny scale.
+func PaperWorkloads() Workloads {
+	const (
+		// oFAST: 16 segment-test comparisons plus bookkeeping per pixel,
+		// and the orientation moments for surviving corners folded in.
+		fastOpsPerPixel = 48
+		// rBRIEF: 256 binary tests, each a rotated 2-point lookup+compare.
+		briefOpsPerFeature = 256 * 4
+		featuresPerFrame   = 2000
+	)
+	w := Workloads{
+		Det:     detect.PaperWorkloadGraph().Cost(),
+		Tra:     track.PaperWorkload(),
+		BaseRes: ResKITTI,
+	}
+	w.LocFEOps = int64(ResKITTI.Pixels())*fastOpsPerPixel +
+		featuresPerFrame*briefOpsPerFeature
+	return w
+}
+
+// DetMACsAt returns the detection workload MACs at a resolution (conv work
+// scales with pixels).
+func (w Workloads) DetMACsAt(r Resolution) float64 {
+	s := r.ScaleFrom(w.BaseRes)
+	return float64(w.Det.ConvMACs)*s + float64(w.Det.FCMACs)
+}
+
+// TraMACsAt returns the tracking workload MACs at a resolution: the
+// convolutional towers scale with input pixels, the FC head does not.
+func (w Workloads) TraMACsAt(r Resolution) float64 {
+	s := r.ScaleFrom(w.BaseRes)
+	return float64(w.Tra.ConvMACs)*s + float64(w.Tra.FCMACs)
+}
+
+// LocFEOpsAt returns feature-extraction ops at a resolution (proportional
+// to pixel count).
+func (w Workloads) LocFEOpsAt(r Resolution) float64 {
+	return float64(w.LocFEOps) * r.ScaleFrom(w.BaseRes)
+}

@@ -1,0 +1,206 @@
+// Package constraint encodes the paper's Section 2.4 design constraints for
+// autonomous driving systems as checkable predicates, so a candidate system
+// configuration can be given a verdict per constraint class:
+//
+//	Performance:    tail latency ≤ 100 ms AND frame rate ≥ 10 fps.
+//	Predictability: the performance verdict must be taken at a high
+//	                quantile (99.99th percentile), not the mean.
+//	Storage:        tens of TB available on-vehicle for prior maps
+//	                (41 TB for a US-wide map).
+//	Thermal:        the computing system sits in the climate-controlled
+//	                cabin, and the cooling system must have headroom for
+//	                its heat.
+//	Power:          the aggregate draw (compute + storage + cooling) must
+//	                not reduce driving range beyond a budget.
+//	Other:          shock/vibration tolerance etc. are recorded for
+//	                completeness but not modeled.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"adsim/internal/power"
+	"adsim/internal/stats"
+)
+
+// Paper-derived thresholds.
+const (
+	// MaxTailLatencyMs: "the latency for processing traffic condition
+	// should be within 100 ms" — evaluated at the tail.
+	MaxTailLatencyMs = 100.0
+	// MinFrameRate: "a frequency of at least once every 100 ms".
+	MinFrameRate = 10.0
+	// TailQuantile is the predictability constraint's evaluation point.
+	TailQuantile = 0.9999
+	// RequiredMapTB is the storage constraint's sizing point (US map).
+	RequiredMapTB = power.USMapTB
+	// CabinMaxAmbientC / ElectronicsMaxC document the thermal constraint:
+	// outside the cabin reaches +105°C, beyond typical silicon limits
+	// (~75°C), forcing cabin placement.
+	CabinMaxAmbientC = 105.0
+	ElectronicsMaxC  = 75.0
+	// DefaultMaxRangeReduction is the power constraint's default budget on
+	// driving-range loss (5%, the paper's bar for acceptable designs).
+	DefaultMaxRangeReduction = 0.05
+)
+
+// Class enumerates the constraint classes.
+type Class int
+
+const (
+	Performance Class = iota
+	Predictability
+	Storage
+	Thermal
+	Power
+	NumClasses = 5
+)
+
+var classNames = [NumClasses]string{
+	"performance", "predictability", "storage", "thermal", "power",
+}
+
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Input describes a candidate system configuration for checking.
+type Input struct {
+	// Latency is the end-to-end frame latency distribution (ms).
+	Latency *stats.Distribution
+	// FrameRate is the sustained processing rate (fps).
+	FrameRate float64
+	// AvailableStorageTB is the on-vehicle storage capacity.
+	AvailableStorageTB float64
+	// ComputePowerW is the computing engine's power draw.
+	ComputePowerW float64
+	// MapTB is the prior-map size to be stored.
+	MapTB float64
+	// CoolingCapacityW is the vehicle's spare air-conditioning capacity
+	// available to the computing system.
+	CoolingCapacityW float64
+	// MaxRangeReduction overrides DefaultMaxRangeReduction when > 0.
+	MaxRangeReduction float64
+}
+
+// Verdict is the outcome for one constraint class.
+type Verdict struct {
+	Class  Class
+	Passed bool
+	Detail string
+}
+
+// Report is the full constraint evaluation.
+type Report struct {
+	Verdicts [NumClasses]Verdict
+	// System is the aggregate power breakdown used by the thermal and
+	// power verdicts.
+	System power.SystemBreakdown
+	// RangeReduction is the resulting driving-range loss fraction.
+	RangeReduction float64
+}
+
+// Pass reports whether every constraint class passed.
+func (r Report) Pass() bool {
+	for _, v := range r.Verdicts {
+		if !v.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed lists the failing classes.
+func (r Report) Failed() []Class {
+	var out []Class
+	for _, v := range r.Verdicts {
+		if !v.Passed {
+			out = append(out, v.Class)
+		}
+	}
+	return out
+}
+
+func (r Report) String() string {
+	var b strings.Builder
+	for _, v := range r.Verdicts {
+		mark := "PASS"
+		if !v.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-14s %s  %s\n", v.Class, mark, v.Detail)
+	}
+	fmt.Fprintf(&b, "system power: %v; range reduction %.1f%%\n",
+		r.System, 100*r.RangeReduction)
+	return b.String()
+}
+
+// Check evaluates all constraint classes for the candidate configuration.
+func Check(in Input) Report {
+	var r Report
+	r.System = power.System(in.ComputePowerW, in.MapTB)
+	r.RangeReduction = power.RangeReduction(r.System.Total())
+
+	tail := 0.0
+	n := 0
+	if in.Latency != nil {
+		tail = in.Latency.Quantile(TailQuantile)
+		n = in.Latency.N()
+	}
+
+	perfOK := n > 0 && tail <= MaxTailLatencyMs && in.FrameRate >= MinFrameRate
+	r.Verdicts[Performance] = Verdict{
+		Class:  Performance,
+		Passed: perfOK,
+		Detail: fmt.Sprintf("tail %.1f ms (limit %.0f), %.1f fps (min %.0f)",
+			tail, MaxTailLatencyMs, in.FrameRate, MinFrameRate),
+	}
+
+	// Predictability: enough samples to resolve the tail quantile, and a
+	// bounded tail-to-mean blowup (a system whose tail is far above its
+	// mean cannot be certified predictable even if the mean is fast).
+	predOK := false
+	detail := "no latency distribution"
+	if n > 0 {
+		mean := in.Latency.Mean()
+		blowup := tail / mean
+		minSamples := int(2 / (1 - TailQuantile)) // ≥2 samples beyond the quantile
+		predOK = n >= minSamples && blowup <= 10
+		detail = fmt.Sprintf("n=%d (need ≥%d), tail/mean %.1fx (limit 10x)",
+			n, minSamples, blowup)
+	}
+	r.Verdicts[Predictability] = Verdict{Class: Predictability, Passed: predOK, Detail: detail}
+
+	storOK := in.AvailableStorageTB >= in.MapTB
+	r.Verdicts[Storage] = Verdict{
+		Class:  Storage,
+		Passed: storOK,
+		Detail: fmt.Sprintf("%.0f TB available for %.0f TB map", in.AvailableStorageTB, in.MapTB),
+	}
+
+	heat := in.ComputePowerW + power.StoragePower(in.MapTB)
+	thermOK := r.System.CoolingW <= in.CoolingCapacityW
+	r.Verdicts[Thermal] = Verdict{
+		Class:  Thermal,
+		Passed: thermOK,
+		Detail: fmt.Sprintf("%.0f W heat needs %.0f W cooling (capacity %.0f W)",
+			heat, r.System.CoolingW, in.CoolingCapacityW),
+	}
+
+	budget := in.MaxRangeReduction
+	if budget <= 0 {
+		budget = DefaultMaxRangeReduction
+	}
+	powOK := r.RangeReduction <= budget
+	r.Verdicts[Power] = Verdict{
+		Class:  Power,
+		Passed: powOK,
+		Detail: fmt.Sprintf("range reduction %.1f%% (budget %.1f%%)",
+			100*r.RangeReduction, 100*budget),
+	}
+	return r
+}

@@ -1,0 +1,161 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"adsim/internal/stats"
+)
+
+// dist builds a latency distribution of n samples at base ms with one
+// outlier.
+func dist(n int, base, outlier float64) *stats.Distribution {
+	d := stats.NewDistribution(n)
+	for i := 0; i < n-1; i++ {
+		d.Add(base)
+	}
+	d.Add(outlier)
+	return d
+}
+
+func passingInput() Input {
+	return Input{
+		Latency:            dist(50000, 15, 40),
+		FrameRate:          30,
+		AvailableStorageTB: 50,
+		ComputePowerW:      140, // ASIC-grade
+		MapTB:              RequiredMapTB,
+		CoolingCapacityW:   800,
+	}
+}
+
+func TestAllPass(t *testing.T) {
+	r := Check(passingInput())
+	if !r.Pass() {
+		t.Fatalf("expected pass, failed: %v\n%s", r.Failed(), r)
+	}
+	if len(r.Failed()) != 0 {
+		t.Error("Failed() should be empty")
+	}
+}
+
+func TestPerformanceFailsOnTail(t *testing.T) {
+	in := passingInput()
+	// Mean fast, tail slow: MUST fail (this is the paper's core point
+	// about using tail latency rather than mean).
+	in.Latency = stats.NewDistribution(50000)
+	for i := 0; i < 50000; i++ {
+		if i%100 == 99 {
+			in.Latency.Add(250) // 1% of frames over deadline
+		} else {
+			in.Latency.Add(20)
+		}
+	}
+	r := Check(in)
+	if r.Verdicts[Performance].Passed {
+		t.Error("tail violation must fail performance even with a fast mean")
+	}
+}
+
+func TestPerformanceFailsOnFrameRate(t *testing.T) {
+	in := passingInput()
+	in.FrameRate = 8
+	if Check(in).Verdicts[Performance].Passed {
+		t.Error("8 fps should fail the ≥10 fps requirement")
+	}
+}
+
+func TestPredictabilityNeedsSamples(t *testing.T) {
+	in := passingInput()
+	in.Latency = dist(100, 15, 30) // far too few to resolve P99.99
+	r := Check(in)
+	if r.Verdicts[Predictability].Passed {
+		t.Error("100 samples cannot certify a 99.99th percentile")
+	}
+}
+
+func TestPredictabilityFailsOnBlowup(t *testing.T) {
+	in := passingInput()
+	d := stats.NewDistribution(50000)
+	for i := 0; i < 50000; i++ {
+		if i%500 == 0 {
+			d.Add(95) // under the latency limit but 19x the mean
+		} else {
+			d.Add(5)
+		}
+	}
+	in.Latency = d
+	r := Check(in)
+	if r.Verdicts[Predictability].Passed {
+		t.Error("19x tail/mean blowup should fail predictability")
+	}
+}
+
+func TestStorageVerdict(t *testing.T) {
+	in := passingInput()
+	in.AvailableStorageTB = 10 // can't hold the 41 TB map
+	r := Check(in)
+	if r.Verdicts[Storage].Passed {
+		t.Error("10 TB should fail the 41 TB map requirement")
+	}
+}
+
+func TestThermalVerdict(t *testing.T) {
+	in := passingInput()
+	in.ComputePowerW = 1000
+	in.CoolingCapacityW = 500 // cooling needs ~854 W
+	r := Check(in)
+	if r.Verdicts[Thermal].Passed {
+		t.Error("insufficient cooling capacity should fail thermal")
+	}
+}
+
+func TestPowerVerdict(t *testing.T) {
+	in := passingInput()
+	in.ComputePowerW = 1300 // GPU-fleet grade: ~2.5 kW aggregate, >5% range
+	in.CoolingCapacityW = 5000
+	r := Check(in)
+	if r.Verdicts[Power].Passed {
+		t.Errorf("%.1f%% range reduction should fail the 5%% budget", 100*r.RangeReduction)
+	}
+	// With a relaxed budget it passes.
+	in.MaxRangeReduction = 0.20
+	if !Check(in).Verdicts[Power].Passed {
+		t.Error("relaxed budget should pass")
+	}
+}
+
+func TestNilLatency(t *testing.T) {
+	in := passingInput()
+	in.Latency = nil
+	r := Check(in)
+	if r.Verdicts[Performance].Passed || r.Verdicts[Predictability].Passed {
+		t.Error("missing latency data must fail performance and predictability")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Check(passingInput()).String()
+	for _, want := range []string{"performance", "predictability", "storage", "thermal", "power", "PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Performance.String() != "performance" || Power.String() != "power" {
+		t.Error("class names wrong")
+	}
+	if Class(42).String() != "class(42)" {
+		t.Error("out-of-range class formatting wrong")
+	}
+}
+
+func TestThermalConstants(t *testing.T) {
+	// The documented physical motivation: ambient outside the cabin
+	// exceeds what electronics tolerate.
+	if CabinMaxAmbientC <= ElectronicsMaxC {
+		t.Error("thermal constants inconsistent with the paper's argument")
+	}
+}

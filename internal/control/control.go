@@ -1,0 +1,194 @@
+// Package control implements the vehicle-control engine — step 5 of the
+// paper's Figure 1: "the vehicle control engine simply follows the planned
+// paths and trajectories by operating the vehicle."
+//
+// Steering uses pure pursuit (the controller used by the CMU Boss vehicle
+// the paper's planners descend from): the controller chases a look-ahead
+// point on the planned path and commands the curvature of the circular arc
+// that reaches it. Speed uses a proportional controller toward the
+// waypoint's commanded speed with acceleration and deceleration limits.
+// The kinematic bicycle model in this package closes the loop for tests
+// and examples.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"adsim/internal/plan"
+)
+
+// Command is one actuation output.
+type Command struct {
+	// Curvature is the commanded path curvature (1/m); positive turns
+	// toward +X (right, in the pipeline's world frame).
+	Curvature float64
+	// Accel is the commanded longitudinal acceleration (m/s²).
+	Accel float64
+	// TargetSpeed is the speed the controller is converging to (m/s).
+	TargetSpeed float64
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// LookaheadBase and LookaheadGain set the pure-pursuit look-ahead
+	// distance: L = base + gain × speed.
+	LookaheadBase float64
+	LookaheadGain float64
+	// MaxCurvature bounds steering (1/m).
+	MaxCurvature float64
+	// MaxAccel / MaxBrake bound longitudinal control (m/s², both > 0).
+	MaxAccel float64
+	MaxBrake float64
+	// SpeedGain is the proportional speed-error gain (1/s).
+	SpeedGain float64
+}
+
+// DefaultConfig returns gains suitable for the simulated passenger vehicle.
+func DefaultConfig() Config {
+	return Config{
+		LookaheadBase: 3.0,
+		LookaheadGain: 0.35,
+		MaxCurvature:  0.2, // ~5 m minimum turn radius
+		MaxAccel:      2.5,
+		MaxBrake:      6.0,
+		SpeedGain:     1.2,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.LookaheadBase <= 0 || c.MaxCurvature <= 0 ||
+		c.MaxAccel <= 0 || c.MaxBrake <= 0 || c.SpeedGain <= 0 {
+		return fmt.Errorf("control: non-positive gain in %+v", *c)
+	}
+	return nil
+}
+
+// State is the vehicle state the controller acts on.
+type State struct {
+	X, Z  float64 // position (m)
+	Theta float64 // heading (rad, 0 = +Z, positive toward +X)
+	Speed float64 // m/s
+}
+
+// Controller computes actuation commands from the planned path.
+type Controller struct {
+	cfg Config
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Track computes the actuation command that follows path from the current
+// state. An empty path (or an emergency stop) commands a full-brake stop.
+func (c *Controller) Track(st State, path plan.Path) Command {
+	if len(path.Waypoints) == 0 {
+		return Command{Accel: -c.cfg.MaxBrake, TargetSpeed: 0}
+	}
+
+	// Look-ahead target: the first waypoint that is at least L away AND
+	// ahead of the vehicle (positive forward component in the vehicle
+	// frame) — already-passed waypoints must never be chased.
+	lookahead := c.cfg.LookaheadBase + c.cfg.LookaheadGain*st.Speed
+	sin, cos := math.Sin(st.Theta), math.Cos(st.Theta)
+	target := path.Waypoints[len(path.Waypoints)-1]
+	for _, wp := range path.Waypoints {
+		dx, dz := wp.X-st.X, wp.Z-st.Z
+		if dx*sin+dz*cos <= 0 {
+			continue // behind the vehicle
+		}
+		if math.Hypot(dx, dz) >= lookahead {
+			target = wp
+			break
+		}
+	}
+
+	// Pure pursuit: transform the target into the vehicle frame and
+	// command the arc curvature through it: k = 2·x_lateral / d².
+	dx := target.X - st.X
+	dz := target.Z - st.Z
+	lateral := dx*cos - dz*sin // vehicle-frame lateral offset
+	forward := dx*sin + dz*cos // vehicle-frame forward distance
+	d2 := lateral*lateral + forward*forward
+	var curvature float64
+	if d2 > 1e-9 {
+		curvature = 2 * lateral / d2
+	}
+	if curvature > c.cfg.MaxCurvature {
+		curvature = c.cfg.MaxCurvature
+	}
+	if curvature < -c.cfg.MaxCurvature {
+		curvature = -c.cfg.MaxCurvature
+	}
+
+	// Proportional speed control toward the target waypoint's speed.
+	accel := c.cfg.SpeedGain * (target.Speed - st.Speed)
+	if accel > c.cfg.MaxAccel {
+		accel = c.cfg.MaxAccel
+	}
+	if accel < -c.cfg.MaxBrake {
+		accel = -c.cfg.MaxBrake
+	}
+	return Command{Curvature: curvature, Accel: accel, TargetSpeed: target.Speed}
+}
+
+// Vehicle is a kinematic bicycle model for closed-loop simulation.
+type Vehicle struct {
+	State State
+}
+
+// Apply advances the vehicle by dt seconds under cmd.
+func (v *Vehicle) Apply(cmd Command, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	v.State.Speed += cmd.Accel * dt
+	if v.State.Speed < 0 {
+		v.State.Speed = 0
+	}
+	dist := v.State.Speed * dt
+	v.State.Theta += cmd.Curvature * dist
+	v.State.X += math.Sin(v.State.Theta) * dist
+	v.State.Z += math.Cos(v.State.Theta) * dist
+}
+
+// CrossTrackError returns the lateral distance from the state to the
+// nearest segment of the path — the standard tracking-quality metric.
+func CrossTrackError(st State, path plan.Path) float64 {
+	wps := path.Waypoints
+	if len(wps) == 0 {
+		return 0
+	}
+	if len(wps) == 1 {
+		return math.Hypot(wps[0].X-st.X, wps[0].Z-st.Z)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(wps); i++ {
+		d := distPointSegment(st.X, st.Z, wps[i-1].X, wps[i-1].Z, wps[i].X, wps[i].Z)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func distPointSegment(px, pz, ax, az, bx, bz float64) float64 {
+	dx, dz := bx-ax, bz-az
+	lenSq := dx*dx + dz*dz
+	if lenSq == 0 {
+		return math.Hypot(px-ax, pz-az)
+	}
+	t := ((px-ax)*dx + (pz-az)*dz) / lenSq
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return math.Hypot(px-(ax+t*dx), pz-(az+t*dz))
+}

@@ -1,0 +1,199 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adsim/internal/plan"
+)
+
+func straightPath(z0, z1, speed float64) plan.Path {
+	var p plan.Path
+	for z := z0; z <= z1; z += 1.5 {
+		p.Waypoints = append(p.Waypoints, plan.Waypoint{X: 0, Z: z, Speed: speed})
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.MaxAccel = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero accel limit accepted")
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal("default config rejected")
+	}
+}
+
+func TestEmptyPathBrakes(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	cmd := c.Track(State{Speed: 10}, plan.Path{})
+	if cmd.Accel >= 0 || cmd.TargetSpeed != 0 {
+		t.Errorf("empty path should brake: %+v", cmd)
+	}
+}
+
+func TestStraightPathNoSteering(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	cmd := c.Track(State{X: 0, Z: 0, Speed: 10}, straightPath(1, 40, 13))
+	if math.Abs(cmd.Curvature) > 1e-9 {
+		t.Errorf("on-path straight tracking commanded curvature %v", cmd.Curvature)
+	}
+	if cmd.Accel <= 0 {
+		t.Error("below target speed should accelerate")
+	}
+}
+
+func TestOffsetCommandsCorrection(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	// Vehicle left of the path (X=-2): must steer right (+curvature).
+	cmd := c.Track(State{X: -2, Z: 0, Speed: 10}, straightPath(1, 40, 13))
+	if cmd.Curvature <= 0 {
+		t.Errorf("left offset should steer right, got %v", cmd.Curvature)
+	}
+	// Vehicle right of the path: steer left.
+	cmd2 := c.Track(State{X: 2, Z: 0, Speed: 10}, straightPath(1, 40, 13))
+	if cmd2.Curvature >= 0 {
+		t.Errorf("right offset should steer left, got %v", cmd2.Curvature)
+	}
+}
+
+func TestCurvatureSaturates(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := New(cfg)
+	// Target far to the side at close range: demand exceeds the limit.
+	p := plan.Path{Waypoints: []plan.Waypoint{{X: 50, Z: 1, Speed: 5}}}
+	cmd := c.Track(State{Speed: 5}, p)
+	if math.Abs(cmd.Curvature) > cfg.MaxCurvature+1e-12 {
+		t.Errorf("curvature %v exceeds limit %v", cmd.Curvature, cfg.MaxCurvature)
+	}
+}
+
+func TestSpeedControlSign(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	slow := c.Track(State{Speed: 20}, straightPath(1, 40, 10))
+	if slow.Accel >= 0 {
+		t.Error("above target speed should brake")
+	}
+	if slow.Accel < -DefaultConfig().MaxBrake {
+		t.Error("brake command exceeds limit")
+	}
+	fast := c.Track(State{Speed: 0}, straightPath(1, 40, 10))
+	if fast.Accel > DefaultConfig().MaxAccel {
+		t.Error("accel command exceeds limit")
+	}
+}
+
+func TestVehicleKinematics(t *testing.T) {
+	v := Vehicle{State: State{Speed: 10}}
+	v.Apply(Command{Curvature: 0, Accel: 0}, 1.0)
+	if math.Abs(v.State.Z-10) > 1e-9 || v.State.X != 0 {
+		t.Errorf("straight motion wrong: %+v", v.State)
+	}
+	// Braking cannot produce reverse motion.
+	v2 := Vehicle{State: State{Speed: 1}}
+	v2.Apply(Command{Accel: -10}, 1.0)
+	if v2.State.Speed != 0 {
+		t.Errorf("speed = %v, want clamped 0", v2.State.Speed)
+	}
+	// Positive curvature turns toward +X.
+	v3 := Vehicle{State: State{Speed: 5}}
+	for i := 0; i < 10; i++ {
+		v3.Apply(Command{Curvature: 0.1}, 0.1)
+	}
+	if v3.State.X <= 0 {
+		t.Errorf("positive curvature should move toward +X: %+v", v3.State)
+	}
+	// dt <= 0 is a no-op.
+	before := v3.State
+	v3.Apply(Command{Accel: 5}, 0)
+	if v3.State != before {
+		t.Error("zero-dt Apply changed state")
+	}
+}
+
+func TestClosedLoopConvergesToPath(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	path := straightPath(1, 400, 13)                  // long enough for the full 20 s run
+	v := Vehicle{State: State{X: -3, Z: 0, Speed: 8}} // 3 m off the lane
+	dt := 0.05
+	for i := 0; i < 400; i++ { // 20 s ≈ 260 m
+		cmd := c.Track(v.State, path)
+		v.Apply(cmd, dt)
+	}
+	if xte := CrossTrackError(v.State, path); xte > 0.3 {
+		t.Errorf("cross-track error after convergence = %.2f m", xte)
+	}
+	if math.Abs(v.State.Speed-13) > 0.5 {
+		t.Errorf("speed = %.1f, want ~13", v.State.Speed)
+	}
+}
+
+func TestClosedLoopFollowsLaneChange(t *testing.T) {
+	c, _ := New(DefaultConfig())
+	// Path shifts from lane X=0 to X=3.5 over 30 m.
+	var path plan.Path
+	for z := 1.0; z <= 150; z += 1.5 {
+		x := 0.0
+		switch {
+		case z > 50 && z < 80:
+			x = 3.5 * (z - 50) / 30
+		case z >= 80:
+			x = 3.5
+		}
+		path.Waypoints = append(path.Waypoints, plan.Waypoint{X: x, Z: z, Speed: 10})
+	}
+	v := Vehicle{State: State{Speed: 10}}
+	dt := 0.05
+	for i := 0; i < 400; i++ {
+		v.Apply(c.Track(v.State, path), dt)
+	}
+	if math.Abs(v.State.X-3.5) > 0.5 {
+		t.Errorf("vehicle at X=%.2f after lane change, want ~3.5", v.State.X)
+	}
+}
+
+func TestCrossTrackError(t *testing.T) {
+	path := straightPath(0, 10, 5)
+	if xte := CrossTrackError(State{X: 2, Z: 5}, path); math.Abs(xte-2) > 1e-9 {
+		t.Errorf("XTE = %v, want 2", xte)
+	}
+	if CrossTrackError(State{}, plan.Path{}) != 0 {
+		t.Error("empty path XTE should be 0")
+	}
+	single := plan.Path{Waypoints: []plan.Waypoint{{X: 3, Z: 4}}}
+	if xte := CrossTrackError(State{}, single); math.Abs(xte-5) > 1e-9 {
+		t.Errorf("single-waypoint XTE = %v, want 5", xte)
+	}
+}
+
+// Property: commands always respect the configured limits.
+func TestCommandLimitsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	c, _ := New(cfg)
+	f := func(x, z int8, speed uint8, tx, tz int8, tspeed uint8) bool {
+		p := plan.Path{Waypoints: []plan.Waypoint{{
+			X: float64(tx), Z: float64(tz), Speed: float64(tspeed % 30),
+		}}}
+		cmd := c.Track(State{X: float64(x), Z: float64(z), Speed: float64(speed % 40)}, p)
+		return math.Abs(cmd.Curvature) <= cfg.MaxCurvature+1e-12 &&
+			cmd.Accel <= cfg.MaxAccel+1e-12 && cmd.Accel >= -cfg.MaxBrake-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the kinematic model conserves position under zero speed.
+func TestVehicleZeroSpeedProperty(t *testing.T) {
+	f := func(k int8, dt uint8) bool {
+		v := Vehicle{State: State{X: 1, Z: 2, Speed: 0}}
+		v.Apply(Command{Curvature: float64(k) / 100, Accel: 0}, float64(dt%10)/10)
+		return v.State.X == 1 && v.State.Z == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

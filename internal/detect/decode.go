@@ -1,0 +1,100 @@
+package detect
+
+import (
+	"math"
+
+	"adsim/internal/dnn"
+	"adsim/internal/img"
+	"adsim/internal/scene"
+	"adsim/internal/tensor"
+)
+
+// DecodeGrid decodes a YOLO detection head's output tensor into candidate
+// detections. The tensor layout matches the network zoo's detection head:
+// for each grid cell, DetBoxesPerCell boxes of (tx, ty, tw, th, tc)
+// followed by DetGridClasses shared class logits, all along the channel
+// dimension.
+//
+// Decode semantics follow YOLO's: box centers are cell-relative through a
+// sigmoid, box extents are squared sigmoids of the raw predictions (so
+// extents live in (0,1) of the frame), confidence is sigmoid(tc), and the
+// reported per-detection score is confidence × max class probability.
+// Detections below confThresh are dropped; NMS is the caller's job, so the
+// full pipeline shares one suppression implementation.
+func DecodeGrid(out *tensor.T, frameW, frameH int, confThresh float64) []Detection {
+	if out.C < dnn.DetCellDepth {
+		return nil
+	}
+	gridH, gridW := out.H, out.W
+	cellW := float64(frameW) / float64(gridW)
+	cellH := float64(frameH) / float64(gridH)
+	var dets []Detection
+	classProbs := make([]float32, dnn.DetGridClasses)
+	for gy := 0; gy < gridH; gy++ {
+		for gx := 0; gx < gridW; gx++ {
+			// Shared class distribution for the cell.
+			for c := 0; c < dnn.DetGridClasses; c++ {
+				classProbs[c] = out.At(dnn.DetBoxesPerCell*5+c, gy, gx)
+			}
+			tensor.Softmax(classProbs)
+			bestClass, bestProb := 0, classProbs[0]
+			for c := 1; c < dnn.DetGridClasses; c++ {
+				if classProbs[c] > bestProb {
+					bestClass, bestProb = c, classProbs[c]
+				}
+			}
+			for b := 0; b < dnn.DetBoxesPerCell; b++ {
+				base := b * 5
+				tc := sigmoid(float64(out.At(base+4, gy, gx)))
+				score := tc * float64(bestProb)
+				if score < confThresh {
+					continue
+				}
+				tx := sigmoid(float64(out.At(base+0, gy, gx)))
+				ty := sigmoid(float64(out.At(base+1, gy, gx)))
+				tw := sigmoid(float64(out.At(base+2, gy, gx)))
+				th := sigmoid(float64(out.At(base+3, gy, gx)))
+				cx := (float64(gx) + tx) * cellW
+				cy := (float64(gy) + ty) * cellH
+				w := tw * tw * float64(frameW)
+				h := th * th * float64(frameH)
+				box := img.RectCenter(cx, cy, w, h).Clip(0, 0, frameW, frameH)
+				if box.Empty() {
+					continue
+				}
+				dets = append(dets, Detection{
+					Box:        box,
+					Class:      sceneClass(bestClass),
+					Confidence: score,
+				})
+			}
+		}
+	}
+	return dets
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// sceneClass maps a class index of the detection head to the shared object
+// taxonomy (the head predicts the same four classes, in order).
+func sceneClass(idx int) scene.Class { return scene.Class(idx) }
+
+// DetectDNN runs the pure DNN detection path: resize, forward pass, YOLO
+// grid decode, NMS. This is the faithful YOLO inference pipeline; with the
+// deterministic untrained weights of this reproduction its functional
+// output is not meaningful (DESIGN.md substitution 2) — tests exercise the
+// decode semantics with crafted tensors, and the reference proposal path
+// in Detect supplies functional boxes.
+func (d *Detector) DetectDNN(frame *img.Gray) []Detection {
+	if d.net == nil {
+		return nil
+	}
+	small := frame.Resize(d.cfg.InputSize, d.cfg.InputSize)
+	input := tensor.New(1, d.cfg.InputSize, d.cfg.InputSize)
+	for i, p := range small.Pix {
+		input.Data[i] = float32(p) / 255
+	}
+	out := d.net.Forward(input)
+	dets := DecodeGrid(out, frame.W, frame.H, d.cfg.ConfThreshold)
+	return NMS(dets, d.cfg.NMSThreshold)
+}

@@ -1,0 +1,203 @@
+// Package detect implements the object-detection engine (DET) of the
+// pipeline — the paper's YOLO stage.
+//
+// The engine has two coupled paths:
+//
+//   - Computational path: a YOLO-shaped convolutional network is executed
+//     natively through internal/dnn (a tiny variant in native mode), and the
+//     paper-scale YOLOv2 cost profile drives the platform latency models.
+//     Per-call instrumentation splits time into DNN vs. pre/post-processing,
+//     reproducing the paper's Fig 7 breakdown (DNN ≈ 99.4 % of DET).
+//
+//   - Functional path: because trained YOLO weights are unavailable (and
+//     untrainable here), detection boxes come from a deterministic reference
+//     proposal generator that finds the high-contrast object outlines the
+//     synthetic scenes render, then runs through the same confidence
+//     filtering and non-maximum suppression the YOLO decode uses. DESIGN.md
+//     documents this substitution.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"adsim/internal/dnn"
+	"adsim/internal/img"
+	"adsim/internal/scene"
+	"adsim/internal/tensor"
+)
+
+// Detection is one detected object.
+type Detection struct {
+	Box        img.Rect // frame pixel coordinates
+	Class      scene.Class
+	Confidence float64
+}
+
+// Timing reports where one Detect call spent its time, mirroring the
+// paper's DNN-vs-others cycle breakdown.
+type Timing struct {
+	DNN   time.Duration
+	Other time.Duration
+}
+
+// Total returns the end-to-end duration of the call.
+func (t Timing) Total() time.Duration { return t.DNN + t.Other }
+
+// Config parameterizes the detector.
+type Config struct {
+	// InputSize is the square DNN input resolution (must be a multiple of
+	// 16 for the tiny network's four pooling stages).
+	InputSize int
+	// ConfThreshold discards detections below this confidence.
+	ConfThreshold float64
+	// NMSThreshold is the IoU above which overlapping boxes are suppressed.
+	NMSThreshold float64
+	// MinBoxPixels discards proposals smaller than this many pixels of
+	// area in frame coordinates.
+	MinBoxPixels float64
+	// RunDNN controls whether the native network is executed. Experiments
+	// that only need functional boxes (e.g. planner tests) can disable it.
+	RunDNN bool
+}
+
+// DefaultConfig returns the standard detector configuration.
+func DefaultConfig() Config {
+	return Config{
+		InputSize:     64,
+		ConfThreshold: 0.3,
+		NMSThreshold:  0.45,
+		MinBoxPixels:  30,
+		RunDNN:        true,
+	}
+}
+
+// Detector is the DET engine. It is not safe for concurrent use; the
+// pipeline owns one detector per camera stream, as the paper's system
+// replicates the computing engine per camera.
+type Detector struct {
+	cfg Config
+	net *dnn.Network
+
+	lastTiming Timing
+}
+
+// New constructs a detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.InputSize <= 0 || cfg.InputSize%16 != 0 {
+		return nil, fmt.Errorf("detect: InputSize %d must be a positive multiple of 16", cfg.InputSize)
+	}
+	if cfg.ConfThreshold < 0 || cfg.ConfThreshold > 1 {
+		return nil, fmt.Errorf("detect: ConfThreshold %v out of [0,1]", cfg.ConfThreshold)
+	}
+	if cfg.NMSThreshold <= 0 || cfg.NMSThreshold > 1 {
+		return nil, fmt.Errorf("detect: NMSThreshold %v out of (0,1]", cfg.NMSThreshold)
+	}
+	d := &Detector{cfg: cfg}
+	if cfg.RunDNN {
+		d.net = dnn.TinyYOLO(cfg.InputSize)
+	}
+	return d, nil
+}
+
+// PaperWorkload returns the paper-scale DET network as a plain feed-forward
+// stack (used by layer-wise analyses like the roofline experiment).
+func PaperWorkload() *dnn.Network { return dnn.YOLOv2(416) }
+
+// PaperWorkloadGraph returns the complete paper-scale DET network — YOLOv2
+// with batch normalization and the passthrough connection — whose cost
+// profile the platform models consume.
+func PaperWorkloadGraph() *dnn.Graph { return dnn.YOLOv2Graph(416) }
+
+// Detect runs the DET engine on one frame and returns the surviving
+// detections, highest confidence first.
+func (d *Detector) Detect(frame *img.Gray) []Detection {
+	startOther := time.Now()
+
+	// Pre-processing: resize to network input and normalize.
+	var input *tensor.T
+	if d.cfg.RunDNN {
+		small := frame.Resize(d.cfg.InputSize, d.cfg.InputSize)
+		input = tensor.New(1, d.cfg.InputSize, d.cfg.InputSize)
+		for i, p := range small.Pix {
+			input.Data[i] = float32(p) / 255
+		}
+	}
+	preDur := time.Since(startOther)
+
+	// DNN forward pass (computational fidelity; see package comment).
+	var dnnDur time.Duration
+	if d.cfg.RunDNN {
+		startDNN := time.Now()
+		_ = d.net.Forward(input)
+		dnnDur = time.Since(startDNN)
+	}
+
+	// Post-processing: proposal decode + confidence filter + NMS.
+	startPost := time.Now()
+	props := proposeOutlineBoxes(frame, d.cfg.MinBoxPixels)
+	dets := make([]Detection, 0, len(props))
+	for _, p := range props {
+		if p.Confidence >= d.cfg.ConfThreshold {
+			dets = append(dets, p)
+		}
+	}
+	dets = NMS(dets, d.cfg.NMSThreshold)
+	postDur := time.Since(startPost)
+
+	d.lastTiming = Timing{DNN: dnnDur, Other: preDur + postDur}
+	return dets
+}
+
+// LastTiming returns the time breakdown of the most recent Detect call.
+func (d *Detector) LastTiming() Timing { return d.lastTiming }
+
+// NMS performs greedy non-maximum suppression: detections are processed in
+// decreasing confidence order and any detection overlapping an already kept
+// one with IoU above thresh is discarded. The input slice is not modified.
+func NMS(dets []Detection, thresh float64) []Detection {
+	sorted := make([]Detection, len(dets))
+	copy(sorted, dets)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Confidence > sorted[j].Confidence
+	})
+	kept := sorted[:0]
+	for _, cand := range sorted {
+		suppressed := false
+		for _, k := range kept {
+			if cand.Box.IoU(k.Box) > thresh {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, cand)
+		}
+	}
+	out := make([]Detection, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// ClassifyBox assigns one of the four paper classes from box geometry: the
+// reference classifier used when no trained class head exists. Vehicles are
+// wider than tall, traffic signs are square, pedestrians and cyclists are
+// tall and narrow (cyclists slightly wider).
+func ClassifyBox(b img.Rect) scene.Class {
+	h := b.H()
+	if h <= 0 {
+		return scene.Vehicle
+	}
+	aspect := b.W() / h
+	switch {
+	case aspect >= 1.08:
+		return scene.Vehicle
+	case aspect >= 0.7:
+		return scene.TrafficSign
+	case aspect >= 0.32:
+		return scene.Cyclist
+	default:
+		return scene.Pedestrian
+	}
+}

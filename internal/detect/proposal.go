@@ -1,0 +1,83 @@
+package detect
+
+import (
+	"adsim/internal/img"
+)
+
+// proposeOutlineBoxes is the reference proposal generator: it extracts
+// connected components of saturated outline pixels (the synthetic renderer
+// strokes every object at intensity 255, far above any background texture)
+// and emits one candidate detection per component.
+//
+// Confidence is the fraction of the component's bounding-box perimeter that
+// is covered by outline pixels: a clean unoccluded object scores near 1,
+// partially occluded or clipped objects score lower — giving the confidence
+// threshold and NMS real work to do.
+func proposeOutlineBoxes(frame *img.Gray, minArea float64) []Detection {
+	const outlineMin = 250
+	w, h := frame.W, frame.H
+	visited := make([]bool, w*h)
+	var out []Detection
+
+	// BFS flood fill over 8-connected bright pixels.
+	queue := make([]int, 0, 256)
+	for start := 0; start < w*h; start++ {
+		if visited[start] || frame.Pix[start] < outlineMin {
+			continue
+		}
+		minX, minY := w, h
+		maxX, maxY := 0, 0
+		count := 0
+		queue = queue[:0]
+		queue = append(queue, start)
+		visited[start] = true
+		for len(queue) > 0 {
+			idx := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x, y := idx%w, idx/w
+			count++
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						continue
+					}
+					nidx := ny*w + nx
+					if !visited[nidx] && frame.Pix[nidx] >= outlineMin {
+						visited[nidx] = true
+						queue = append(queue, nidx)
+					}
+				}
+			}
+		}
+
+		box := img.Rect{X0: float64(minX), Y0: float64(minY),
+			X1: float64(maxX + 1), Y1: float64(maxY + 1)}
+		if box.Area() < minArea {
+			continue
+		}
+		perimeter := 2 * (box.W() + box.H())
+		conf := float64(count) / perimeter
+		if conf > 1 {
+			conf = 1
+		}
+		out = append(out, Detection{
+			Box:        box,
+			Class:      ClassifyBox(box),
+			Confidence: conf,
+		})
+	}
+	return out
+}

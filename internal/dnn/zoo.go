@@ -1,0 +1,213 @@
+package dnn
+
+// The network zoo defines the DNN architectures used by the paper's
+// pipeline at two scales:
+//
+//   - Paper scale (YOLOv2, GOTURN/CaffeNet): used for cost accounting that
+//     drives the calibrated platform latency models. Running these natively
+//     in pure Go would take seconds per frame, exactly as the paper found on
+//     CPUs — the experiments instead consume their MAC/byte profiles.
+//   - Tiny scale (TinyYOLO-ish, TinyTracker): structurally identical
+//     (same layer types, same decode heads) but small enough to execute
+//     natively in tests and examples.
+//
+// Seeds are fixed per layer so weights — and therefore detector/tracker
+// behaviour — are reproducible across runs.
+
+// DetGridClasses is the number of object classes the detection head
+// predicts. The paper keeps four: vehicles, bicycles, traffic signs and
+// pedestrians.
+const DetGridClasses = 4
+
+// DetBoxesPerCell is the number of anchor boxes predicted per grid cell.
+const DetBoxesPerCell = 2
+
+// DetCellDepth is the per-cell prediction depth: per box (x, y, w, h,
+// confidence) plus shared class scores, YOLOv1-style decode.
+const DetCellDepth = DetBoxesPerCell*5 + DetGridClasses
+
+// YOLOv2 returns the paper-scale object-detection network: the Darknet-19
+// backbone plus detection head, as used by the YOLO detector the paper
+// selected for DET. Input is inSize×inSize luminance (the canonical YOLOv2
+// input is 416×416; Fig 13 rescales it).
+func YOLOv2(inSize int) *Network {
+	s := int64(100)
+	next := func() int64 { s++; return s }
+	return MustNetwork("yolov2", Shape{C: 3, H: inSize, W: inSize},
+		NewConv(32, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(64, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(128, 3, 1, 1, Leaky, next()),
+		NewConv(64, 1, 1, 0, Leaky, next()),
+		NewConv(128, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(256, 3, 1, 1, Leaky, next()),
+		NewConv(128, 1, 1, 0, Leaky, next()),
+		NewConv(256, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(512, 3, 1, 1, Leaky, next()),
+		NewConv(256, 1, 1, 0, Leaky, next()),
+		NewConv(512, 3, 1, 1, Leaky, next()),
+		NewConv(256, 1, 1, 0, Leaky, next()),
+		NewConv(512, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(1024, 3, 1, 1, Leaky, next()),
+		NewConv(512, 1, 1, 0, Leaky, next()),
+		NewConv(1024, 3, 1, 1, Leaky, next()),
+		NewConv(512, 1, 1, 0, Leaky, next()),
+		NewConv(1024, 3, 1, 1, Leaky, next()),
+		// Detection head.
+		NewConv(1024, 3, 1, 1, Leaky, next()),
+		NewConv(1024, 3, 1, 1, Leaky, next()),
+		NewConv(DetCellDepth*DetBoxesPerCell, 1, 1, 0, Linear, next()),
+	)
+}
+
+// YOLOv2Graph returns the complete YOLOv2 as a DAG, including the pieces
+// the feed-forward YOLOv2 network omits: batch normalization after every
+// convolution and the passthrough connection (the 26×26×512 feature map
+// routed through a 1×1 conv and a stride-2 reorg, then concatenated with
+// the 13×13×1024 head before the final detection convolutions).
+func YOLOv2Graph(inSize int) *Graph {
+	s := int64(700)
+	next := func() int64 { s++; return s }
+	g := NewGraph("yolov2-passthrough", Shape{C: 3, H: inSize, W: inSize})
+
+	// convBN appends conv + batch-norm and returns the BN node ID.
+	convBN := func(from, outC, k, stride, pad int) int {
+		id := g.AddLayer(NewConv(outC, k, stride, pad, Leaky, next()), from)
+		return g.AddLayer(NewBatchNorm(next()), id)
+	}
+
+	n := convBN(InputID, 32, 3, 1, 1)
+	n = g.AddLayer(NewMaxPool(2, 2), n)
+	n = convBN(n, 64, 3, 1, 1)
+	n = g.AddLayer(NewMaxPool(2, 2), n)
+	n = convBN(n, 128, 3, 1, 1)
+	n = convBN(n, 64, 1, 1, 0)
+	n = convBN(n, 128, 3, 1, 1)
+	n = g.AddLayer(NewMaxPool(2, 2), n)
+	n = convBN(n, 256, 3, 1, 1)
+	n = convBN(n, 128, 1, 1, 0)
+	n = convBN(n, 256, 3, 1, 1)
+	n = g.AddLayer(NewMaxPool(2, 2), n)
+	n = convBN(n, 512, 3, 1, 1)
+	n = convBN(n, 256, 1, 1, 0)
+	n = convBN(n, 512, 3, 1, 1)
+	n = convBN(n, 256, 1, 1, 0)
+	passSrc := convBN(n, 512, 3, 1, 1) // 26x26x512 passthrough source
+	n = g.AddLayer(NewMaxPool(2, 2), passSrc)
+	n = convBN(n, 1024, 3, 1, 1)
+	n = convBN(n, 512, 1, 1, 0)
+	n = convBN(n, 1024, 3, 1, 1)
+	n = convBN(n, 512, 1, 1, 0)
+	n = convBN(n, 1024, 3, 1, 1)
+	// Detection head.
+	n = convBN(n, 1024, 3, 1, 1)
+	head := convBN(n, 1024, 3, 1, 1)
+	// Passthrough branch: 1x1 conv then space-to-depth.
+	p := convBN(passSrc, 64, 1, 1, 0)
+	p = g.AddLayer(NewReorg(2), p)
+	cat := g.AddConcat(head, p)
+	n = convBN(cat, 1024, 3, 1, 1)
+	g.AddLayer(NewConv(DetCellDepth*DetBoxesPerCell, 1, 1, 0, Linear, next()), n)
+	return g
+}
+
+// TinyYOLO returns a structurally-YOLO detection network small enough for
+// native execution in tests: a short conv/pool tower ending in the same
+// per-cell detection encoding as YOLOv2. inSize must be a multiple of 16.
+func TinyYOLO(inSize int) *Network {
+	s := int64(200)
+	next := func() int64 { s++; return s }
+	return MustNetwork("tiny-yolo", Shape{C: 1, H: inSize, W: inSize},
+		NewConv(8, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(16, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(32, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(32, 3, 1, 1, Leaky, next()),
+		NewMaxPool(2, 2),
+		NewConv(DetCellDepth, 1, 1, 0, Linear, next()),
+	)
+}
+
+// GOTURNTower returns the paper-scale convolutional feature tower of the
+// GOTURN tracker (CaffeNet/AlexNet-style). GOTURN runs this tower twice per
+// tracked object — once on the previous frame's target crop and once on the
+// current frame's search region — then regresses the target box with the FC
+// head. Canonical input is 227×227 RGB.
+func GOTURNTower(inSize int) *Network {
+	s := int64(300)
+	next := func() int64 { s++; return s }
+	return MustNetwork("goturn-tower", Shape{C: 3, H: inSize, W: inSize},
+		NewConv(96, 11, 4, 0, ReLU, next()),
+		NewMaxPool(3, 2),
+		NewConv(256, 5, 1, 2, ReLU, next()),
+		NewMaxPool(3, 2),
+		NewConv(384, 3, 1, 1, ReLU, next()),
+		NewConv(384, 3, 1, 1, ReLU, next()),
+		NewConv(256, 3, 1, 1, ReLU, next()),
+		NewMaxPool(3, 2),
+	)
+}
+
+// GOTURNHead returns the FC regression head consuming the concatenated
+// two-branch tower output. towerOut is the per-branch output shape.
+// The head is FC-dominated (~58M parameters at paper scale), which is why
+// the paper accelerates TRA with an EIE-style FC ASIC.
+func GOTURNHead(towerOut Shape) *Network {
+	s := int64(400)
+	next := func() int64 { s++; return s }
+	concat := Shape{C: 2 * towerOut.Elems(), H: 1, W: 1}
+	return MustNetwork("goturn-head", concat,
+		NewFC(4096, ReLU, next()),
+		NewFC(4096, ReLU, next()),
+		NewFC(4096, ReLU, next()),
+		NewFC(4, Linear, next()),
+	)
+}
+
+// TinyTrackerTower returns a small natively-executable tracker tower. Like
+// its paper-scale counterpart, its convolutional work dominates the
+// tracker's crop/match bookkeeping by a comfortable margin.
+func TinyTrackerTower(inSize int) *Network {
+	s := int64(500)
+	next := func() int64 { s++; return s }
+	return MustNetwork("tiny-tracker-tower", Shape{C: 1, H: inSize, W: inSize},
+		NewConv(16, 5, 2, 2, ReLU, next()),
+		NewMaxPool(2, 2),
+		NewConv(32, 3, 1, 1, ReLU, next()),
+		NewConv(32, 3, 1, 1, ReLU, next()),
+		NewMaxPool(2, 2),
+	)
+}
+
+// TinyTrackerHead returns the FC head matching TinyTrackerTower.
+func TinyTrackerHead(towerOut Shape) *Network {
+	s := int64(600)
+	next := func() int64 { s++; return s }
+	concat := Shape{C: 2 * towerOut.Elems(), H: 1, W: 1}
+	return MustNetwork("tiny-tracker-head", concat,
+		NewFC(64, ReLU, next()),
+		NewFC(4, Linear, next()),
+	)
+}
+
+// TrackerCost returns the aggregate cost of one GOTURN-style tracking
+// inference: two tower passes plus one head pass.
+func TrackerCost(tower, head *Network) Cost {
+	towerCost := tower.Cost()
+	// Two branches share weights, so weight bytes are counted once but
+	// compute and activations twice.
+	double := Cost{
+		MACs:        2 * towerCost.MACs,
+		WeightBytes: towerCost.WeightBytes,
+		ActBytes:    2 * towerCost.ActBytes,
+		ConvMACs:    2 * towerCost.ConvMACs,
+		FCMACs:      2 * towerCost.FCMACs,
+	}
+	return double.Add(head.Cost())
+}

@@ -1,0 +1,604 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adsim/internal/accel"
+	"adsim/internal/constraint"
+	"adsim/internal/pipeline"
+)
+
+// fastOpts keeps unit-test runtime modest while still resolving tails.
+func fastOpts() Options {
+	return Options{Frames: 40000, Seed: 1, NativeFrames: 8}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablate-cameras", "ablate-cooling", "ablate-noise", "ablate-objects", "ablate-reloc",
+		"accuracy", "energy", "fig10", "fig11", "fig12", "fig13", "fig2", "fig6", "fig7",
+		"headline", "platform-analysis", "roofline", "seeds", "storage", "table1", "table2", "table3"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registry %v != %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", fastOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		res, err := Run(id, fastOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.ID() != id {
+			t.Errorf("%s: wrong ID %q", id, res.ID())
+		}
+		if res.Render() == "" {
+			t.Errorf("%s: empty render", id)
+		}
+	}
+	// Spot-check table contents.
+	r1, _ := Run("table1", fastOpts())
+	if !strings.Contains(r1.Render(), "Waymo") {
+		t.Error("table1 missing Waymo")
+	}
+	r2, _ := Run("table2", fastOpts())
+	if !strings.Contains(r2.Render(), "Titan X") {
+		t.Error("table2 missing the GPU")
+	}
+	r3, _ := Run("table3", fastOpts())
+	if !strings.Contains(r3.Render(), "21.97 mW") {
+		t.Error("table3 missing the FE ASIC power")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Run("fig2", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig2Result)
+	if len(f.Rows) != 3 {
+		t.Fatalf("fig2 rows = %d", len(f.Rows))
+	}
+	threeGPU := f.Rows[2]
+	// Paper: 1 kW compute alone → ~6%; aggregate → ~11.5% ("almost
+	// doubled").
+	if math.Abs(threeGPU.ComputeRangePct-6.25) > 1 {
+		t.Errorf("CPU+3GPUs compute range reduction = %.1f%%, want ~6", threeGPU.ComputeRangePct)
+	}
+	if math.Abs(threeGPU.SystemRangePct-11.5) > 1 {
+		t.Errorf("CPU+3GPUs system range reduction = %.1f%%, want ~11.5", threeGPU.SystemRangePct)
+	}
+	for _, row := range f.Rows {
+		if row.SystemRangePct < 1.7*row.ComputeRangePct {
+			t.Errorf("%s: aggregate %.1f%% should nearly double compute-alone %.1f%%",
+				row.Config, row.SystemRangePct, row.ComputeRangePct)
+		}
+	}
+	// Ordering: FPGA < GPU < 3GPUs.
+	if !(f.Rows[0].SystemW < f.Rows[1].SystemW && f.Rows[1].SystemW < f.Rows[2].SystemW) {
+		t.Error("fig2 power ordering broken")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Run("fig6", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig6Result)
+	if len(f.Rows) != 5 {
+		t.Fatalf("fig6 rows = %d", len(f.Rows))
+	}
+	byName := map[string]Fig6Row{}
+	for _, row := range f.Rows {
+		byName[row.Component] = row
+	}
+	// The three bottlenecks each exceed 100 ms on CPU; fusion/motplan are
+	// sub-millisecond.
+	for _, name := range []string{"DET", "TRA", "LOC"} {
+		if byName[name].P9999 < constraint.MaxTailLatencyMs {
+			t.Errorf("%s tail %.1f should exceed 100 ms on CPU", name, byName[name].P9999)
+		}
+	}
+	if byName["FUSION"].Mean > 1 || byName["MOTPLAN"].Mean > 2 {
+		t.Error("fusion/motplan should be sub-millisecond-scale")
+	}
+	// Measured values track the paper's calibration points.
+	for _, name := range []string{"DET", "TRA", "LOC"} {
+		row := byName[name]
+		if math.Abs(row.Mean-row.PaperMean)/row.PaperMean > 0.08 {
+			t.Errorf("%s mean %.1f vs paper %.1f", name, row.Mean, row.PaperMean)
+		}
+		if math.Abs(row.P9999-row.PaperTail)/row.PaperTail > 0.15 {
+			t.Errorf("%s tail %.1f vs paper %.1f", name, row.P9999, row.PaperTail)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Run("fig7", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig7Result)
+	if len(f.Rows) != 3 {
+		t.Fatalf("fig7 rows = %d", len(f.Rows))
+	}
+	for _, row := range f.Rows {
+		// The reproduced claim: the hot kernel dominates each engine.
+		if row.HotShare < 0.5 {
+			t.Errorf("%s %s share = %.2f; kernel should dominate", row.Engine, row.HotLabel, row.HotShare)
+		}
+		if row.HotShare > 1 {
+			t.Errorf("%s share %.2f > 1", row.Engine, row.HotShare)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, err := Run("fig10", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig10Result)
+	if len(f.Cells) != 12 {
+		t.Fatalf("fig10 cells = %d", len(f.Cells))
+	}
+	for _, c := range f.Cells {
+		if math.Abs(c.Mean-c.PaperMean)/c.PaperMean > 0.08 {
+			t.Errorf("%v/%v mean %.1f vs paper %.1f", c.Platform, c.Engine, c.Mean, c.PaperMean)
+		}
+		if math.Abs(c.Tail-c.PaperTail)/c.PaperTail > 0.15 {
+			t.Errorf("%v/%v tail %.1f vs paper %.1f", c.Platform, c.Engine, c.Tail, c.PaperTail)
+		}
+	}
+	// Finding 1 shape: GPU beats CPU by orders of magnitude on DET/TRA;
+	// FPGA DET/TRA still miss the 100 ms constraint.
+	if f.cell(accel.GPU, accel.DET).Mean > f.cell(accel.CPU, accel.DET).Mean/100 {
+		t.Error("GPU DET should be >100x faster than CPU")
+	}
+	if f.cell(accel.FPGA, accel.DET).Mean < 100 || f.cell(accel.FPGA, accel.TRA).Mean < 100 {
+		t.Error("FPGA DET/TRA should exceed 100 ms (the paper's DSP-count finding)")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Run("fig11", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig11Result)
+	if len(f.Rows) != 17 {
+		t.Fatalf("fig11 rows = %d, want 17", len(f.Rows))
+	}
+	// The paper's observation: some configs pass on mean yet fail on tail
+	// (e.g. DET/TRA on GPU with LOC on CPU).
+	if f.MeanPassTailFail() == 0 {
+		t.Error("no mean-pass/tail-fail configurations; predictability finding lost")
+	}
+	// CPU-only is seconds; the best config is ~16 ms.
+	var cpuRow, bestRow Fig11Row
+	for _, row := range f.Rows {
+		if row.Assignment == pipeline.Uniform(accel.CPU) {
+			cpuRow = row
+		}
+		if row.Assignment == (pipeline.Assignment{Det: accel.GPU, Tra: accel.ASIC, Loc: accel.ASIC}) {
+			bestRow = row
+		}
+	}
+	if math.Abs(cpuRow.Mean-7950) > 300 || math.Abs(cpuRow.Tail-9100) > 500 {
+		t.Errorf("CPU row = %.0f/%.0f, want ~7950/~9100", cpuRow.Mean, cpuRow.Tail)
+	}
+	if math.Abs(bestRow.Tail-16.1) > 2 {
+		t.Errorf("best config tail = %.1f, want ~16.1", bestRow.Tail)
+	}
+	if !bestRow.MeetsTail {
+		t.Error("best config should meet the tail constraint")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Run("fig12", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig12Result)
+	allGPU := f.Row(pipeline.Uniform(accel.GPU))
+	allASIC := f.Row(pipeline.Uniform(accel.ASIC))
+	allFPGA := f.Row(pipeline.Uniform(accel.FPGA))
+	// Paper: GPU-everything cuts range by up to ~12%; ASICs keep it low
+	// (~2%); GPUs draw >1 kW end-to-end.
+	if allGPU.RangePct < 10 || allGPU.RangePct > 16 {
+		t.Errorf("all-GPU range reduction = %.1f%%, want 10-16", allGPU.RangePct)
+	}
+	if allASIC.RangePct > 5 {
+		t.Errorf("all-ASIC range reduction = %.1f%%, want <5", allASIC.RangePct)
+	}
+	if allGPU.SystemW < 1000 {
+		t.Errorf("all-GPU system power = %.0f W, want >1000", allGPU.SystemW)
+	}
+	if !(allASIC.RangePct < allFPGA.RangePct && allFPGA.RangePct < allGPU.RangePct) {
+		t.Error("range-reduction ordering ASIC < FPGA < GPU broken")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	opts := fastOpts()
+	opts.Frames = 40000
+	res, err := Run("fig13", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.(Fig13Result)
+	if len(f.Resolutions) != 5 {
+		t.Fatalf("fig13 resolutions = %d", len(f.Resolutions))
+	}
+	// Paper: some configurations meet the constraint at FHD; none at QHD.
+	fhdIdx, qhdIdx := 3, 4
+	if !f.MeetsAt(fhdIdx) {
+		t.Error("no configuration meets 100 ms at FHD; paper says some do")
+	}
+	if f.MeetsAt(qhdIdx) {
+		t.Error("a configuration meets 100 ms at QHD; paper says none can")
+	}
+	// Latency is monotone in resolution for every series.
+	for _, s := range f.Series {
+		for i := 1; i < len(s.TailMs); i++ {
+			if s.TailMs[i] < s.TailMs[i-1]*0.95 {
+				t.Errorf("%s: tail not monotone across resolutions: %v", s.Assignment.Short(), s.TailMs)
+			}
+		}
+	}
+}
+
+func TestHeadlineShape(t *testing.T) {
+	res, err := Run("headline", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.(HeadlineResult)
+	for _, row := range h.Rows {
+		tol := 0.12 * row.Paper
+		if math.Abs(row.Reduction-row.Paper) > tol {
+			t.Errorf("%v reduction = %.1fx, paper %.0fx", row.Platform, row.Reduction, row.Paper)
+		}
+	}
+	if math.Abs(h.BestMixedTail-16.1) > 2 {
+		t.Errorf("best mixed tail = %.1f, want ~16.1", h.BestMixedTail)
+	}
+}
+
+func TestAllRendersNonEmpty(t *testing.T) {
+	results, err := RunAll(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("RunAll returned %d results for %d experiments", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if r.Render() == "" {
+			t.Errorf("%s: empty render", r.ID())
+		}
+	}
+}
+
+func TestAblateNoiseShape(t *testing.T) {
+	res, err := Run("ablate-noise", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.(AblateNoiseResult)
+	// Shared noise must land near the component-tail sum; independent
+	// noise must under-shoot it.
+	if math.Abs(a.SharedTailMs-a.ComponentTailSum)/a.ComponentTailSum > 0.05 {
+		t.Errorf("shared tail %.0f should approximate component sum %.0f",
+			a.SharedTailMs, a.ComponentTailSum)
+	}
+	if a.IndependentTailMs >= a.SharedTailMs {
+		t.Errorf("independent tail %.0f should undershoot shared %.0f",
+			a.IndependentTailMs, a.SharedTailMs)
+	}
+}
+
+func TestAblateRelocShape(t *testing.T) {
+	res, err := Run("ablate-reloc", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.(AblateRelocResult)
+	if len(a.Rows) != 4 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	never, frequent := a.Rows[0], a.Rows[3]
+	// Means stay within a few ms of each other; tails diverge hugely.
+	if math.Abs(frequent.MeanMs-never.MeanMs) > 5 {
+		t.Errorf("means diverged: %.1f vs %.1f", never.MeanMs, frequent.MeanMs)
+	}
+	if frequent.TailMs < 3*never.TailMs {
+		t.Errorf("reloc tail %.1f should dwarf no-reloc tail %.1f",
+			frequent.TailMs, never.TailMs)
+	}
+	// Any reloc rate above 1/10000 pins the tail at the wide-search cost.
+	if math.Abs(a.Rows[1].TailMs-a.Rows[3].TailMs) > 1 {
+		t.Error("tail should be rate-insensitive once spikes clear the quantile")
+	}
+}
+
+func TestAblateCoolingShape(t *testing.T) {
+	res, err := Run("ablate-cooling", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.(AblateCoolingResult)
+	for _, row := range a.Rows {
+		if row.Magnification < 1.5 || row.Magnification > 2.0 {
+			t.Errorf("%s: cooling magnification %.2f outside [1.5,2.0]",
+				row.Assignment.Short(), row.Magnification)
+		}
+	}
+}
+
+func TestStorageShape(t *testing.T) {
+	res, err := Run("storage", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.(StorageResult)
+	if st.Keyframes == 0 || st.MapBytes == 0 {
+		t.Fatal("empty survey")
+	}
+	// The from-scratch extrapolation must land within an order of
+	// magnitude of the paper's 41 TB.
+	if st.USExtrapolation < st.PaperTB/10 || st.USExtrapolation > st.PaperTB*10 {
+		t.Errorf("US extrapolation %.1f TB not within 10x of the paper's %.0f TB",
+			st.USExtrapolation, st.PaperTB)
+	}
+}
+
+func TestPlatformAnalysisShape(t *testing.T) {
+	res, err := Run("platform-analysis", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := res.(PlatformAnalysisResult)
+	if len(pa.Rows) != 12 {
+		t.Fatalf("rows = %d", len(pa.Rows))
+	}
+	get := func(p accel.Platform, e accel.Engine) PlatformAnalysisRow {
+		for _, r := range pa.Rows {
+			if r.Platform == p && r.Engine == e {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%v", p, e)
+		return PlatformAnalysisRow{}
+	}
+	// GPU DET efficiency in the plausible cuDNN band.
+	if eff := get(accel.GPU, accel.DET).Efficiency; eff < 0.1 || eff > 0.6 {
+		t.Errorf("GPU DET implied efficiency %.2f outside [0.1,0.6]", eff)
+	}
+	// CPU efficiency is very low (the paper's framework overheads).
+	if eff := get(accel.CPU, accel.DET).Efficiency; eff > 0.05 {
+		t.Errorf("CPU DET implied efficiency %.3f too high", eff)
+	}
+	// FPGA DET is DSP-bound below peak.
+	if eff := get(accel.FPGA, accel.DET).Efficiency; eff >= 1 {
+		t.Errorf("FPGA DET efficiency %.2f should be <1", eff)
+	}
+	// The extrapolated TRA ASIC implies multiple EIE-grade units.
+	if eff := get(accel.ASIC, accel.TRA).Efficiency; eff <= 1 {
+		t.Errorf("ASIC TRA implied units %.2f should exceed 1 (extrapolated design)", eff)
+	}
+}
+
+func TestRooflineShape(t *testing.T) {
+	res, err := Run("roofline", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.(RooflineResult)
+	if len(r.Summaries) != 12 {
+		t.Fatalf("summaries = %d, want 3 networks x 4 platforms", len(r.Summaries))
+	}
+	find := func(net string, p accel.Platform) accel.NetworkSummary {
+		for _, s := range r.Summaries {
+			if s.Network == net && s.Platform == p {
+				return s
+			}
+		}
+		t.Fatalf("missing %s/%v", net, p)
+		return accel.NetworkSummary{}
+	}
+	// YOLOv2's conv stack is compute-dominated on the GPU.
+	if share := find("yolov2", accel.GPU).MemoryBoundShare(); share > 0.3 {
+		t.Errorf("YOLOv2 on GPU %.0f%% memory-bound; conv should be compute-bound", 100*share)
+	}
+	// GOTURN's FC head is memory-bound everywhere general-purpose.
+	for _, p := range []accel.Platform{accel.CPU, accel.GPU, accel.FPGA} {
+		if share := find("goturn-head", p).MemoryBoundShare(); share < 0.9 {
+			t.Errorf("GOTURN head on %v only %.0f%% memory-bound", p, 100*share)
+		}
+	}
+	// The FPGA, with its 6.4 GB/s link, is the most memory-bound platform
+	// for YOLOv2.
+	if find("yolov2", accel.FPGA).MemoryBoundShare() <= find("yolov2", accel.GPU).MemoryBoundShare() {
+		t.Error("FPGA should be more memory-bound than GPU on YOLOv2")
+	}
+}
+
+func TestAblateCamerasShape(t *testing.T) {
+	res, err := Run("ablate-cameras", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.(AblateCamerasResult)
+	if len(a.Rows) != 16 {
+		t.Fatalf("rows = %d, want 4 configs x 4 camera counts", len(a.Rows))
+	}
+	find := func(asn pipeline.Assignment, cams int) AblateCamerasRow {
+		for _, r := range a.Rows {
+			if r.Assignment == asn && r.Cameras == cams {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%d", asn.Short(), cams)
+		return AblateCamerasRow{}
+	}
+	cpu := pipeline.Assignment{Det: accel.CPU, Tra: accel.CPU, Loc: accel.ASIC}
+	asic := pipeline.Uniform(accel.ASIC)
+	// CPU-jitter tail inflates with camera count; ASIC pays nothing.
+	if find(cpu, 8).InflationPct < 2 {
+		t.Errorf("CPU 8-camera inflation %.1f%% too small", find(cpu, 8).InflationPct)
+	}
+	if abs := find(asic, 8).InflationPct; abs > 0.5 || abs < -0.5 {
+		t.Errorf("ASIC 8-camera inflation %.1f%% should be ~0", abs)
+	}
+	// Inflation grows with camera count on the jittery platform.
+	if find(cpu, 8).TailMs < find(cpu, 2).TailMs {
+		t.Error("CPU tail should grow with camera count")
+	}
+}
+
+func TestEnergyShape(t *testing.T) {
+	res, err := Run("energy", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := res.(EnergyResult)
+	if len(en.Rows) != 12 {
+		t.Fatalf("rows = %d", len(en.Rows))
+	}
+	j := func(p accel.Platform, e accel.Engine) float64 { return en.joules(p, e) }
+	// The crossover the experiment exists to show: GPU beats the slow CNN
+	// ASIC on DET energy, while the TRA/LOC ASICs win by large factors.
+	if j(accel.GPU, accel.DET) >= j(accel.ASIC, accel.DET) {
+		t.Errorf("GPU DET energy %.3f should beat ASIC %.3f", j(accel.GPU, accel.DET), j(accel.ASIC, accel.DET))
+	}
+	if j(accel.ASIC, accel.TRA)*10 > j(accel.GPU, accel.TRA) {
+		t.Error("TRA ASIC should win energy by >10x")
+	}
+	if j(accel.ASIC, accel.LOC)*100 > j(accel.GPU, accel.LOC) {
+		t.Error("LOC ASIC should win energy by >100x")
+	}
+	// CPUs lose everywhere.
+	for _, e := range accel.Engines() {
+		if j(accel.CPU, e) < j(accel.GPU, e) {
+			t.Errorf("CPU should lose energy on %v", e)
+		}
+	}
+}
+
+func TestAblateObjectsShape(t *testing.T) {
+	res, err := Run("ablate-objects", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.(AblateObjectsResult)
+	if len(a.Rows) != 15 {
+		t.Fatalf("rows = %d, want 3 configs x 5 counts", len(a.Rows))
+	}
+	gpuTra := pipeline.Assignment{Det: accel.GPU, Tra: accel.GPU, Loc: accel.ASIC}
+	asicTra := pipeline.Assignment{Det: accel.GPU, Tra: accel.ASIC, Loc: accel.ASIC}
+	// The FC ASIC sustains strictly more tracked objects under the
+	// deadline than the GPU tracker.
+	if a.MaxObjectsUnderDeadline(asicTra) <= a.MaxObjectsUnderDeadline(gpuTra) {
+		t.Errorf("ASIC TRA sustains %d objects, GPU TRA %d — ASIC should win",
+			a.MaxObjectsUnderDeadline(asicTra), a.MaxObjectsUnderDeadline(gpuTra))
+	}
+	// GPU tracking fails the deadline before 32 objects.
+	if a.MaxObjectsUnderDeadline(gpuTra) >= 32 {
+		t.Error("GPU TRA should blow the deadline within the sweep")
+	}
+	// Tails grow monotonically with object count.
+	for _, cfgA := range []pipeline.Assignment{gpuTra, asicTra} {
+		var prev float64
+		for _, row := range a.Rows {
+			if row.Assignment != cfgA {
+				continue
+			}
+			if row.TailMs < prev*0.98 {
+				t.Errorf("%s: tail not monotone in objects", cfgA.Short())
+			}
+			prev = row.TailMs
+		}
+	}
+}
+
+func TestAccuracyShape(t *testing.T) {
+	res, err := Run("accuracy", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := res.(AccuracyResult)
+	if len(acc.Rows) != 5 {
+		t.Fatalf("rows = %d", len(acc.Rows))
+	}
+	first, last := acc.Rows[0], acc.Rows[len(acc.Rows)-1]
+	// Recall grows with resolution until the scenario saturates (the
+	// Fig 13 premise), and never regresses.
+	if last.Recall <= first.Recall {
+		t.Errorf("QHD recall %.2f should exceed HHD %.2f", last.Recall, first.Recall)
+	}
+	for i := 1; i < len(acc.Rows); i++ {
+		if acc.Rows[i].Recall < acc.Rows[i-1].Recall-1e-9 {
+			t.Errorf("recall regressed at %s", acc.Rows[i].Res.Name)
+		}
+	}
+	if last.MaxRangeM < first.MaxRangeM {
+		t.Errorf("QHD range %.1f m should not trail HHD %.1f m", last.MaxRangeM, first.MaxRangeM)
+	}
+	for _, row := range acc.Rows {
+		if row.Truths == 0 {
+			t.Fatalf("%s: no ground truth evaluated", row.Res.Name)
+		}
+		if row.Recall < 0.4 {
+			t.Errorf("%s: recall %.2f implausibly low", row.Res.Name, row.Recall)
+		}
+	}
+}
+
+func TestSeedsShape(t *testing.T) {
+	res, err := Run("seeds", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := res.(SeedsResult)
+	if len(sd.Rows) != 4 || len(sd.Seeds) != 5 {
+		t.Fatalf("rows=%d seeds=%d", len(sd.Rows), len(sd.Seeds))
+	}
+	for _, row := range sd.Rows {
+		if len(row.TailsMs) != 5 {
+			t.Fatalf("%s: %d tails", row.Assignment.Short(), len(row.TailsMs))
+		}
+		if row.MinMs <= 0 || row.MaxMs < row.MinMs {
+			t.Fatalf("%s: bad min/max %.1f/%.1f", row.Assignment.Short(), row.MinMs, row.MaxMs)
+		}
+		// The conclusions must be seed-robust: spread stays in single
+		// digits of percent.
+		if row.SpreadPct > 10 {
+			t.Errorf("%s: seed spread %.1f%% too large", row.Assignment.Short(), row.SpreadPct)
+		}
+	}
+	// Fixed-latency ASIC tails are exactly seed-invariant... except for
+	// the sub-ms fusion/motplan jitter; allow a tiny spread.
+	for _, row := range sd.Rows {
+		if row.Assignment == pipeline.Uniform(accel.ASIC) && row.SpreadPct > 1 {
+			t.Errorf("ASIC seed spread %.2f%% should be ~0", row.SpreadPct)
+		}
+	}
+}

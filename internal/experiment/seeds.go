@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"adsim/internal/accel"
+	"adsim/internal/pipeline"
+)
+
+func init() { register("seeds", runSeeds) }
+
+// SeedsRow summarizes one configuration's key metric across seeds.
+type SeedsRow struct {
+	Assignment pipeline.Assignment
+	// TailsMs holds the end-to-end P99.99 for each seed.
+	TailsMs []float64
+	MinMs   float64
+	MaxMs   float64
+	// SpreadPct is (max-min)/min.
+	SpreadPct float64
+}
+
+// SeedsResult is an extension experiment: every reported number in this
+// reproduction is deterministic for a given seed, so this driver re-runs
+// the headline configurations across several seeds and reports the spread —
+// the reproduction's own error bars. Tails driven by fixed-latency designs
+// or constant relocalization costs have near-zero spread; jitter-driven
+// tails vary by a few percent.
+type SeedsResult struct {
+	Seeds []int64
+	Rows  []SeedsRow
+}
+
+func (SeedsResult) ID() string { return "seeds" }
+
+func (r SeedsResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("seeds", "Seed robustness of the key results (extension)"))
+	fmt.Fprintf(&b, "seeds: %v\n\n", r.Seeds)
+	fmt.Fprintf(&b, "%-18s %12s %12s %10s\n", "DET/TRA/LOC", "min tail ms", "max tail ms", "spread")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %12.1f %12.1f %9.2f%%\n",
+			row.Assignment.Short(), row.MinMs, row.MaxMs, row.SpreadPct)
+	}
+	b.WriteString("\nEvery figure in this reproduction is deterministic per seed; the\n")
+	b.WriteString("spread above bounds the sampling sensitivity of the conclusions.\n")
+	return b.String()
+}
+
+func runSeeds(opts Options) (Result, error) {
+	m := accel.NewModel()
+	seeds := []int64{opts.Seed, opts.Seed + 101, opts.Seed + 202, opts.Seed + 303, opts.Seed + 404}
+	configs := []pipeline.Assignment{
+		pipeline.Uniform(accel.CPU),
+		pipeline.Uniform(accel.GPU),
+		pipeline.Uniform(accel.ASIC),
+		{Det: accel.GPU, Tra: accel.ASIC, Loc: accel.ASIC},
+	}
+	res := SeedsResult{Seeds: seeds}
+	for _, a := range configs {
+		row := SeedsRow{Assignment: a}
+		for _, seed := range seeds {
+			sim, err := pipeline.Simulate(m, pipeline.SimConfig{
+				Assignment: a, Frames: opts.Frames, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.TailsMs = append(row.TailsMs, sim.E2E.P9999())
+		}
+		row.MinMs, row.MaxMs = row.TailsMs[0], row.TailsMs[0]
+		for _, v := range row.TailsMs[1:] {
+			if v < row.MinMs {
+				row.MinMs = v
+			}
+			if v > row.MaxMs {
+				row.MaxMs = v
+			}
+		}
+		row.SpreadPct = 100 * (row.MaxMs - row.MinMs) / row.MinMs
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

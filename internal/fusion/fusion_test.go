@@ -1,0 +1,213 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adsim/internal/img"
+	"adsim/internal/scene"
+)
+
+func testEngine(t *testing.T) (*Engine, scene.Camera) {
+	t.Helper()
+	cam := scene.StandardCamera(640, 360)
+	e, err := New(cam, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, cam
+}
+
+func TestNewValidation(t *testing.T) {
+	cam := scene.StandardCamera(640, 360)
+	if _, err := New(scene.Camera{}, 10); err == nil {
+		t.Error("zero camera accepted")
+	}
+	if _, err := New(cam, 0); err == nil {
+		t.Error("zero fps accepted")
+	}
+}
+
+func TestClassHeight(t *testing.T) {
+	if ClassHeight(scene.Pedestrian) != 1.75 {
+		t.Error("pedestrian height prior wrong")
+	}
+	if ClassHeight(scene.Class(99)) != 1.5 {
+		t.Error("unknown class should default to vehicle height")
+	}
+}
+
+// projectTruth renders the box a vehicle of height hm at (relX, depth)
+// would produce under cam, mirroring the scene generator's projection.
+func projectTruth(cam scene.Camera, relX, depth, wm, hm float64) img.Rect {
+	u0, v0, _ := cam.Project(relX-wm/2, hm, depth)
+	u1, v1, _ := cam.Project(relX+wm/2, 0, depth)
+	return img.Rect{X0: u0, Y0: v0, X1: u1, Y1: v1}
+}
+
+func TestFuseRecoversDepthAndPosition(t *testing.T) {
+	e, cam := testEngine(t)
+	relX, depth := 2.0, 20.0
+	box := projectTruth(cam, relX, depth, 1.8, 1.5)
+	f := e.Fuse(scene.Pose{X: 0, Z: 0}, []TrackedObject{
+		{ID: 1, Class: scene.Vehicle, Box: box},
+	})
+	if len(f.Objects) != 1 {
+		t.Fatal("object dropped")
+	}
+	o := f.Objects[0]
+	if math.Abs(o.Depth-depth) > 0.5 {
+		t.Errorf("depth = %.2f, want %.2f", o.Depth, depth)
+	}
+	if math.Abs(o.X-relX) > 0.3 {
+		t.Errorf("world X = %.2f, want %.2f", o.X, relX)
+	}
+	if math.Abs(o.Z-depth) > 0.5 {
+		t.Errorf("world Z = %.2f, want %.2f", o.Z, depth)
+	}
+	if math.Abs(o.Width-1.8) > 0.3 {
+		t.Errorf("width = %.2f, want 1.8", o.Width)
+	}
+}
+
+func TestFuseTranslatesWithEgoPose(t *testing.T) {
+	e, cam := testEngine(t)
+	box := projectTruth(cam, 0, 15, 1.8, 1.5)
+	f := e.Fuse(scene.Pose{X: -1.75, Z: 100}, []TrackedObject{
+		{ID: 1, Class: scene.Vehicle, Box: box},
+	})
+	o := f.Objects[0]
+	if math.Abs(o.Z-115) > 0.5 {
+		t.Errorf("world Z = %.2f, want 115", o.Z)
+	}
+	if math.Abs(o.X-(-1.75)) > 0.3 {
+		t.Errorf("world X = %.2f, want -1.75", o.X)
+	}
+}
+
+func TestFuseRotatesWithHeading(t *testing.T) {
+	e, cam := testEngine(t)
+	box := projectTruth(cam, 0, 10, 1.8, 1.5)
+	// Heading 90° right: an object dead ahead in camera frame sits at +X
+	// in the world frame.
+	f := e.Fuse(scene.Pose{Theta: math.Pi / 2}, []TrackedObject{
+		{ID: 1, Class: scene.Vehicle, Box: box},
+	})
+	o := f.Objects[0]
+	if math.Abs(o.X-10) > 0.5 || math.Abs(o.Z) > 0.5 {
+		t.Errorf("rotated object at (%.2f, %.2f), want (10, 0)", o.X, o.Z)
+	}
+}
+
+func TestFuseNearerObjectsLargerBoxes(t *testing.T) {
+	e, cam := testEngine(t)
+	near := projectTruth(cam, 0, 8, 1.8, 1.5)
+	far := projectTruth(cam, 0, 40, 1.8, 1.5)
+	f := e.Fuse(scene.Pose{}, []TrackedObject{
+		{ID: 1, Class: scene.Vehicle, Box: near},
+		{ID: 2, Class: scene.Vehicle, Box: far},
+	})
+	if f.Objects[0].Depth >= f.Objects[1].Depth {
+		t.Error("bigger box should be nearer")
+	}
+}
+
+func TestFuseVelocity(t *testing.T) {
+	e, cam := testEngine(t)
+	depth := 20.0
+	box := projectTruth(cam, 0, depth, 1.8, 1.5)
+	// 5 px/frame rightward at 20 m and 10 fps.
+	f := e.Fuse(scene.Pose{}, []TrackedObject{
+		{ID: 1, Class: scene.Vehicle, Box: box, VX: 5},
+	})
+	wantVX := 5 * depth / cam.FocalPx * 10
+	if math.Abs(f.Objects[0].VX-wantVX) > 0.2 {
+		t.Errorf("VX = %.2f, want %.2f", f.Objects[0].VX, wantVX)
+	}
+}
+
+func TestFuseSkipsDegenerateBoxes(t *testing.T) {
+	e, _ := testEngine(t)
+	f := e.Fuse(scene.Pose{}, []TrackedObject{
+		{ID: 1, Class: scene.Vehicle, Box: img.Rect{}},
+	})
+	if len(f.Objects) != 0 {
+		t.Error("degenerate box not skipped")
+	}
+}
+
+func TestFuseEmptyInput(t *testing.T) {
+	e, _ := testEngine(t)
+	f := e.Fuse(scene.Pose{Z: 5}, nil)
+	if len(f.Objects) != 0 || f.EgoPose.Z != 5 {
+		t.Error("empty fuse wrong")
+	}
+}
+
+// Property: fused depth is always positive and decreases as box height
+// grows.
+func TestFuseDepthMonotoneProperty(t *testing.T) {
+	e, _ := testEngine(t)
+	f := func(h1Raw, h2Raw uint8) bool {
+		h1 := float64(h1Raw%100) + 5
+		h2 := float64(h2Raw%100) + 5
+		if h1 == h2 {
+			return true
+		}
+		mk := func(h float64) WorldObject {
+			fr := e.Fuse(scene.Pose{}, []TrackedObject{
+				{ID: 1, Class: scene.Vehicle, Box: img.RectWH(300, 100, h*1.2, h)},
+			})
+			return fr.Objects[0]
+		}
+		a, b := mk(h1), mk(h2)
+		if a.Depth <= 0 || b.Depth <= 0 {
+			return false
+		}
+		return (h1 > h2) == (a.Depth < b.Depth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// End-to-end consistency: fuse ground-truth boxes from the scene generator
+// and compare against the generator's world state.
+func TestFuseAgainstSceneGroundTruth(t *testing.T) {
+	cfg := scene.DefaultConfig(scene.Urban)
+	cfg.Width, cfg.Height = 640, 360
+	gen, _ := scene.New(cfg)
+	e, err := New(gen.Camera(), cfg.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		frame := gen.Step()
+		var tracked []TrackedObject
+		for _, tr := range frame.Truth {
+			if tr.Box.Area() < 150 || tr.Box.X0 <= 1 || tr.Box.X1 >= float64(cfg.Width)-1 ||
+				tr.Box.Y1 >= float64(cfg.Height)-1 {
+				continue // clipped boxes break the height prior
+			}
+			tracked = append(tracked, TrackedObject{ID: tr.ID, Class: tr.Class, Box: tr.Box})
+		}
+		fused := e.Fuse(frame.EgoPose, tracked)
+		for j, o := range fused.Objects {
+			truthDepth := 0.0
+			for _, tr := range frame.Truth {
+				if tr.ID == o.ID {
+					truthDepth = tr.Depth
+					break
+				}
+			}
+			if truthDepth == 0 {
+				t.Fatalf("frame %d: fused object %d has no truth", i, j)
+			}
+			if relErr := math.Abs(o.Depth-truthDepth) / truthDepth; relErr > 0.25 {
+				t.Errorf("frame %d: object %d depth %.1f vs truth %.1f (rel %.2f)",
+					i, o.ID, o.Depth, truthDepth, relErr)
+			}
+		}
+	}
+}

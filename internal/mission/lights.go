@@ -1,0 +1,86 @@
+package mission
+
+import (
+	"fmt"
+	"math"
+)
+
+// LightPhase is a traffic light's current state.
+type LightPhase int
+
+const (
+	// Green allows passage.
+	Green LightPhase = iota
+	// Red requires a stop at the intersection's stop line.
+	Red
+)
+
+func (p LightPhase) String() string {
+	if p == Green {
+		return "green"
+	}
+	return "red"
+}
+
+// TrafficLight is a fixed-cycle signal at a road-graph node: GreenSec of
+// green followed by RedSec of red, phase-shifted by OffsetSec. The rule
+// engine evaluates it against the pipeline clock, so the motion planner
+// sees a stop requirement appear and disappear over time.
+type TrafficLight struct {
+	GreenSec  float64
+	RedSec    float64
+	OffsetSec float64
+}
+
+// PhaseAt returns the light's phase at time t (seconds).
+func (l TrafficLight) PhaseAt(t float64) LightPhase {
+	cycle := l.GreenSec + l.RedSec
+	if cycle <= 0 {
+		return Green
+	}
+	pos := math.Mod(t+l.OffsetSec, cycle)
+	if pos < 0 {
+		pos += cycle
+	}
+	if pos < l.GreenSec {
+		return Green
+	}
+	return Red
+}
+
+// TimeToGreen returns how long after t the light next turns (or stays)
+// green; 0 when it is green now.
+func (l TrafficLight) TimeToGreen(t float64) float64 {
+	if l.PhaseAt(t) == Green {
+		return 0
+	}
+	cycle := l.GreenSec + l.RedSec
+	pos := math.Mod(t+l.OffsetSec, cycle)
+	if pos < 0 {
+		pos += cycle
+	}
+	return cycle - pos
+}
+
+// AddLight installs a traffic light at a node. Lights and static stop lines
+// compose: a leg requires a stop when it has StopAtEnd or its end node's
+// light is red at evaluation time.
+func (g *Graph) AddLight(node NodeID, l TrafficLight) error {
+	if _, ok := g.nodes[node]; !ok {
+		return fmt.Errorf("mission: light at unknown node %d", node)
+	}
+	if l.GreenSec < 0 || l.RedSec < 0 || l.GreenSec+l.RedSec <= 0 {
+		return fmt.Errorf("mission: invalid light cycle %+v", l)
+	}
+	if g.lights == nil {
+		g.lights = make(map[NodeID]TrafficLight)
+	}
+	g.lights[node] = l
+	return nil
+}
+
+// LightAt returns the light installed at a node, if any.
+func (g *Graph) LightAt(node NodeID) (TrafficLight, bool) {
+	l, ok := g.lights[node]
+	return l, ok
+}

@@ -1,0 +1,143 @@
+package mission
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLightPhases(t *testing.T) {
+	l := TrafficLight{GreenSec: 20, RedSec: 10}
+	cases := []struct {
+		t    float64
+		want LightPhase
+	}{
+		{0, Green}, {19.9, Green}, {20, Red}, {29.9, Red}, {30, Green}, {50, Red},
+	}
+	for _, c := range cases {
+		if got := l.PhaseAt(c.t); got != c.want {
+			t.Errorf("PhaseAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if Green.String() != "green" || Red.String() != "red" {
+		t.Error("phase strings wrong")
+	}
+}
+
+func TestLightOffsetAndNegativeTime(t *testing.T) {
+	l := TrafficLight{GreenSec: 10, RedSec: 10, OffsetSec: 10}
+	if l.PhaseAt(0) != Red {
+		t.Error("offset should shift the cycle")
+	}
+	l2 := TrafficLight{GreenSec: 10, RedSec: 10}
+	if l2.PhaseAt(-5) != Red {
+		t.Error("negative time should wrap into the cycle (t=-5 ≡ 15: red)")
+	}
+	// Degenerate cycle: always green.
+	if (TrafficLight{}).PhaseAt(123) != Green {
+		t.Error("zero cycle should be green")
+	}
+}
+
+func TestTimeToGreen(t *testing.T) {
+	l := TrafficLight{GreenSec: 20, RedSec: 10}
+	if l.TimeToGreen(5) != 0 {
+		t.Error("green now should report 0")
+	}
+	if got := l.TimeToGreen(25); math.Abs(got-5) > 1e-9 {
+		t.Errorf("TimeToGreen(25) = %v, want 5", got)
+	}
+}
+
+// Property: phase and TimeToGreen are consistent — advancing by
+// TimeToGreen always lands on green.
+func TestTimeToGreenProperty(t *testing.T) {
+	f := func(g8, r8, t8 uint8) bool {
+		l := TrafficLight{GreenSec: float64(g8%30) + 1, RedSec: float64(r8%30) + 1}
+		now := float64(t8)
+		return l.PhaseAt(now+l.TimeToGreen(now)) == Green
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddLightValidation(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{ID: 1})
+	if err := g.AddLight(99, TrafficLight{GreenSec: 1, RedSec: 1}); err == nil {
+		t.Error("light at unknown node accepted")
+	}
+	if err := g.AddLight(1, TrafficLight{}); err == nil {
+		t.Error("zero-cycle light accepted")
+	}
+	if err := g.AddLight(1, TrafficLight{GreenSec: 5, RedSec: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.LightAt(1); !ok {
+		t.Error("installed light not found")
+	}
+	if _, ok := g.LightAt(2); ok {
+		t.Error("phantom light")
+	}
+}
+
+func TestGuidanceReflectsLightPhase(t *testing.T) {
+	g := lineGraph(t, 3, Arterial)
+	if err := g.AddLight(1, TrafficLight{GreenSec: 10, RedSec: 10}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPlanner(g)
+	if err := p.Start(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// During green: no stop.
+	guid, err := p.UpdateAt(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guid.StopAhead || guid.LightRed {
+		t.Errorf("green phase produced stop guidance: %+v", guid)
+	}
+	// During red: stop with countdown.
+	guid, _ = p.UpdateAt(0, 11, 15)
+	if !guid.StopAhead || !guid.LightRed {
+		t.Fatalf("red phase missing stop guidance: %+v", guid)
+	}
+	if math.Abs(guid.TimeToGreen-5) > 1e-9 {
+		t.Errorf("TimeToGreen = %v, want 5", guid.TimeToGreen)
+	}
+	// Static Update() evaluates at t=0 (green).
+	if guid, _ := p.Update(0, 12); guid.LightRed {
+		t.Error("Update() should evaluate lights at t=0")
+	}
+}
+
+// Property: guidance invariants hold for arbitrary positions and times —
+// non-negative speed limit and TimeToGreen, LightRed implies StopAhead.
+func TestGuidanceInvariantsProperty(t *testing.T) {
+	g := lineGraph(t, 4, Local)
+	if err := g.AddLight(2, TrafficLight{GreenSec: 7, RedSec: 13}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPlanner(g)
+	if err := p.Start(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	f := func(x int8, z uint16, now uint16) bool {
+		guid, err := p.UpdateAt(float64(x)/30, float64(z%350), float64(now))
+		if err != nil {
+			return false
+		}
+		if guid.SpeedLimit < 0 || guid.TimeToGreen < 0 || guid.DistanceToLegEnd < 0 {
+			return false
+		}
+		if guid.LightRed && !guid.StopAhead {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package pipeline assembles the end-to-end autonomous driving system of
+// the paper's Figure 1 and drives it in two modes:
+//
+//   - Native mode executes the real Go implementations of every engine on
+//     synthetic camera frames: the frame fans out to the object detector
+//     (DET) and the localizer (LOC) in parallel, DET's objects feed the
+//     tracker (TRA), the tracked objects and the vehicle pose are fused
+//     into one world frame (FUSION), and the motion planner (MOTPLAN)
+//     produces the operational decision. The mission planner (MISPLAN) is
+//     consulted for route guidance and re-planned only on deviation.
+//
+//   - Simulated mode (sim.go) composes per-frame latency samples from the
+//     calibrated platform models in internal/accel at full paper scale,
+//     which is how the paper's latency figures are regenerated.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adsim/internal/control"
+	"adsim/internal/detect"
+	"adsim/internal/fusion"
+	"adsim/internal/mission"
+	"adsim/internal/plan"
+	"adsim/internal/scene"
+	"adsim/internal/slam"
+	"adsim/internal/track"
+)
+
+// Config parameterizes the native pipeline.
+type Config struct {
+	Scene   scene.Config
+	Detect  detect.Config
+	Track   track.Config
+	SLAM    slam.Config
+	Plan    plan.ConformalConfig
+	Control control.Config
+	// SurveyFrames builds the prior map by surveying this many frames of
+	// an identical scenario before the run starts (the offline map
+	// provider role). 0 keeps the map empty (the localizer dead-reckons
+	// and relocalizes).
+	SurveyFrames int
+}
+
+// DefaultConfig returns a ready-to-run native configuration for a scenario
+// kind, sized so native execution is fast enough for tests and examples.
+func DefaultConfig(kind scene.Kind) Config {
+	sc := scene.DefaultConfig(kind)
+	sc.Width, sc.Height = 512, 256
+	pc := plan.DefaultConformalConfig()
+	pc.TargetSpeed = sc.EgoSpeed
+	return Config{
+		Scene:        sc,
+		Detect:       detect.DefaultConfig(),
+		Track:        track.DefaultConfig(),
+		SLAM:         slam.DefaultConfig(),
+		Plan:         pc,
+		Control:      control.DefaultConfig(),
+		SurveyFrames: 60,
+	}
+}
+
+// StageTiming is the per-frame wall-clock timing of every stage, plus the
+// DNN/FE instrumentation the cycle-breakdown experiment consumes.
+type StageTiming struct {
+	Det, Tra, Loc, Fusion, MotPlan, Control time.Duration
+	// E2E follows the dependency structure: max(LOC, DET+TRA) + FUSION +
+	// MOTPLAN (DET and LOC run in parallel).
+	E2E time.Duration
+	// Breakdown instrumentation.
+	DetDNN, TraDNN, LocFE time.Duration
+}
+
+// FrameResult is the output of one pipeline step.
+type FrameResult struct {
+	Frame      scene.Frame
+	Detections []detect.Detection
+	Tracks     []*track.Track
+	Pose       slam.Estimate
+	Fused      fusion.Frame
+	Plan       plan.ConformalResult
+	Guidance   mission.Guidance
+	Command    control.Command
+	Timing     StageTiming
+}
+
+// Pipeline is the native end-to-end system. Not safe for concurrent use.
+type Pipeline struct {
+	cfg Config
+	gen *scene.Generator
+
+	det  *detect.Detector
+	tra  *track.Engine
+	loc  *slam.Engine
+	fuse *fusion.Engine
+	ctl  *control.Controller
+	mis  *mission.Planner // optional
+}
+
+// NewNative constructs the native pipeline, surveying the prior map first
+// when configured.
+func NewNative(cfg Config) (*Pipeline, error) {
+	gen, err := scene.New(cfg.Scene)
+	if err != nil {
+		return nil, err
+	}
+	det, err := detect.New(cfg.Detect)
+	if err != nil {
+		return nil, err
+	}
+	tra, err := track.New(cfg.Track)
+	if err != nil {
+		return nil, err
+	}
+	loc, err := slam.NewEngine(cfg.SLAM, slam.NewPriorMap())
+	if err != nil {
+		return nil, err
+	}
+	fuse, err := fusion.New(gen.Camera(), cfg.Scene.FPS)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := control.New(cfg.Control)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{cfg: cfg, gen: gen, det: det, tra: tra, loc: loc, fuse: fuse, ctl: ctl}
+
+	if cfg.SurveyFrames > 0 {
+		survey, err := scene.New(cfg.Scene)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < cfg.SurveyFrames; i++ {
+			f := survey.Step()
+			p.loc.Survey(f.Image, f.EgoPose)
+		}
+	}
+	return p, nil
+}
+
+// AttachMission wires a mission planner into the pipeline; its per-leg
+// speed limit then caps the motion planner's target speed.
+func (p *Pipeline) AttachMission(m *mission.Planner) { p.mis = m }
+
+// Localizer exposes the LOC engine (for map/statistics inspection).
+func (p *Pipeline) Localizer() *slam.Engine { return p.loc }
+
+// Tracker exposes the TRA engine.
+func (p *Pipeline) Tracker() *track.Engine { return p.tra }
+
+// Step renders the next frame and runs it through the full pipeline.
+func (p *Pipeline) Step() (FrameResult, error) {
+	frame := p.gen.Step()
+	res := FrameResult{Frame: frame}
+
+	// DET and LOC consume the frame in parallel (Fig 1, steps 1a/1b).
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		start := time.Now()
+		res.Detections = p.det.Detect(frame.Image)
+		res.Timing.Det = time.Since(start)
+		res.Timing.DetDNN = p.det.LastTiming().DNN
+	}()
+	go func() {
+		defer wg.Done()
+		start := time.Now()
+		res.Pose = p.loc.Localize(frame.Image)
+		res.Timing.Loc = time.Since(start)
+		res.Timing.LocFE = p.loc.LastTiming().FE
+	}()
+	wg.Wait()
+
+	// TRA consumes DET's output (step 1c).
+	startTra := time.Now()
+	dets := make([]track.Detection, len(res.Detections))
+	for i, d := range res.Detections {
+		dets[i] = track.Detection{Box: d.Box, Class: d.Class}
+	}
+	p.tra.Step(frame.Image, dets)
+	res.Tracks = p.tra.Tracks()
+	res.Timing.Tra = time.Since(startTra)
+	res.Timing.TraDNN = p.tra.LastTiming().DNN
+
+	// FUSION (step 2).
+	startFuse := time.Now()
+	tracked := make([]fusion.TrackedObject, len(res.Tracks))
+	for i, tr := range res.Tracks {
+		tracked[i] = fusion.TrackedObject{
+			ID: tr.ID, Class: tr.Class, Box: tr.Box, VX: tr.VX, VY: tr.VY,
+		}
+	}
+	res.Fused = p.fuse.Fuse(res.Pose.Pose, tracked)
+	res.Timing.Fusion = time.Since(startFuse)
+
+	// MISPLAN guidance (step 4; route re-planned only on deviation). The
+	// rule engine's outputs shape the motion plan: the leg's speed limit
+	// caps the target speed, and an upcoming stop line ramps it down
+	// linearly over the approach zone so the vehicle arrives stopped.
+	planCfg := p.cfg.Plan
+	if p.mis != nil {
+		guid, err := p.mis.UpdateAt(res.Pose.Pose.X, res.Pose.Pose.Z, frame.Time)
+		if err != nil {
+			return res, fmt.Errorf("pipeline: mission update: %w", err)
+		}
+		res.Guidance = guid
+		if guid.SpeedLimit > 0 && guid.SpeedLimit < planCfg.TargetSpeed {
+			planCfg.TargetSpeed = guid.SpeedLimit
+		}
+		const stopApproach = 30.0 // meters over which to ramp down
+		if guid.StopAhead && guid.DistanceToLegEnd < stopApproach {
+			ramp := guid.DistanceToLegEnd / stopApproach
+			if ramp < 0.15 {
+				ramp = 0.15 // planner needs a positive speed; control stops
+			}
+			if v := planCfg.TargetSpeed * ramp; v < planCfg.TargetSpeed {
+				planCfg.TargetSpeed = v
+			}
+		}
+	}
+
+	// MOTPLAN (step 3): plan in the ego lane frame against fused objects.
+	startPlan := time.Now()
+	obstacles := make([]plan.Obstacle, 0, len(res.Fused.Objects))
+	for _, o := range res.Fused.Objects {
+		obstacles = append(obstacles, plan.Obstacle{
+			X: o.X, Z: o.Z, Radius: o.Width/2 + 0.5, VX: o.VX, VZ: o.VZ,
+		})
+	}
+	pr, err := plan.PlanConformal(planCfg, res.Pose.Pose.X, res.Pose.Pose.Z, obstacles)
+	if err != nil {
+		return res, fmt.Errorf("pipeline: motion planning: %w", err)
+	}
+	res.Plan = pr
+	res.Timing.MotPlan = time.Since(startPlan)
+
+	// Vehicle control (step 5): actuation commands that follow the plan.
+	startCtl := time.Now()
+	speed := p.cfg.Scene.EgoSpeed // the scenario ego's current speed
+	res.Command = p.ctl.Track(control.State{
+		X: res.Pose.Pose.X, Z: res.Pose.Pose.Z,
+		Theta: res.Pose.Pose.Theta, Speed: speed,
+	}, res.Plan.Path)
+	res.Timing.Control = time.Since(startCtl)
+
+	// End-to-end per the dependency law.
+	critical := res.Timing.Det + res.Timing.Tra
+	if res.Timing.Loc > critical {
+		critical = res.Timing.Loc
+	}
+	res.Timing.E2E = critical + res.Timing.Fusion + res.Timing.MotPlan + res.Timing.Control
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TraceRecord is one frame's entry in a machine-readable pipeline trace —
+// the reproduction's equivalent of the instrumentation logs the paper's
+// characterization is built from. All latencies are milliseconds.
+type TraceRecord struct {
+	Frame      int     `json:"frame"`
+	Time       float64 `json:"time_s"`
+	Detections int     `json:"detections"`
+	Tracks     int     `json:"tracks"`
+	PoseZ      float64 `json:"pose_z_m"`
+	TruthZ     float64 `json:"truth_z_m"`
+	Tracked    bool    `json:"tracked"`
+	Reloc      bool    `json:"relocalized"`
+	Decision   string  `json:"decision"`
+	Speed      float64 `json:"speed_mps"`
+
+	DetMs     float64 `json:"det_ms"`
+	TraMs     float64 `json:"tra_ms"`
+	LocMs     float64 `json:"loc_ms"`
+	FusionMs  float64 `json:"fusion_ms"`
+	MotPlanMs float64 `json:"motplan_ms"`
+	ControlMs float64 `json:"control_ms"`
+	E2EMs     float64 `json:"e2e_ms"`
+	DetDNNMs  float64 `json:"det_dnn_ms"`
+	TraDNNMs  float64 `json:"tra_dnn_ms"`
+	LocFEMs   float64 `json:"loc_fe_ms"`
+}
+
+// NewTraceRecord flattens one FrameResult into a trace record.
+func NewTraceRecord(res FrameResult) TraceRecord {
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	return TraceRecord{
+		Frame:      res.Frame.Index,
+		Time:       res.Frame.Time,
+		Detections: len(res.Detections),
+		Tracks:     len(res.Tracks),
+		PoseZ:      res.Pose.Pose.Z,
+		TruthZ:     res.Frame.EgoPose.Z,
+		Tracked:    res.Pose.Tracked,
+		Reloc:      res.Pose.Relocalized,
+		Decision:   res.Plan.Decision.String(),
+		Speed:      res.Plan.Speed,
+		DetMs:      ms(res.Timing.Det),
+		TraMs:      ms(res.Timing.Tra),
+		LocMs:      ms(res.Timing.Loc),
+		FusionMs:   ms(res.Timing.Fusion),
+		MotPlanMs:  ms(res.Timing.MotPlan),
+		ControlMs:  ms(res.Timing.Control),
+		E2EMs:      ms(res.Timing.E2E),
+		DetDNNMs:   ms(res.Timing.DetDNN),
+		TraDNNMs:   ms(res.Timing.TraDNN),
+		LocFEMs:    ms(res.Timing.LocFE),
+	}
+}
+
+// TraceWriter streams trace records as JSON Lines (one object per line),
+// the format analysis tooling ingests most easily.
+type TraceWriter struct {
+	enc *json.Encoder
+	n   int
+}
+
+// NewTraceWriter wraps w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one record.
+func (t *TraceWriter) Write(rec TraceRecord) error {
+	if err := t.enc.Encode(rec); err != nil {
+		return fmt.Errorf("pipeline: trace write: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count reports records written.
+func (t *TraceWriter) Count() int { return t.n }
+
+// ReadTrace parses a JSON Lines trace back into records.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []TraceRecord
+	for dec.More() {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return out, fmt.Errorf("pipeline: trace read: %w", err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Waypoint is one pose sample along a planned path.
+type Waypoint struct {
+	X, Z  float64 // world position (m)
+	Theta float64 // heading (rad, 0 = +Z)
+	Speed float64 // commanded speed (m/s)
+}
+
+// Path is a planned trajectory.
+type Path struct {
+	Waypoints []Waypoint
+	Cost      float64
+}
+
+// Length returns the arc length of the path (m).
+func (p Path) Length() float64 {
+	var total float64
+	for i := 1; i < len(p.Waypoints); i++ {
+		a, b := p.Waypoints[i-1], p.Waypoints[i]
+		total += math.Hypot(b.X-a.X, b.Z-a.Z)
+	}
+	return total
+}
+
+// latticeHeadings discretizes heading into 16 sectors; the motion
+// primitives move one cell forward with an optional ±1 sector turn.
+const latticeHeadings = 16
+
+// LatticeConfig parameterizes the unstructured state-lattice planner.
+type LatticeConfig struct {
+	// StepCost is the base cost of one forward primitive.
+	StepCost float64
+	// TurnCost is the extra cost of a turning primitive, penalizing
+	// curvature (smoother paths win).
+	TurnCost float64
+	// GoalTolerance is the acceptance radius around the goal (m).
+	GoalTolerance float64
+	// MaxExpansions bounds the search so malformed queries terminate.
+	MaxExpansions int
+	// Speed stamped on resulting waypoints (m/s).
+	Speed float64
+}
+
+// DefaultLatticeConfig returns the standard configuration.
+func DefaultLatticeConfig() LatticeConfig {
+	return LatticeConfig{
+		StepCost:      1.0,
+		TurnCost:      0.4,
+		GoalTolerance: 1.0,
+		MaxExpansions: 200000,
+		Speed:         3.0,
+	}
+}
+
+// latticeState is a discrete (cell, heading) search state.
+type latticeState struct {
+	ix, iz, ih int
+}
+
+type latticeNode struct {
+	state  latticeState
+	g, f   float64
+	parent *latticeNode
+	index  int // heap bookkeeping
+}
+
+type nodeHeap []*latticeNode
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *nodeHeap) Push(x interface{}) { n := x.(*latticeNode); n.index = len(*h); *h = append(*h, n) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// PlanLattice searches the state lattice over the costmap from a start pose
+// to a goal position using A* with the Euclidean-distance heuristic. It is
+// the paper's planner for "large opening areas like parking lots or rural
+// areas".
+func PlanLattice(cm *Costmap, cfg LatticeConfig, startX, startZ, startTheta, goalX, goalZ float64) (Path, error) {
+	if cfg.MaxExpansions <= 0 {
+		cfg.MaxExpansions = 200000
+	}
+	if cfg.GoalTolerance <= 0 {
+		cfg.GoalTolerance = 1.0
+	}
+	six, siz, ok := cm.Index(startX, startZ)
+	if !ok {
+		return Path{}, fmt.Errorf("plan: start (%v,%v) outside costmap", startX, startZ)
+	}
+	if _, _, ok := cm.Index(goalX, goalZ); !ok {
+		return Path{}, fmt.Errorf("plan: goal (%v,%v) outside costmap", goalX, goalZ)
+	}
+	if cm.Lethal(goalX, goalZ) {
+		return Path{}, fmt.Errorf("plan: goal (%v,%v) is occupied", goalX, goalZ)
+	}
+
+	startHeading := headingSector(startTheta)
+	start := &latticeNode{state: latticeState{six, siz, startHeading}}
+	start.f = math.Hypot(goalX-startX, goalZ-startZ)
+
+	open := &nodeHeap{}
+	heap.Init(open)
+	heap.Push(open, start)
+	best := map[latticeState]float64{start.state: 0}
+
+	expansions := 0
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*latticeNode)
+		expansions++
+		if expansions > cfg.MaxExpansions {
+			return Path{}, fmt.Errorf("plan: search exceeded %d expansions", cfg.MaxExpansions)
+		}
+		cx, cz := cm.cellCenter(cur.state.ix, cur.state.iz)
+		if math.Hypot(goalX-cx, goalZ-cz) <= cfg.GoalTolerance {
+			return reconstruct(cm, cfg, cur), nil
+		}
+		// Primitives: keep heading, turn left, turn right — each advances
+		// one cell along the (new) heading direction.
+		for dh := -1; dh <= 1; dh++ {
+			nh := (cur.state.ih + dh + latticeHeadings) % latticeHeadings
+			dx, dz := headingStep(nh)
+			ns := latticeState{cur.state.ix + dx, cur.state.iz + dz, nh}
+			if ns.ix < 0 || ns.iz < 0 || ns.ix >= cm.W || ns.iz >= cm.H {
+				continue
+			}
+			nx, nz := cm.cellCenter(ns.ix, ns.iz)
+			cellCost := cm.CostAt(nx, nz)
+			if math.IsInf(cellCost, 1) {
+				continue
+			}
+			stepLen := math.Hypot(float64(dx), float64(dz))
+			g := cur.g + cfg.StepCost*stepLen + cellCost
+			if dh != 0 {
+				g += cfg.TurnCost
+			}
+			if prev, seen := best[ns]; seen && prev <= g {
+				continue
+			}
+			best[ns] = g
+			n := &latticeNode{state: ns, g: g, parent: cur}
+			n.f = g + math.Hypot(goalX-nx, goalZ-nz)
+			heap.Push(open, n)
+		}
+	}
+	return Path{}, fmt.Errorf("plan: no path to goal (%v,%v)", goalX, goalZ)
+}
+
+// headingSector quantizes an angle into one of the lattice's sectors.
+func headingSector(theta float64) int {
+	s := int(math.Round(theta/(2*math.Pi/latticeHeadings))) % latticeHeadings
+	if s < 0 {
+		s += latticeHeadings
+	}
+	return s
+}
+
+// headingStep returns the cell step for a heading sector, using an 8-way
+// neighborhood (sectors collapse onto the nearest of 8 directions; 16
+// sectors keep turn costs fine-grained while steps stay grid-aligned).
+func headingStep(sector int) (dx, dz int) {
+	theta := float64(sector) * 2 * math.Pi / latticeHeadings
+	// Theta 0 faces +Z; positive theta rotates toward +X.
+	x := math.Sin(theta)
+	z := math.Cos(theta)
+	return signRound(x), signRound(z)
+}
+
+func signRound(v float64) int {
+	switch {
+	case v > 0.3827: // sin(22.5°): nearest 8-way direction
+		return 1
+	case v < -0.3827:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func (c *Costmap) cellCenter(ix, iz int) (x, z float64) {
+	return c.OriginX + (float64(ix)+0.5)*c.Res, c.OriginZ + (float64(iz)+0.5)*c.Res
+}
+
+func reconstruct(cm *Costmap, cfg LatticeConfig, goal *latticeNode) Path {
+	var rev []*latticeNode
+	for n := goal; n != nil; n = n.parent {
+		rev = append(rev, n)
+	}
+	p := Path{Cost: goal.g, Waypoints: make([]Waypoint, len(rev))}
+	for i := range rev {
+		n := rev[len(rev)-1-i]
+		x, z := cm.cellCenter(n.state.ix, n.state.iz)
+		p.Waypoints[i] = Waypoint{
+			X: x, Z: z,
+			Theta: float64(n.state.ih) * 2 * math.Pi / latticeHeadings,
+			Speed: cfg.Speed,
+		}
+	}
+	return p
+}

@@ -1,0 +1,103 @@
+// Package power models the paper's power, thermal and storage constraint
+// interactions (Sections 2.4.3–2.4.5) and their effect on the vehicle:
+//
+//   - Storage: a prior map of the entire United States occupies 41 TB, and
+//     a typical storage system draws ~8 W per 3 TB.
+//   - Thermal: the computing system must live in the climate-controlled
+//     cabin, and removing its heat costs extra air-conditioning load at a
+//     coefficient of performance of 1.3 — i.e. 77 W of cooling per 100 W of
+//     computing, which nearly doubles system power.
+//   - Power: extra electrical load shortens an EV's driving range (modeled
+//     on a Chevy Bolt) and reduces a gasoline car's MPG by roughly 1 MPG
+//     per 400 W.
+package power
+
+import "fmt"
+
+const (
+	// USMapTB is the paper's prior-map size for the entire United States.
+	USMapTB = 41.0
+	// StorageWattsPerTB is derived from the paper's figure of ~8 W per
+	// 3 TB of desktop HDD storage.
+	StorageWattsPerTB = 8.0 / 3.0
+	// CoolingCOP is the automotive air conditioner's coefficient of
+	// performance: 1.3 units of heat moved per unit of work, so removing
+	// Q watts of heat costs Q/1.3 ≈ 0.77·Q watts.
+	CoolingCOP = 1.3
+	// BoltDrivePowerW is the traction power draw of the reference EV
+	// (Chevy Bolt) at highway speed — the denominator of the
+	// driving-range-reduction model. 60 kWh / 238 mi at ~65 mph ≈ 15 kW.
+	// Calibrated so the paper's headline numbers reproduce: a 1 kW
+	// computing engine alone reduces range by ~6%, and the corresponding
+	// aggregate system by ~11.5%.
+	BoltDrivePowerW = 15000.0
+	// WattsPerMPG is the gasoline-vehicle rule of thumb: each additional
+	// 400 W of electrical load costs about one MPG.
+	WattsPerMPG = 400.0
+)
+
+// StoragePower returns the storage subsystem's power draw (W) for a prior
+// map of the given size in TB.
+func StoragePower(mapTB float64) float64 {
+	if mapTB < 0 {
+		return 0
+	}
+	return mapTB * StorageWattsPerTB
+}
+
+// CoolingOverhead returns the additional air-conditioning power (W) needed
+// to remove heatW of waste heat from the cabin.
+func CoolingOverhead(heatW float64) float64 {
+	if heatW < 0 {
+		return 0
+	}
+	return heatW / CoolingCOP
+}
+
+// SystemBreakdown decomposes the total power of an autonomous driving
+// system into the paper's three contributors.
+type SystemBreakdown struct {
+	ComputeW float64
+	StorageW float64
+	CoolingW float64
+}
+
+// Total returns the aggregate system power (W).
+func (b SystemBreakdown) Total() float64 { return b.ComputeW + b.StorageW + b.CoolingW }
+
+func (b SystemBreakdown) String() string {
+	return fmt.Sprintf("compute %.0fW + storage %.0fW + cooling %.0fW = %.0fW",
+		b.ComputeW, b.StorageW, b.CoolingW, b.Total())
+}
+
+// System computes the end-to-end power breakdown for a computing engine of
+// computeW watts and a prior map of mapTB terabytes: both the computing and
+// storage systems dissipate their power as cabin heat, which the air
+// conditioner must remove.
+func System(computeW, mapTB float64) SystemBreakdown {
+	storage := StoragePower(mapTB)
+	return SystemBreakdown{
+		ComputeW: computeW,
+		StorageW: storage,
+		CoolingW: CoolingOverhead(computeW + storage),
+	}
+}
+
+// RangeReduction returns the fractional driving-range reduction of the
+// reference EV caused by an additional load of powerW watts: the extra load
+// competes with traction power for the same battery energy.
+func RangeReduction(powerW float64) float64 {
+	if powerW <= 0 {
+		return 0
+	}
+	return powerW / (powerW + BoltDrivePowerW)
+}
+
+// MPGReduction returns the MPG lost by a gasoline vehicle carrying an
+// additional electrical load of powerW watts (the 400 W-per-MPG rule).
+func MPGReduction(powerW float64) float64 {
+	if powerW <= 0 {
+		return 0
+	}
+	return powerW / WattsPerMPG
+}

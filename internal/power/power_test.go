@@ -1,0 +1,111 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoragePower(t *testing.T) {
+	// 41 TB US map at 8W/3TB ≈ 109.3 W (the paper's ~110 W).
+	got := StoragePower(USMapTB)
+	if math.Abs(got-109.33) > 0.1 {
+		t.Errorf("US map storage power = %.2f, want ~109.3", got)
+	}
+	if StoragePower(-5) != 0 {
+		t.Error("negative TB should give 0")
+	}
+}
+
+func TestCoolingOverhead(t *testing.T) {
+	// Paper: "a 100 W system imposes 77 W cooling overhead".
+	got := CoolingOverhead(100)
+	if math.Abs(got-76.9) > 0.1 {
+		t.Errorf("cooling for 100W = %.2f, want ~77", got)
+	}
+	if CoolingOverhead(-1) != 0 {
+		t.Error("negative heat should give 0")
+	}
+}
+
+func TestSystemNearlyDoubles(t *testing.T) {
+	// The paper's central thermal observation: cooling + storage nearly
+	// double the computing engine's power draw.
+	b := System(1000, USMapTB)
+	if b.Total() < 1.8*b.ComputeW || b.Total() > 2.2*b.ComputeW {
+		t.Errorf("aggregate %.0fW should be ~2x compute 1000W", b.Total())
+	}
+	if b.String() == "" {
+		t.Error("empty breakdown string")
+	}
+}
+
+func TestPaperHeadlineRangeNumbers(t *testing.T) {
+	// "a computing engine equipped with 1 CPU and 3 GPUs ... alone only
+	// reduces the driving range by 6%, while the entire system experiences
+	// almost doubled reduction (i.e., 11.5%)".
+	computeOnly := RangeReduction(1000)
+	if math.Abs(computeOnly-0.0625) > 0.005 {
+		t.Errorf("1kW compute range reduction = %.3f, want ~0.06", computeOnly)
+	}
+	agg := System(1000, USMapTB)
+	full := RangeReduction(agg.Total())
+	if math.Abs(full-0.115) > 0.01 {
+		t.Errorf("aggregate range reduction = %.3f, want ~0.115", full)
+	}
+}
+
+func TestRangeReductionEdgeCases(t *testing.T) {
+	if RangeReduction(0) != 0 || RangeReduction(-100) != 0 {
+		t.Error("non-positive load should give 0")
+	}
+	if r := RangeReduction(1e12); r <= 0.99 || r > 1 {
+		t.Errorf("huge load reduction = %v, want →1", r)
+	}
+}
+
+func TestMPGReduction(t *testing.T) {
+	// Paper: 400 W costs one MPG; for a 31-MPG 2017 Audi A4 that's 3.23%.
+	if MPGReduction(400) != 1 {
+		t.Errorf("400W = %v MPG, want 1", MPGReduction(400))
+	}
+	pct := MPGReduction(400) / 31
+	if math.Abs(pct-0.0323) > 0.001 {
+		t.Errorf("Audi A4 reduction = %.4f, want ~0.0323", pct)
+	}
+	if MPGReduction(-1) != 0 {
+		t.Error("negative load should give 0")
+	}
+}
+
+// Property: range reduction is monotone in load and bounded in [0,1).
+func TestRangeReductionMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		pa, pb := float64(a%100000), float64(b%100000)
+		ra, rb := RangeReduction(pa), RangeReduction(pb)
+		if ra < 0 || ra >= 1 || rb < 0 || rb >= 1 {
+			return false
+		}
+		if pa < pb && ra > rb {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the system aggregate is always compute + storage + cooling with
+// cooling proportional to the heat.
+func TestSystemConsistencyProperty(t *testing.T) {
+	f := func(cw, tb uint16) bool {
+		b := System(float64(cw), float64(tb%100))
+		wantCooling := (b.ComputeW + b.StorageW) / CoolingCOP
+		return math.Abs(b.CoolingW-wantCooling) < 1e-9 &&
+			math.Abs(b.Total()-(b.ComputeW+b.StorageW+b.CoolingW)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

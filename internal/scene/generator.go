@@ -1,0 +1,400 @@
+package scene
+
+import (
+	"math"
+
+	"adsim/internal/img"
+	"adsim/internal/stats"
+)
+
+// actor is a dynamic world object.
+type actor struct {
+	id     int
+	class  Class
+	x, z   float64 // world position (m); z is absolute longitudinal position
+	vx, vz float64 // velocity (m/s)
+	w, h   float64 // physical extent (m): width and height
+	shade  uint8
+}
+
+// Generator produces the frame stream for one scenario. Construct with New;
+// the zero value is not usable.
+type Generator struct {
+	cfg    Config
+	cam    Camera
+	rng    *stats.RNG
+	actors []actor
+	ego    Pose
+	frame  int
+	nextID int
+
+	laneWidth float64
+	numLanes  int
+	roadHalf  float64
+}
+
+// New builds a scenario generator. The same Config (including Seed) always
+// produces the identical frame sequence.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:       cfg,
+		cam:       StandardCamera(cfg.Width, cfg.Height),
+		rng:       stats.NewRNG(cfg.Seed),
+		laneWidth: 3.5,
+	}
+	g.numLanes = 3
+	if cfg.Kind == Urban {
+		g.numLanes = 2
+	}
+	g.roadHalf = g.laneWidth * float64(g.numLanes) / 2
+	g.ego = Pose{X: -g.laneWidth / 2, Z: 0, Theta: 0} // right-of-center lane
+	if cfg.LoopLength > 0 {
+		// Loop worlds are static and periodic: distribute signs evenly
+		// around the loop and drop all moving actors.
+		g.cfg.NumVehicles, g.cfg.NumPeds = 0, 0
+		for i := 0; i < g.cfg.NumSigns; i++ {
+			side := 1.0
+			if i%2 == 1 {
+				side = -1.0
+			}
+			g.actors = append(g.actors, actor{
+				id:    g.allocID(),
+				class: TrafficSign,
+				x:     side * (g.roadHalf + 1.0),
+				z:     float64(i) * cfg.LoopLength / float64(g.cfg.NumSigns),
+				w:     0.8, h: 0.8,
+				shade: 230,
+			})
+		}
+		return g, nil
+	}
+	g.spawnActors()
+	return g, nil
+}
+
+// Camera returns the generator's camera model.
+func (g *Generator) Camera() Camera { return g.cam }
+
+// Config returns the scenario configuration (after default normalization).
+func (g *Generator) Config() Config { return g.cfg }
+
+func (g *Generator) spawnActors() {
+	for i := 0; i < g.cfg.NumVehicles; i++ {
+		lane := g.rng.Intn(g.numLanes)
+		laneX := (float64(lane)+0.5)*g.laneWidth - g.roadHalf
+		speed := g.cfg.EgoSpeed * g.rng.Uniform(0.7, 1.15)
+		g.actors = append(g.actors, actor{
+			id:    g.allocID(),
+			class: Vehicle,
+			x:     laneX,
+			z:     g.ego.Z + g.rng.Uniform(8, 80),
+			vz:    speed,
+			w:     1.8, h: 1.5,
+			shade: uint8(40 + g.rng.Intn(60)),
+		})
+	}
+	for i := 0; i < g.cfg.NumPeds; i++ {
+		side := 1.0
+		if g.rng.Bernoulli(0.5) {
+			side = -1.0
+		}
+		class := Pedestrian
+		w, h, vx := 0.5, 1.75, side*-g.rng.Uniform(0.2, 1.2)
+		if g.rng.Bernoulli(0.3) {
+			class = Cyclist
+			w, h = 0.6, 1.7
+			vx = 0
+		}
+		a := actor{
+			id:    g.allocID(),
+			class: class,
+			x:     side * (g.roadHalf + g.rng.Uniform(0.5, 3)),
+			z:     g.ego.Z + g.rng.Uniform(10, 60),
+			vx:    vx,
+			w:     w, h: h,
+			shade: uint8(60 + g.rng.Intn(80)),
+		}
+		if class == Cyclist {
+			a.vz = g.rng.Uniform(3, 7)
+		}
+		g.actors = append(g.actors, a)
+	}
+	for i := 0; i < g.cfg.NumSigns; i++ {
+		side := 1.0
+		if i%2 == 1 {
+			side = -1.0
+		}
+		g.actors = append(g.actors, actor{
+			id:    g.allocID(),
+			class: TrafficSign,
+			x:     side * (g.roadHalf + 1.0),
+			z:     g.ego.Z + 20 + float64(i)*35,
+			w:     0.8, h: 0.8,
+			shade: 230,
+		})
+	}
+}
+
+func (g *Generator) allocID() int {
+	g.nextID++
+	return g.nextID
+}
+
+// Step advances the world by one frame period and renders the next frame.
+func (g *Generator) Step() Frame {
+	dt := 1.0 / g.cfg.FPS
+	if g.frame > 0 {
+		g.ego.Z += g.cfg.EgoSpeed * dt
+		for i := range g.actors {
+			a := &g.actors[i]
+			a.x += a.vx * dt
+			a.z += a.vz * dt
+		}
+		if g.cfg.LoopLength <= 0 {
+			g.recycleActors()
+		}
+	}
+	f := Frame{
+		Index:   g.frame,
+		Time:    float64(g.frame) * dt,
+		EgoPose: g.ego,
+	}
+	f.Image, f.Truth = g.render()
+	if g.cfg.Illumination != 1 {
+		applyIllumination(f.Image, g.cfg.Illumination)
+	}
+	g.frame++
+	return f
+}
+
+// applyIllumination scales every pixel, saturating at white.
+func applyIllumination(im *img.Gray, k float64) {
+	for i, p := range im.Pix {
+		v := float64(p) * k
+		if v > 255 {
+			v = 255
+		}
+		im.Pix[i] = uint8(v)
+	}
+}
+
+// effZ returns the ego's position in the rendered world frame: the real Z
+// for open routes, or Z modulo the loop length on periodic loop routes.
+// The result is quantized to nanometers so that accumulated floating-point
+// error cannot flip discrete rasterization decisions between laps — loop
+// frames must be pixel-identical one period apart.
+func (g *Generator) effZ() float64 {
+	z := g.ego.Z
+	if g.cfg.LoopLength > 0 {
+		z = math.Mod(z, g.cfg.LoopLength)
+	}
+	return math.Round(z*1e9) / 1e9
+}
+
+// actorDepth returns the actor's longitudinal distance ahead of the ego in
+// the rendered world frame, wrapping on loop routes.
+func (g *Generator) actorDepth(a actor) float64 {
+	dz := a.z - g.effZ()
+	if g.cfg.LoopLength > 0 {
+		dz = math.Mod(dz, g.cfg.LoopLength)
+		if dz < 0 {
+			dz += g.cfg.LoopLength
+		}
+	}
+	return dz
+}
+
+// recycleActors respawns actors that have fallen far behind the ego vehicle
+// or wandered off the shoulder, keeping object density roughly constant.
+func (g *Generator) recycleActors() {
+	for i := range g.actors {
+		a := &g.actors[i]
+		behind := a.z < g.ego.Z-10
+		farOff := math.Abs(a.x) > g.roadHalf+8
+		if !behind && !farOff {
+			continue
+		}
+		a.id = g.allocID() // a respawn is a new object to the tracker
+		switch a.class {
+		case Vehicle:
+			lane := g.rng.Intn(g.numLanes)
+			a.x = (float64(lane)+0.5)*g.laneWidth - g.roadHalf
+			a.z = g.ego.Z + g.rng.Uniform(30, 90)
+			a.vz = g.cfg.EgoSpeed * g.rng.Uniform(0.7, 1.15)
+		case Pedestrian, Cyclist:
+			side := 1.0
+			if g.rng.Bernoulli(0.5) {
+				side = -1.0
+			}
+			a.x = side * (g.roadHalf + g.rng.Uniform(0.5, 3))
+			a.z = g.ego.Z + g.rng.Uniform(15, 60)
+			if a.class == Pedestrian {
+				a.vx = -side * g.rng.Uniform(0.2, 1.2)
+			}
+		case TrafficSign:
+			a.z = g.ego.Z + g.rng.Uniform(40, 100)
+		}
+	}
+}
+
+// render rasterizes the current world state and returns the frame image and
+// ground-truth annotations sorted far-to-near so nearer objects overdraw.
+func (g *Generator) render() (*img.Gray, []TruthObject) {
+	im := img.NewGray(g.cfg.Width, g.cfg.Height)
+	g.drawBackground(im)
+
+	// Painter's order: far actors first.
+	order := make([]int, len(g.actors))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // insertion sort by depth descending
+		for j := i; j > 0; j-- {
+			if g.actorDepth(g.actors[order[j]]) > g.actorDepth(g.actors[order[j-1]]) {
+				order[j], order[j-1] = order[j-1], order[j]
+			} else {
+				break
+			}
+		}
+	}
+
+	var truth []TruthObject
+	const maxDepth = 120.0
+	for _, idx := range order {
+		a := g.actors[idx]
+		dz := g.actorDepth(a)
+		if dz < 1 || dz > maxDepth {
+			continue
+		}
+		relX := a.x - g.ego.X
+		baseY := 0.0 // objects stand on the road plane
+		u0, v0, ok0 := g.cam.Project(relX-a.w/2, baseY+a.h, dz)
+		u1, v1, ok1 := g.cam.Project(relX+a.w/2, baseY, dz)
+		if !ok0 || !ok1 {
+			continue
+		}
+		box := img.Rect{X0: u0, Y0: v0, X1: u1, Y1: v1}
+		clipped := box.Clip(0, 0, g.cfg.Width, g.cfg.Height)
+		if clipped.Empty() || clipped.Area() < 9 {
+			continue
+		}
+		g.drawActor(im, a, box)
+		truth = append(truth, TruthObject{ID: a.id, Class: a.class, Box: clipped, Depth: dz})
+	}
+	return im, truth
+}
+
+func (g *Generator) drawActor(im *img.Gray, a actor, box img.Rect) {
+	im.FillRect(box, a.shade)
+	im.StrokeRect(box, 255)
+	switch a.class {
+	case Vehicle:
+		// Window band and wheel hints give interior gradients.
+		win := img.Rect{X0: box.X0 + box.W()*0.15, Y0: box.Y0 + box.H()*0.1,
+			X1: box.X1 - box.W()*0.15, Y1: box.Y0 + box.H()*0.45}
+		im.FillRect(win, 20)
+		wy := int(box.Y1) - 1
+		r := int(box.W() * 0.08)
+		if r > 0 {
+			im.FillCircle(int(box.X0+box.W()*0.25), wy, r, 10)
+			im.FillCircle(int(box.X0+box.W()*0.75), wy, r, 10)
+		}
+	case TrafficSign:
+		inner := box.Scale(0.6)
+		im.FillRect(inner, 30)
+		// Pole down to the road.
+		cx := int((box.X0 + box.X1) / 2)
+		im.DrawLine(cx, int(box.Y1), cx, int(box.Y1)+int(box.H()), 90)
+	case Pedestrian, Cyclist:
+		// Head blob.
+		r := int(box.W() * 0.3)
+		if r > 0 {
+			im.FillCircle(int((box.X0+box.X1)/2), int(box.Y0)+r, r, a.shade/2+90)
+		}
+	}
+}
+
+// drawBackground paints sky, road surface, lane markings, and textured
+// roadside façades whose pattern scrolls consistently with ego motion, so
+// the SLAM front-end observes coherent feature displacement.
+func (g *Generator) drawBackground(im *img.Gray) {
+	w, h := g.cfg.Width, g.cfg.Height
+	horizon := int(g.cam.Cy)
+	if horizon < 1 {
+		horizon = 1
+	}
+	if horizon > h-1 {
+		horizon = h - 1
+	}
+	// Sky.
+	im.FillRect(img.RectWH(0, 0, float64(w), float64(horizon)), 200)
+	// Road: darker toward the camera.
+	for y := horizon; y < h; y++ {
+		shade := uint8(90 - 30*(y-horizon)/(h-horizon+1))
+		for x := 0; x < w; x++ {
+			im.Pix[y*w+x] = shade
+		}
+	}
+	// Roadside façades: scattered bright blocks on a dark band. Isolated
+	// blocks present L-corners, which the FAST segment test responds to
+	// (ideal checkerboard X-junctions do not produce the contiguous arc
+	// FAST requires). Block positions are keyed to world coordinates so
+	// the texture scrolls coherently with ego motion.
+	bandTop := horizon - h/6
+	bandH := h / 6
+	if bandTop < 0 {
+		bandTop, bandH = 0, horizon
+	}
+	im.FillRect(img.RectWH(0, float64(bandTop), float64(w), float64(bandH)), 70)
+	const cell = 12
+	scroll := int(g.effZ() * 6)
+	for row := 0; row*cell < bandH; row++ {
+		for col := -1; col*cell < w+cell; col++ {
+			worldCol := col + scroll/cell
+			hsh := uint32(worldCol*73856093) ^ uint32(row*19349663)
+			hsh = (hsh ^ hsh>>13) * 0x5bd1e995
+			if hsh%3 != 0 {
+				continue // ~1/3 of cells carry a block
+			}
+			jx := int(hsh>>8) % (cell - 8)
+			jy := int(hsh>>16) % (cell - 8)
+			bw := 3 + int(hsh>>20)%5 // 3..7 px wide
+			bh := 3 + int(hsh>>24)%5 // 3..7 px tall
+			x0 := col*cell + jx - scroll%cell
+			y0 := bandTop + row*cell + jy
+			shade := uint8(140 + hsh%80) // ≤ 219: below the detector's outline mask
+			im.FillRect(img.RectWH(float64(x0), float64(y0), float64(bw), float64(bh)), shade)
+		}
+	}
+	// Lane markings: dashed center lines converging at the principal point.
+	for lane := 0; lane <= g.numLanes; lane++ {
+		laneX := float64(lane)*g.laneWidth - g.roadHalf
+		g.drawLaneLine(im, laneX, horizon)
+	}
+}
+
+// drawLaneLine projects a longitudinal road line at lateral offset laneX and
+// draws dashes along it. Dash phase follows ego Z, producing frame-to-frame
+// optical flow on the road surface.
+func (g *Generator) drawLaneLine(im *img.Gray, laneX float64, horizon int) {
+	relX := laneX - g.ego.X
+	dashLen := 3.0 // meters
+	// March in depth; dash pattern keyed to absolute Z so it scrolls.
+	for z := 2.0; z < 80; z += 0.5 {
+		absZ := g.effZ() + z
+		if int(absZ/dashLen)%2 == 1 {
+			continue
+		}
+		u, v, ok := g.cam.Project(relX, 0, z)
+		if !ok || v < float64(horizon) {
+			continue
+		}
+		thickness := int(math.Max(1, g.cam.FocalPx*0.12/z))
+		for t := 0; t < thickness; t++ {
+			im.Set(int(u)+t, int(v), 240)
+		}
+	}
+}

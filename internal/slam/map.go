@@ -1,0 +1,112 @@
+package slam
+
+import (
+	"fmt"
+	"sort"
+
+	"adsim/internal/scene"
+)
+
+// Keyframe is one entry in the prior map: the feature descriptors observed
+// at a surveyed pose. The paper's storage-constraint analysis (41 TB for a
+// US-wide map) is the at-scale version of exactly this structure.
+type Keyframe struct {
+	ID          int
+	Pose        scene.Pose
+	Keypoints   []Keypoint
+	Descriptors []Descriptor
+}
+
+// PriorMap is the on-vehicle prior map: keyframes indexed by longitudinal
+// position for windowed candidate lookup. The paper's LOC engine matches
+// live features against this database to localize at high precision.
+type PriorMap struct {
+	keyframes []Keyframe // sorted by Pose.Z
+	nextID    int
+}
+
+// NewPriorMap returns an empty map.
+func NewPriorMap() *PriorMap { return &PriorMap{} }
+
+// Len reports the number of keyframes.
+func (m *PriorMap) Len() int { return len(m.keyframes) }
+
+// Add inserts a keyframe observed at pose, keeping the database sorted by
+// longitudinal position, and returns its assigned ID.
+func (m *PriorMap) Add(pose scene.Pose, kps []Keypoint, descs []Descriptor) int {
+	m.nextID++
+	m.insert(Keyframe{ID: m.nextID, Pose: pose, Keypoints: kps, Descriptors: descs})
+	return m.nextID
+}
+
+// insert places a fully-formed keyframe at its sorted position (used by Add
+// and by deserialization, which preserves stored IDs).
+func (m *PriorMap) insert(kf Keyframe) {
+	idx := sort.Search(len(m.keyframes), func(i int) bool {
+		return m.keyframes[i].Pose.Z >= kf.Pose.Z
+	})
+	m.keyframes = append(m.keyframes, Keyframe{})
+	copy(m.keyframes[idx+1:], m.keyframes[idx:])
+	m.keyframes[idx] = kf
+	if kf.ID > m.nextID {
+		m.nextID = kf.ID // future Adds must not collide with stored IDs
+	}
+}
+
+// Candidates returns the keyframes whose longitudinal position lies within
+// ±window meters of z. This is the tracking-mode search set; relocalization
+// passes a much larger window, which is what makes it expensive.
+func (m *PriorMap) Candidates(z, window float64) []Keyframe {
+	lo := sort.Search(len(m.keyframes), func(i int) bool {
+		return m.keyframes[i].Pose.Z >= z-window
+	})
+	hi := sort.Search(len(m.keyframes), func(i int) bool {
+		return m.keyframes[i].Pose.Z > z+window
+	})
+	return m.keyframes[lo:hi]
+}
+
+// All returns every keyframe (the relocalization worst case).
+func (m *PriorMap) All() []Keyframe { return m.keyframes }
+
+// NearestZ returns the keyframe whose longitudinal position is closest to
+// z, and false if the map is empty.
+func (m *PriorMap) NearestZ(z float64) (Keyframe, bool) {
+	if len(m.keyframes) == 0 {
+		return Keyframe{}, false
+	}
+	idx := sort.Search(len(m.keyframes), func(i int) bool {
+		return m.keyframes[i].Pose.Z >= z
+	})
+	best := -1
+	bestDist := 0.0
+	for _, c := range []int{idx - 1, idx} {
+		if c < 0 || c >= len(m.keyframes) {
+			continue
+		}
+		d := m.keyframes[c].Pose.Z - z
+		if d < 0 {
+			d = -d
+		}
+		if best == -1 || d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return m.keyframes[best], true
+}
+
+// StorageBytes estimates the map's in-memory footprint: descriptors plus
+// keypoint coordinates plus pose. Used by the storage-constraint analysis.
+func (m *PriorMap) StorageBytes() int64 {
+	var total int64
+	for _, kf := range m.keyframes {
+		total += int64(len(kf.Descriptors)) * 32 // 256-bit descriptors
+		total += int64(len(kf.Keypoints)) * 16   // x, y, score, angle (packed)
+		total += 24                              // pose
+	}
+	return total
+}
+
+func (m *PriorMap) String() string {
+	return fmt.Sprintf("priormap(%d keyframes, %d KB)", m.Len(), m.StorageBytes()/1024)
+}

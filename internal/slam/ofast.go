@@ -1,0 +1,218 @@
+// Package slam implements the localization engine (LOC) of the pipeline —
+// the paper's ORB-SLAM stage. It contains the full front-end the paper's
+// FPGA/ASIC sections accelerate (oFAST feature detection and rBRIEF
+// descriptor extraction), a prior-map keyframe database, motion-model
+// tracking, relocalization on tracking loss, local map update and periodic
+// loop closing.
+//
+// The paper's key performance observation about LOC — large latency
+// variability caused by relocalization's wider map search, which is why tail
+// latency must be the evaluation metric — is reproduced behaviourally: a
+// lost tracker really does search a strictly larger candidate set here.
+package slam
+
+import (
+	"math"
+
+	"adsim/internal/img"
+)
+
+// circleOffsets16 is the Bresenham circle of radius 3 used by FAST: 16
+// (dx,dy) offsets in clockwise order starting from (0,-3).
+var circleOffsets16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// Keypoint is one detected oFAST feature.
+type Keypoint struct {
+	X, Y  int
+	Score int     // corner response used for non-maximum suppression
+	Angle float64 // orientation from the intensity centroid, radians
+	Level int     // pyramid level the feature was detected at (0 = full res)
+}
+
+// FASTConfig parameterizes the oFAST detector.
+type FASTConfig struct {
+	// Threshold is the minimum absolute intensity difference for a circle
+	// pixel to count as brighter/darker than the center.
+	Threshold int
+	// ContigMin is the required run of contiguous circle pixels (FAST-9
+	// uses 9).
+	ContigMin int
+	// MaxFeatures caps the number of keypoints returned (strongest first);
+	// 0 means unlimited.
+	MaxFeatures int
+	// Border excludes keypoints within this many pixels of the frame edge
+	// so the descriptor patch always fits. Must be >= PatchRadius+1.
+	Border int
+}
+
+// DefaultFASTConfig returns the standard oFAST configuration (FAST-9-16
+// with threshold 20, ORB-style).
+func DefaultFASTConfig() FASTConfig {
+	return FASTConfig{Threshold: 20, ContigMin: 9, MaxFeatures: 500, Border: 16}
+}
+
+// DetectFAST runs the oFAST detector: FAST-9 segment-test corners with a
+// 3×3 non-maximum suppression, each keypoint assigned an intensity-centroid
+// orientation. Keypoints are returned strongest first.
+func DetectFAST(im *img.Gray, cfg FASTConfig) []Keypoint {
+	if cfg.ContigMin <= 0 || cfg.ContigMin > 16 {
+		cfg.ContigMin = 9
+	}
+	if cfg.Border < 4 {
+		cfg.Border = 4
+	}
+	w, h := im.W, im.H
+	scores := make([]int, w*h)
+
+	for y := cfg.Border; y < h-cfg.Border; y++ {
+		for x := cfg.Border; x < w-cfg.Border; x++ {
+			s := fastScore(im, x, y, cfg.Threshold, cfg.ContigMin)
+			if s > 0 {
+				scores[y*w+x] = s
+			}
+		}
+	}
+
+	// 3×3 non-maximum suppression.
+	var kps []Keypoint
+	for y := cfg.Border; y < h-cfg.Border; y++ {
+		for x := cfg.Border; x < w-cfg.Border; x++ {
+			s := scores[y*w+x]
+			if s == 0 {
+				continue
+			}
+			isMax := true
+			for dy := -1; dy <= 1 && isMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					n := scores[(y+dy)*w+(x+dx)]
+					if n > s || (n == s && (dy < 0 || (dy == 0 && dx < 0))) {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				kps = append(kps, Keypoint{X: x, Y: y, Score: s})
+			}
+		}
+	}
+
+	// Strongest first; deterministic order for equal scores.
+	sortKeypoints(kps)
+	if cfg.MaxFeatures > 0 && len(kps) > cfg.MaxFeatures {
+		kps = kps[:cfg.MaxFeatures]
+	}
+
+	// Orientation assignment (the "o" in oFAST): intensity centroid over a
+	// radius-7 disc.
+	for i := range kps {
+		kps[i].Angle = orientation(im, kps[i].X, kps[i].Y, 7)
+	}
+	return kps
+}
+
+// fastScore runs the FAST segment test at (x,y) and returns a corner score
+// (sum of absolute differences of the qualifying arc) or 0 if not a corner.
+func fastScore(im *img.Gray, x, y, threshold, contigMin int) int {
+	c := int(im.Pix[y*im.W+x])
+	var bright, dark uint32 // bitmasks over the 16 circle positions
+	var diffs [16]int
+	for i, off := range circleOffsets16 {
+		p := int(im.Pix[(y+off[1])*im.W+(x+off[0])])
+		d := p - c
+		diffs[i] = d
+		if d > threshold {
+			bright |= 1 << uint(i)
+		} else if d < -threshold {
+			dark |= 1 << uint(i)
+		}
+	}
+	if !hasContigRun(bright, contigMin) && !hasContigRun(dark, contigMin) {
+		return 0
+	}
+	score := 0
+	for _, d := range diffs {
+		if d < 0 {
+			d = -d
+		}
+		if d > threshold {
+			score += d - threshold
+		}
+	}
+	return score
+}
+
+// hasContigRun reports whether the 16-bit circular mask contains a run of at
+// least n consecutive set bits (with wraparound).
+func hasContigRun(mask uint32, n int) bool {
+	if mask == 0 {
+		return false
+	}
+	// Duplicate the 16-bit pattern to handle wraparound runs.
+	ext := mask | mask<<16
+	run := 0
+	for i := 0; i < 32; i++ {
+		if ext&(1<<uint(i)) != 0 {
+			run++
+			if run >= n {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}
+
+// orientation computes the intensity-centroid angle atan2(m01, m10) over a
+// disc of the given radius, as ORB does (rotation-invariant descriptors).
+func orientation(im *img.Gray, x, y, radius int) float64 {
+	var m01, m10 int64
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if dx*dx+dy*dy > radius*radius {
+				continue
+			}
+			v := int64(im.At(x+dx, y+dy))
+			m10 += int64(dx) * v
+			m01 += int64(dy) * v
+		}
+	}
+	return math.Atan2(float64(m01), float64(m10))
+}
+
+// sortKeypoints orders keypoints by descending score, breaking ties by
+// (y,x) for determinism. Insertion-based since lists are short post-NMS;
+// switched to a simple quicksort via sort-like shell for larger sets.
+func sortKeypoints(kps []Keypoint) {
+	// Shell sort: in-place, deterministic, adequate for a few thousand kps.
+	n := len(kps)
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			k := kps[i]
+			j := i
+			for ; j >= gap && kpLess(k, kps[j-gap]); j -= gap {
+				kps[j] = kps[j-gap]
+			}
+			kps[j] = k
+		}
+	}
+}
+
+func kpLess(a, b Keypoint) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}

@@ -1,0 +1,122 @@
+package slam
+
+import (
+	"testing"
+
+	"adsim/internal/img"
+	"adsim/internal/scene"
+)
+
+func TestPyramidConfigNormalization(t *testing.T) {
+	c := PyramidConfig{}.normalized()
+	if c.Levels != 1 || c.ScaleFactor != 1.2 {
+		t.Errorf("normalized zero config = %+v", c)
+	}
+	if DefaultPyramidConfig().Levels != 8 {
+		t.Error("default pyramid should have 8 levels")
+	}
+	if s := DefaultPyramidConfig().LevelScale(2); s < 1.43 || s > 1.45 {
+		t.Errorf("LevelScale(2) = %v, want 1.44", s)
+	}
+}
+
+func TestPyramidSingleLevelMatchesBase(t *testing.T) {
+	f := checkerFrame(256, 128, 16)
+	k1, d1 := ExtractFeatures(f, DefaultFASTConfig())
+	k2, d2 := ExtractFeaturesPyramid(f, DefaultFASTConfig(), PyramidConfig{Levels: 1})
+	if len(k1) != len(k2) || len(d1) != len(d2) {
+		t.Fatalf("single-level pyramid differs from base: %d/%d vs %d/%d",
+			len(k1), len(d1), len(k2), len(d2))
+	}
+}
+
+func TestPyramidProducesMultiLevelFeatures(t *testing.T) {
+	f := checkerFrame(512, 256, 16)
+	kps, descs := ExtractFeaturesPyramid(f, DefaultFASTConfig(), DefaultPyramidConfig())
+	if len(kps) != len(descs) {
+		t.Fatal("keypoint/descriptor count mismatch")
+	}
+	levels := map[int]int{}
+	for _, kp := range kps {
+		levels[kp.Level]++
+		if kp.X < 0 || kp.Y < 0 || kp.X >= 512 || kp.Y >= 256 {
+			t.Fatalf("keypoint (%d,%d) outside level-0 frame", kp.X, kp.Y)
+		}
+	}
+	if len(levels) < 3 {
+		t.Errorf("features on only %d pyramid levels", len(levels))
+	}
+	if levels[0] == 0 {
+		t.Error("no level-0 features")
+	}
+}
+
+func TestPyramidBudgetDecaysWithLevel(t *testing.T) {
+	f := checkerFrame(512, 256, 16)
+	cfg := DefaultFASTConfig()
+	cfg.MaxFeatures = 200
+	kps, _ := ExtractFeaturesPyramid(f, cfg, DefaultPyramidConfig())
+	counts := map[int]int{}
+	for _, kp := range kps {
+		counts[kp.Level]++
+	}
+	if counts[0] < counts[4] {
+		t.Errorf("level budgets not decaying: %v", counts)
+	}
+}
+
+func TestPyramidImprovesScaleMatching(t *testing.T) {
+	// The same scene at 1.45x zoom: multi-scale extraction should match
+	// more features across the zoom than single-scale.
+	base := checkerFrame(384, 192, 16)
+	zoomFactor := 1.45
+	big := base.Resize(int(384*zoomFactor), int(192*zoomFactor))
+	zoomed := big.Crop(img.RectWH(
+		float64(big.W-384)/2, float64(big.H-192)/2, 384, 192))
+
+	match := func(pyr PyramidConfig) int {
+		k1, d1 := ExtractFeaturesPyramid(base, DefaultFASTConfig(), pyr)
+		k2, d2 := ExtractFeaturesPyramid(zoomed, DefaultFASTConfig(), pyr)
+		_, _ = k1, k2
+		ms := MatchDescriptors(d1, d2, 40, 0.8)
+		return len(ms)
+	}
+	single := match(PyramidConfig{Levels: 1})
+	multi := match(DefaultPyramidConfig())
+	if multi <= single {
+		t.Errorf("pyramid matching (%d) should beat single-scale (%d) across a 1.45x zoom",
+			multi, single)
+	}
+}
+
+// TestEnginePyramidMode verifies the engine tracks a surveyed route with
+// multi-scale extraction enabled end to end.
+func TestEnginePyramidMode(t *testing.T) {
+	cfg := scene.DefaultConfig(scene.Urban)
+	cfg.Width, cfg.Height = 512, 256
+	gen, err := scene.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := DefaultConfig()
+	ecfg.Pyramid = PyramidConfig{Levels: 4, ScaleFactor: 1.2}
+	eng, err := NewEngine(ecfg, NewPriorMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f := gen.Step()
+		eng.Survey(f.Image, f.EgoPose)
+	}
+	replay, _ := scene.New(cfg)
+	tracked := 0
+	for i := 0; i < 15; i++ {
+		f := replay.Step()
+		if eng.Localize(f.Image).Tracked {
+			tracked++
+		}
+	}
+	if tracked < 12 {
+		t.Errorf("pyramid engine localized only %d/15 frames", tracked)
+	}
+}

@@ -1,0 +1,183 @@
+package slam
+
+import (
+	"math"
+	"math/bits"
+
+	"adsim/internal/img"
+	"adsim/internal/stats"
+)
+
+// DescriptorBits is the rBRIEF descriptor length in binary tests.
+const DescriptorBits = 256
+
+// Descriptor is a 256-bit rBRIEF descriptor.
+type Descriptor [4]uint64
+
+// Hamming returns the Hamming distance between two descriptors (0..256).
+func (d Descriptor) Hamming(o Descriptor) int {
+	return bits.OnesCount64(d[0]^o[0]) + bits.OnesCount64(d[1]^o[1]) +
+		bits.OnesCount64(d[2]^o[2]) + bits.OnesCount64(d[3]^o[3])
+}
+
+// PatchRadius bounds the sampling pattern: all test points lie within this
+// radius of the keypoint, so keypoints need a PatchRadius+rotation margin
+// from the image border.
+const PatchRadius = 13
+
+// briefPattern is the fixed 256-pair sampling pattern, generated
+// deterministically at package init from a Gaussian-like distribution, as
+// BRIEF does. The same pattern LUT is what the paper's FPGA and ASIC FE
+// implementations store on-chip (their "Pattern LUT (256 x 4)").
+var briefPattern [DescriptorBits][4]int8
+
+// rotationLUT holds the pattern pre-rotated at 30 discretized angles
+// (ORB quantizes orientation to 2π/30 steps to avoid per-keypoint
+// trigonometry — the same trick the paper's hardware uses via sin/cos LUTs).
+const rotationSteps = 30
+
+var rotationLUT [rotationSteps][DescriptorBits][4]int8
+
+func init() {
+	rng := stats.NewRNG(0xB21EF) // fixed pattern seed
+	for i := range briefPattern {
+		for j := 0; j < 4; j++ {
+			// Approximate N(0, r/2) by averaging uniforms, clamped.
+			v := (rng.Uniform(-1, 1) + rng.Uniform(-1, 1) + rng.Uniform(-1, 1)) / 3 * PatchRadius
+			if v > PatchRadius-1 {
+				v = PatchRadius - 1
+			}
+			if v < -(PatchRadius - 1) {
+				v = -(PatchRadius - 1)
+			}
+			briefPattern[i][j] = int8(v)
+		}
+	}
+	for s := 0; s < rotationSteps; s++ {
+		angle := 2 * math.Pi * float64(s) / rotationSteps
+		sin, cos := math.Sin(angle), math.Cos(angle)
+		for i, p := range briefPattern {
+			for pt := 0; pt < 2; pt++ {
+				x, y := float64(p[2*pt]), float64(p[2*pt+1])
+				rx := cos*x - sin*y
+				ry := sin*x + cos*y
+				rotationLUT[s][i][2*pt] = int8(math.Round(rx))
+				rotationLUT[s][i][2*pt+1] = int8(math.Round(ry))
+			}
+		}
+	}
+}
+
+// Compute returns the rBRIEF descriptor for one oriented keypoint: the
+// sampling pattern is rotated to the keypoint's angle (via the discretized
+// rotation LUT) and each bit is the binary intensity test I(p1) < I(p2).
+func Compute(im *img.Gray, kp Keypoint) Descriptor {
+	step := int(math.Round(kp.Angle/(2*math.Pi/rotationSteps))) % rotationSteps
+	if step < 0 {
+		step += rotationSteps
+	}
+	pattern := &rotationLUT[step]
+	var d Descriptor
+	for i := 0; i < DescriptorBits; i++ {
+		p := pattern[i]
+		a := im.At(kp.X+int(p[0]), kp.Y+int(p[1]))
+		b := im.At(kp.X+int(p[2]), kp.Y+int(p[3]))
+		if a < b {
+			d[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return d
+}
+
+// ComputeAll extracts descriptors for all keypoints.
+func ComputeAll(im *img.Gray, kps []Keypoint) []Descriptor {
+	out := make([]Descriptor, len(kps))
+	for i, kp := range kps {
+		out[i] = Compute(im, kp)
+	}
+	return out
+}
+
+// Match is one descriptor correspondence between two sets.
+type Match struct {
+	QueryIdx, TrainIdx int
+	Distance           int
+}
+
+// GeometricInliers counts the matches whose image-space displacement agrees
+// with the consensus (median) displacement within tol pixels in both axes.
+// This is the verification step that rejects aliased matches from
+// self-similar scenery: random false matches scatter in displacement space
+// and fail the consensus test, while a true re-observation of the same
+// place yields a tight displacement cluster. (ORB-SLAM uses RANSAC-verified
+// pose estimation for the same purpose.)
+func GeometricInliers(qkps, tkps []Keypoint, ms []Match, tol int) int {
+	if len(ms) == 0 {
+		return 0
+	}
+	dxs := make([]int, len(ms))
+	dys := make([]int, len(ms))
+	for i, m := range ms {
+		dxs[i] = qkps[m.QueryIdx].X - tkps[m.TrainIdx].X
+		dys[i] = qkps[m.QueryIdx].Y - tkps[m.TrainIdx].Y
+	}
+	medDx := medianInt(dxs)
+	medDy := medianInt(dys)
+	inliers := 0
+	for i := range ms {
+		dx, dy := dxs[i]-medDx, dys[i]-medDy
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx <= tol && dy <= tol {
+			inliers++
+		}
+	}
+	return inliers
+}
+
+// medianInt returns the median of vs (lower middle for even lengths).
+// vs is modified (partially sorted).
+func medianInt(vs []int) int {
+	// Simple insertion sort: match sets are small (hundreds).
+	for i := 1; i < len(vs); i++ {
+		v := vs[i]
+		j := i - 1
+		for ; j >= 0 && vs[j] > v; j-- {
+			vs[j+1] = vs[j]
+		}
+		vs[j+1] = v
+	}
+	return vs[len(vs)/2]
+}
+
+// MatchDescriptors brute-force matches query descriptors against train
+// descriptors with Lowe-style acceptance: a match is kept when the best
+// distance is below maxDist and strictly better than ratio × second-best.
+func MatchDescriptors(query, train []Descriptor, maxDist int, ratio float64) []Match {
+	if len(train) == 0 {
+		return nil
+	}
+	var out []Match
+	for qi, q := range query {
+		best, second := DescriptorBits+1, DescriptorBits+1
+		bestIdx := -1
+		for ti, t := range train {
+			d := q.Hamming(t)
+			if d < best {
+				second = best
+				best = d
+				bestIdx = ti
+			} else if d < second {
+				second = d
+			}
+		}
+		if best <= maxDist && float64(best) < ratio*float64(second) {
+			out = append(out, Match{QueryIdx: qi, TrainIdx: bestIdx, Distance: best})
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package slam
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"adsim/internal/scene"
+)
+
+// Prior-map serialization: a compact little-endian binary format so maps
+// can be built offline (the paper's map-provider role), stored on-vehicle
+// and loaded at startup. The format is what the storage-constraint numbers
+// are about: keyframe poses, keypoints and 256-bit descriptors.
+//
+//	magic   uint32 'A','D','M','1'
+//	count   uint32 keyframes
+//	per keyframe:
+//	  id        int32
+//	  pose      3 × float64 (X, Z, Theta)
+//	  nFeatures uint32
+//	  per feature: x,y int16, level uint8, angle float32, desc 4×uint64
+//
+// Keypoint scores are not persisted: they only order detection, which has
+// already happened.
+
+const mapMagic = 0x4144_4D31 // "ADM1"
+
+// WriteTo serializes the map. It returns the number of bytes written.
+func (m *PriorMap) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(uint32(mapMagic)); err != nil {
+		return n, err
+	}
+	if err := put(uint32(len(m.keyframes))); err != nil {
+		return n, err
+	}
+	for _, kf := range m.keyframes {
+		if len(kf.Keypoints) != len(kf.Descriptors) {
+			return n, fmt.Errorf("slam: keyframe %d has %d keypoints but %d descriptors",
+				kf.ID, len(kf.Keypoints), len(kf.Descriptors))
+		}
+		if err := put(int32(kf.ID)); err != nil {
+			return n, err
+		}
+		for _, v := range []float64{kf.Pose.X, kf.Pose.Z, kf.Pose.Theta} {
+			if err := put(v); err != nil {
+				return n, err
+			}
+		}
+		if err := put(uint32(len(kf.Keypoints))); err != nil {
+			return n, err
+		}
+		for i, kp := range kf.Keypoints {
+			if kp.X < math.MinInt16 || kp.X > math.MaxInt16 ||
+				kp.Y < math.MinInt16 || kp.Y > math.MaxInt16 {
+				return n, fmt.Errorf("slam: keypoint (%d,%d) exceeds int16 frame bounds", kp.X, kp.Y)
+			}
+			if err := put(int16(kp.X)); err != nil {
+				return n, err
+			}
+			if err := put(int16(kp.Y)); err != nil {
+				return n, err
+			}
+			if err := put(uint8(kp.Level)); err != nil {
+				return n, err
+			}
+			if err := put(float32(kp.Angle)); err != nil {
+				return n, err
+			}
+			if err := put(kf.Descriptors[i]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadPriorMap deserializes a map written by WriteTo.
+func ReadPriorMap(r io.Reader) (*PriorMap, error) {
+	br := bufio.NewReader(r)
+	get := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic uint32
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("slam: reading map header: %w", err)
+	}
+	if magic != mapMagic {
+		return nil, fmt.Errorf("slam: bad map magic %#x", magic)
+	}
+	var count uint32
+	if err := get(&count); err != nil {
+		return nil, fmt.Errorf("slam: reading keyframe count: %w", err)
+	}
+	const maxKeyframes = 1 << 24 // 16M keyframes ≈ continental scale
+	if count > maxKeyframes {
+		return nil, fmt.Errorf("slam: implausible keyframe count %d", count)
+	}
+
+	m := NewPriorMap()
+	for k := uint32(0); k < count; k++ {
+		var id int32
+		if err := get(&id); err != nil {
+			return nil, fmt.Errorf("slam: keyframe %d: %w", k, err)
+		}
+		var pose scene.Pose
+		if err := get(&pose.X); err != nil {
+			return nil, err
+		}
+		if err := get(&pose.Z); err != nil {
+			return nil, err
+		}
+		if err := get(&pose.Theta); err != nil {
+			return nil, err
+		}
+		var nf uint32
+		if err := get(&nf); err != nil {
+			return nil, err
+		}
+		const maxFeatures = 1 << 20
+		if nf > maxFeatures {
+			return nil, fmt.Errorf("slam: implausible feature count %d", nf)
+		}
+		kps := make([]Keypoint, nf)
+		descs := make([]Descriptor, nf)
+		for i := range kps {
+			var x, y int16
+			var level uint8
+			var angle float32
+			if err := get(&x); err != nil {
+				return nil, err
+			}
+			if err := get(&y); err != nil {
+				return nil, err
+			}
+			if err := get(&level); err != nil {
+				return nil, err
+			}
+			if err := get(&angle); err != nil {
+				return nil, err
+			}
+			if err := get(&descs[i]); err != nil {
+				return nil, err
+			}
+			kps[i] = Keypoint{X: int(x), Y: int(y), Level: int(level), Angle: float64(angle)}
+		}
+		m.insert(Keyframe{ID: int(id), Pose: pose, Keypoints: kps, Descriptors: descs})
+	}
+	return m, nil
+}

@@ -1,0 +1,152 @@
+package slam
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"adsim/internal/scene"
+)
+
+func TestMapSerializationRoundTrip(t *testing.T) {
+	eng, _ := surveyedWorld(t, 30)
+	m := eng.Map()
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadPriorMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != m.Len() {
+		t.Fatalf("round trip %d keyframes, want %d", got.Len(), m.Len())
+	}
+	a, b := m.All(), got.All()
+	for i := range a {
+		if a[i].Pose != b[i].Pose {
+			t.Fatalf("keyframe %d pose differs: %+v vs %+v", i, a[i].Pose, b[i].Pose)
+		}
+		if a[i].ID != b[i].ID {
+			t.Fatalf("keyframe %d id differs: %d vs %d", i, a[i].ID, b[i].ID)
+		}
+		if len(a[i].Descriptors) != len(b[i].Descriptors) {
+			t.Fatalf("keyframe %d descriptor count differs", i)
+		}
+		for j := range a[i].Descriptors {
+			if a[i].Descriptors[j] != b[i].Descriptors[j] {
+				t.Fatalf("keyframe %d descriptor %d differs", i, j)
+			}
+			ka, kb := a[i].Keypoints[j], b[i].Keypoints[j]
+			if ka.X != kb.X || ka.Y != kb.Y || ka.Level != kb.Level {
+				t.Fatalf("keyframe %d keypoint %d differs: %+v vs %+v", i, j, ka, kb)
+			}
+		}
+	}
+}
+
+func TestLoadedMapLocalizes(t *testing.T) {
+	eng, replay := surveyedWorld(t, 30)
+	var buf bytes.Buffer
+	if _, err := eng.Map().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPriorMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := NewEngine(DefaultConfig(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracked := 0
+	for i := 0; i < 10; i++ {
+		f := replay.Step()
+		if eng2.Localize(f.Image).Tracked {
+			tracked++
+		}
+	}
+	if tracked < 8 {
+		t.Errorf("localized only %d/10 frames against the deserialized map", tracked)
+	}
+}
+
+func TestReadPriorMapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPriorMap(strings.NewReader("not a map")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadPriorMap(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Valid magic, truncated body.
+	var buf bytes.Buffer
+	m := NewPriorMap()
+	m.Add(scene.Pose{Z: 1}, make([]Keypoint, 3), make([]Descriptor, 3))
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadPriorMap(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated map accepted")
+	}
+}
+
+func TestWriteToRejectsInconsistentKeyframe(t *testing.T) {
+	m := NewPriorMap()
+	m.Add(scene.Pose{}, make([]Keypoint, 2), make([]Descriptor, 1))
+	if _, err := m.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched keypoints/descriptors accepted")
+	}
+}
+
+func TestSerializedDensityMatchesEstimate(t *testing.T) {
+	// The on-disk byte density should be close to StorageBytes' estimate
+	// (the storage experiment's basis).
+	eng, _ := surveyedWorld(t, 30)
+	m := eng.Map()
+	var buf bytes.Buffer
+	n, err := m.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := m.StorageBytes()
+	ratio := float64(n) / float64(est)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("on-disk %d bytes vs estimate %d (ratio %.2f)", n, est, ratio)
+	}
+}
+
+// Property: ReadPriorMap never panics on arbitrary input — it returns an
+// error or a valid map.
+func TestReadPriorMapNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadPriorMap panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		m, err := ReadPriorMap(bytes.NewReader(data))
+		return err != nil || m != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a header claiming a huge feature count must not cause a huge
+// allocation before validation.
+func TestReadPriorMapHugeCountsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(mapMagic))
+	binary.Write(&buf, binary.LittleEndian, uint32(1<<30)) // absurd keyframes
+	if _, err := ReadPriorMap(&buf); err == nil {
+		t.Error("absurd keyframe count accepted")
+	}
+}

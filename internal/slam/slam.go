@@ -1,0 +1,366 @@
+package slam
+
+import (
+	"fmt"
+	"time"
+
+	"adsim/internal/img"
+	"adsim/internal/scene"
+)
+
+// Config parameterizes the localization engine.
+type Config struct {
+	FAST FASTConfig
+	// Pyramid controls multi-scale feature extraction; the zero value (or
+	// Levels ≤ 1) extracts at full resolution only, ORB's canonical
+	// setting is DefaultPyramidConfig (8 levels at 1.2).
+	Pyramid PyramidConfig
+	// KeyframeSpacing is the survey keyframe pitch in meters.
+	KeyframeSpacing float64
+	// TrackWindow is the ± candidate search window (meters) around the
+	// motion-model prediction during normal tracking.
+	TrackWindow float64
+	// RelocWindow is the ± search window during relocalization. The
+	// paper's LOC tail latency comes from this being much larger.
+	RelocWindow float64
+	// MinMatches is the geometrically-verified match (inlier) count below
+	// which tracking is lost.
+	MinMatches int
+	// InlierTol is the displacement-consensus tolerance in pixels for
+	// geometric match verification.
+	InlierTol int
+	// MatchMaxDist and MatchRatio gate descriptor matching.
+	MatchMaxDist int
+	MatchRatio   float64
+	// LoopCloseEvery triggers a loop-closing scan every N frames
+	// (0 disables).
+	LoopCloseEvery int
+	// LoopCloseMinGap is the minimum longitudinal separation (meters) for
+	// a match to count as a loop closure rather than normal tracking.
+	LoopCloseMinGap float64
+}
+
+// DefaultConfig returns the standard LOC configuration.
+func DefaultConfig() Config {
+	return Config{
+		FAST:            DefaultFASTConfig(),
+		KeyframeSpacing: 2.0,
+		TrackWindow:     6.0,
+		RelocWindow:     1e9, // whole map: worst-case wide search
+		MinMatches:      40,
+		InlierTol:       3,
+		MatchMaxDist:    48,
+		MatchRatio:      0.85,
+		LoopCloseEvery:  50,
+		LoopCloseMinGap: 100,
+	}
+}
+
+// Timing reports where one Localize call spent its time, mirroring the
+// paper's Fig 7 breakdown: FE (oFAST + rBRIEF feature extraction) versus
+// everything else (matching, pose update, map maintenance).
+type Timing struct {
+	FE    time.Duration
+	Other time.Duration
+}
+
+// Total returns FE + Other.
+func (t Timing) Total() time.Duration { return t.FE + t.Other }
+
+// Estimate is one localization result.
+type Estimate struct {
+	Pose scene.Pose
+	// Tracked is false when neither tracking nor relocalization found
+	// enough matches and the pose is dead-reckoned from the motion model.
+	Tracked bool
+	// Relocalized is true when this frame required the wide-search
+	// relocalization path (the latency-spike path).
+	Relocalized bool
+	// Matches is the number of descriptor matches supporting the pose.
+	Matches int
+	// LoopClosed is true when the periodic loop-closing scan confirmed a
+	// revisit this frame.
+	LoopClosed bool
+}
+
+// Engine is the LOC engine. Not safe for concurrent use.
+type Engine struct {
+	cfg Config
+	m   *PriorMap
+
+	havePose  bool
+	lastPose  scene.Pose
+	velocity  float64 // longitudinal m/frame from the constant-motion model
+	frame     int
+	lost      bool
+	prevKps   []Keypoint   // previous frame's keypoints (visual odometry)
+	prevDescs []Descriptor // previous frame's descriptors (visual odometry)
+
+	lastTiming Timing
+	// Stats counters.
+	relocalizations int
+	loopClosures    int
+	mapUpdates      int
+}
+
+// NewEngine builds a localization engine over a prior map. The map may be
+// empty (e.g. during a survey run that populates it via ExtendMap).
+func NewEngine(cfg Config, m *PriorMap) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("slam: nil prior map")
+	}
+	if cfg.KeyframeSpacing <= 0 {
+		return nil, fmt.Errorf("slam: KeyframeSpacing %v must be positive", cfg.KeyframeSpacing)
+	}
+	if cfg.MinMatches <= 0 {
+		return nil, fmt.Errorf("slam: MinMatches %v must be positive", cfg.MinMatches)
+	}
+	if cfg.TrackWindow <= 0 || cfg.RelocWindow < cfg.TrackWindow {
+		return nil, fmt.Errorf("slam: windows invalid (track %v, reloc %v)", cfg.TrackWindow, cfg.RelocWindow)
+	}
+	return &Engine{cfg: cfg, m: m}, nil
+}
+
+// Map returns the engine's prior map.
+func (e *Engine) Map() *PriorMap { return e.m }
+
+// LastTiming returns the FE/other breakdown of the latest Localize call.
+func (e *Engine) LastTiming() Timing { return e.lastTiming }
+
+// Relocalizations reports how many frames required the wide-search path.
+func (e *Engine) Relocalizations() int { return e.relocalizations }
+
+// LoopClosures reports confirmed loop-closure events.
+func (e *Engine) LoopClosures() int { return e.loopClosures }
+
+// MapUpdates reports keyframes added by local mapping at runtime.
+func (e *Engine) MapUpdates() int { return e.mapUpdates }
+
+// ExtractFeatures runs the FE stage (oFAST + rBRIEF) on a frame. Exposed so
+// survey runs and benchmarks exercise exactly the code the engine uses.
+func ExtractFeatures(frame *img.Gray, cfg FASTConfig) ([]Keypoint, []Descriptor) {
+	smoothed := frame.BoxBlur(1)
+	kps := DetectFAST(smoothed, cfg)
+	descs := ComputeAll(smoothed, kps)
+	return kps, descs
+}
+
+// extract runs the engine's configured FE stage (single- or multi-scale).
+func (e *Engine) extract(frame *img.Gray) ([]Keypoint, []Descriptor) {
+	if e.cfg.Pyramid.Levels > 1 {
+		return ExtractFeaturesPyramid(frame, e.cfg.FAST, e.cfg.Pyramid)
+	}
+	return ExtractFeatures(frame, e.cfg.FAST)
+}
+
+// Survey adds a keyframe for a frame observed at a known pose if the map
+// has no keyframe within KeyframeSpacing of it. Used to build prior maps
+// from ground-truth scenario runs — the offline "map provider" role.
+func (e *Engine) Survey(frame *img.Gray, pose scene.Pose) bool {
+	if kf, ok := e.m.NearestZ(pose.Z); ok {
+		dz := kf.Pose.Z - pose.Z
+		if dz < 0 {
+			dz = -dz
+		}
+		if dz < e.cfg.KeyframeSpacing {
+			return false
+		}
+	}
+	kps, descs := e.extract(frame)
+	e.m.Add(pose, kps, descs)
+	return true
+}
+
+// Localize estimates the vehicle pose from one camera frame against the
+// prior map, updating the engine's motion model and (when needed) running
+// relocalization, local mapping and loop closing.
+func (e *Engine) Localize(frame *img.Gray) Estimate {
+	e.frame++
+
+	// --- FE stage (dominates LOC compute; Fig 7: 85.9%). ---
+	feStart := time.Now()
+	kps, descs := e.extract(frame)
+	feDur := time.Since(feStart)
+
+	otherStart := time.Now()
+	est := e.localizeFrom(kps, descs)
+	e.prevKps, e.prevDescs = kps, descs
+
+	// Local mapping: extend the map when tracking confidently in
+	// unsurveyed territory (the paper's "map update" path).
+	if est.Tracked {
+		if kf, ok := e.m.NearestZ(est.Pose.Z); !ok ||
+			abs(kf.Pose.Z-est.Pose.Z) >= e.cfg.KeyframeSpacing {
+			e.m.Add(est.Pose, kps, descs)
+			e.mapUpdates++
+		}
+	}
+
+	// Periodic loop closing: match against keyframes far from the current
+	// position; a strong distant match is a trajectory-loop detection and
+	// the pose is re-anchored to the matched keyframe (the map-frame
+	// correction a full pose-graph optimizer would produce).
+	if e.cfg.LoopCloseEvery > 0 && e.frame%e.cfg.LoopCloseEvery == 0 && est.Tracked {
+		// A closure must be supported by strictly more verified inliers
+		// than the current local anchor (and at least 2x MinMatches):
+		// re-anchoring on weaker evidence than tracking already has would
+		// let perceptual aliasing teleport the pose.
+		minScore := 2 * e.cfg.MinMatches
+		if est.Matches+1 > minScore {
+			minScore = est.Matches + 1
+		}
+		if kf, ok := e.detectLoop(kps, descs, est.Pose, minScore); ok {
+			est.LoopClosed = true
+			est.Pose = kf.Pose
+			e.lastPose = kf.Pose // re-anchor; velocity model is preserved
+			e.loopClosures++
+		}
+	}
+
+	e.lastTiming = Timing{FE: feDur, Other: time.Since(otherStart)}
+	return est
+}
+
+// localizeFrom runs the matching cascade: motion-model windowed tracking,
+// then relocalization over the whole map on failure.
+func (e *Engine) localizeFrom(kps []Keypoint, descs []Descriptor) Estimate {
+	predicted := e.lastPose
+	predicted.Z += e.velocity
+
+	// Tracking attempt: narrow window around the prediction (skipped when
+	// no pose is known yet — cold start relocalizes).
+	if e.havePose && !e.lost {
+		// Score both anchors: the prior map (absolute) and the previous
+		// frame (visual odometry, as ORB-SLAM's tracking thread uses).
+		cands := e.m.Candidates(predicted.Z, e.cfg.TrackWindow)
+		kf, kfInliers, kfOK := e.bestKeyframe(kps, descs, cands)
+		voInliers := 0
+		if len(e.prevDescs) > 0 {
+			ms := MatchDescriptors(descs, e.prevDescs, e.cfg.MatchMaxDist, e.cfg.MatchRatio)
+			voInliers = GeometricInliers(kps, e.prevKps, ms, e.cfg.InlierTol)
+		}
+		// Prefer the map anchor when its support is comparable (it is
+		// drift-free), but fall back to odometry when the frame clearly
+		// matches the live world better than any surveyed keyframe —
+		// the signature of unsurveyed or perceptually-aliased territory.
+		if kfOK && float64(kfInliers) >= 0.8*float64(voInliers) {
+			pose := e.refinePose(kf, predicted)
+			e.commitPose(pose)
+			return Estimate{Pose: pose, Tracked: true, Matches: kfInliers}
+		}
+		if voInliers >= e.cfg.MinMatches {
+			e.commitPose(predicted)
+			return Estimate{Pose: predicted, Tracked: true, Matches: voInliers}
+		}
+		e.lost = true
+	}
+
+	// Relocalization: strictly wider search (the tail-latency path).
+	e.relocalizations++
+	var cands []Keyframe
+	if e.cfg.RelocWindow >= 1e9 {
+		cands = e.m.All()
+	} else {
+		cands = e.m.Candidates(predicted.Z, e.cfg.RelocWindow)
+	}
+	if kf, matches, ok := e.bestKeyframe(kps, descs, cands); ok {
+		pose := e.refinePose(kf, predicted)
+		e.commitPose(pose)
+		e.lost = false
+		return Estimate{Pose: pose, Tracked: true, Relocalized: true, Matches: matches}
+	}
+
+	// Still lost: dead-reckon on the constant-motion model.
+	if e.havePose {
+		e.lastPose = predicted
+	}
+	return Estimate{Pose: predicted, Tracked: false, Relocalized: true}
+}
+
+// bestKeyframe scores candidate keyframes by geometrically-verified match
+// count and returns the best one if it clears MinMatches.
+func (e *Engine) bestKeyframe(kps []Keypoint, descs []Descriptor, cands []Keyframe) (Keyframe, int, bool) {
+	bestScore := 0
+	var best Keyframe
+	for _, kf := range cands {
+		ms := MatchDescriptors(descs, kf.Descriptors, e.cfg.MatchMaxDist, e.cfg.MatchRatio)
+		inl := GeometricInliers(kps, kf.Keypoints, ms, e.cfg.InlierTol)
+		if inl > bestScore {
+			bestScore = inl
+			best = kf
+		}
+	}
+	if bestScore < e.cfg.MinMatches {
+		return Keyframe{}, bestScore, false
+	}
+	return best, bestScore, true
+}
+
+// refinePose blends the matched keyframe's surveyed pose with the motion
+// model: the keyframe anchors absolute position (sub-keyframe precision
+// comes from the prediction, which advances smoothly between keyframes).
+func (e *Engine) refinePose(kf Keyframe, predicted scene.Pose) scene.Pose {
+	if !e.havePose {
+		return kf.Pose
+	}
+	pose := predicted
+	// Clamp prediction drift to half the keyframe pitch: when the best
+	// match is the nearest keyframe, the true position lies within
+	// ±spacing/2 of its surveyed position.
+	maxDrift := e.cfg.KeyframeSpacing / 2
+	if pose.Z > kf.Pose.Z+maxDrift {
+		pose.Z = kf.Pose.Z + maxDrift
+	}
+	if pose.Z < kf.Pose.Z-maxDrift {
+		pose.Z = kf.Pose.Z - maxDrift
+	}
+	pose.X = kf.Pose.X
+	pose.Theta = kf.Pose.Theta
+	return pose
+}
+
+func (e *Engine) commitPose(pose scene.Pose) {
+	if e.havePose {
+		v := pose.Z - e.lastPose.Z
+		// Constant-motion model with mild adaptation, rejecting negative
+		// slips. The first observed displacement seeds the model directly
+		// so prediction does not lag through a slow exponential ramp.
+		if v >= 0 {
+			if e.velocity == 0 {
+				e.velocity = v
+			} else {
+				e.velocity = 0.7*e.velocity + 0.3*v
+			}
+		}
+	}
+	e.lastPose = pose
+	e.havePose = true
+}
+
+// detectLoop scans keyframes at least LoopCloseMinGap away from pose and
+// returns the best match with at least minScore verified inliers, if any —
+// a trajectory loop.
+func (e *Engine) detectLoop(kps []Keypoint, descs []Descriptor, pose scene.Pose, minScore int) (Keyframe, bool) {
+	bestScore := minScore - 1
+	var best Keyframe
+	found := false
+	for _, kf := range e.m.All() {
+		if abs(kf.Pose.Z-pose.Z) < e.cfg.LoopCloseMinGap {
+			continue
+		}
+		ms := MatchDescriptors(descs, kf.Descriptors, e.cfg.MatchMaxDist, e.cfg.MatchRatio)
+		if inl := GeometricInliers(kps, kf.Keypoints, ms, e.cfg.InlierTol); inl > bestScore {
+			bestScore = inl
+			best = kf
+			found = true
+		}
+	}
+	return best, found
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bucket histogram over [Lo, Hi). Samples outside
+// the range are clamped into the first/last bucket so totals are preserved,
+// which is the behaviour wanted for latency plots with a known axis.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	width   float64
+	total   int
+}
+
+// NewHistogram creates a histogram with n buckets covering [lo, hi).
+// It panics if n <= 0 or hi <= lo, which are programming errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%g,%g) n=%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n), width: (hi - lo) / float64(n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	idx := int(math.Floor((v - h.Lo) / h.width))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Buckets) {
+		idx = len(h.Buckets) - 1
+	}
+	h.Buckets[idx]++
+	h.total++
+}
+
+// Total reports the number of recorded samples.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketRange returns the [lo,hi) span of bucket i.
+func (h *Histogram) BucketRange(i int) (float64, float64) {
+	return h.Lo + float64(i)*h.width, h.Lo + float64(i+1)*h.width
+}
+
+// Render draws a textual bar chart, one row per non-empty bucket, scaled to
+// width columns. Useful for CLI experiment output.
+func (h *Histogram) Render(width int) string {
+	maxCount := 0
+	for _, c := range h.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BucketRange(i)
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(maxCount)*float64(width))))
+		fmt.Fprintf(&b, "[%10.2f, %10.2f) %7d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,236 @@
+// Package tensor implements the small dense-tensor math substrate backing
+// the DNN inference engine: CHW feature maps, 2D convolution, max pooling,
+// fully connected layers and the activation functions used by the YOLO- and
+// GOTURN-shaped networks in the paper's pipeline.
+//
+// The implementation favours clarity and determinism over peak FLOPs — the
+// reproduction's CPU-native mode characterizes relative computational cost,
+// while full-scale platform latencies come from the calibrated models in
+// internal/accel.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// T is a 3-dimensional tensor in CHW layout (channels, height, width),
+// the layout used by the convolutional layers. A vector is represented as
+// C=N, H=W=1.
+type T struct {
+	C, H, W int
+	Data    []float32
+}
+
+// New allocates a zeroed C×H×W tensor. It panics on non-positive dims.
+func New(c, h, w int) *T {
+	if c <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%dx%d", c, h, w))
+	}
+	return &T{C: c, H: h, W: w, Data: make([]float32, c*h*w)}
+}
+
+// NewVec allocates a zeroed length-n vector tensor (n×1×1).
+func NewVec(n int) *T { return New(n, 1, 1) }
+
+// Len returns the number of elements.
+func (t *T) Len() int { return t.C * t.H * t.W }
+
+// At returns element (c,y,x) without bounds checking beyond the slice's own.
+func (t *T) At(c, y, x int) float32 { return t.Data[(c*t.H+y)*t.W+x] }
+
+// Set writes element (c,y,x).
+func (t *T) Set(c, y, x int, v float32) { t.Data[(c*t.H+y)*t.W+x] = v }
+
+// Clone returns a deep copy of the tensor.
+func (t *T) Clone() *T {
+	out := New(t.C, t.H, t.W)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Fill sets every element to v.
+func (t *T) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical dimensions.
+func (t *T) SameShape(o *T) bool { return t.C == o.C && t.H == o.H && t.W == o.W }
+
+func (t *T) String() string { return fmt.Sprintf("tensor(%dx%dx%d)", t.C, t.H, t.W) }
+
+// Conv2D computes a 2D convolution of in with weights w, writing into a new
+// tensor. Weights are laid out [outC][inC][k][k]; bias has length outC and
+// may be nil. stride and pad follow the usual conventions. The output has
+// dims outC × ((H+2p−k)/s+1) × ((W+2p−k)/s+1).
+func Conv2D(in *T, w []float32, bias []float32, outC, k, stride, pad int) *T {
+	if stride <= 0 || k <= 0 {
+		panic(fmt.Sprintf("tensor: invalid conv k=%d stride=%d", k, stride))
+	}
+	if len(w) != outC*in.C*k*k {
+		panic(fmt.Sprintf("tensor: conv weights len %d, want %d", len(w), outC*in.C*k*k))
+	}
+	oh := (in.H+2*pad-k)/stride + 1
+	ow := (in.W+2*pad-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d non-positive", oh, ow))
+	}
+	out := New(outC, oh, ow)
+	for oc := 0; oc < outC; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		wBase := oc * in.C * k * k
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				sum := b
+				for ic := 0; ic < in.C; ic++ {
+					wOff := wBase + ic*k*k
+					inOff := ic * in.H * in.W
+					for ky := 0; ky < k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						rowOff := inOff + iy*in.W
+						wRow := wOff + ky*k
+						for kx := 0; kx < k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							sum += w[wRow+kx] * in.Data[rowOff+ix]
+						}
+					}
+				}
+				out.Data[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D computes max pooling with a k×k window and the given stride.
+func MaxPool2D(in *T, k, stride int) *T {
+	if k <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("tensor: invalid pool k=%d stride=%d", k, stride))
+	}
+	oh := (in.H-k)/stride + 1
+	ow := (in.W-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: pool output %dx%d non-positive", oh, ow))
+	}
+	out := New(in.C, oh, ow)
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(-3.4e38)
+				for ky := 0; ky < k; ky++ {
+					iy := oy*stride + ky
+					rowOff := (c*in.H + iy) * in.W
+					for kx := 0; kx < k; kx++ {
+						v := in.Data[rowOff+ox*stride+kx]
+						if v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(c*oh+oy)*ow+ox] = best
+			}
+		}
+	}
+	return out
+}
+
+// FullyConnected computes out = W·flatten(in) + bias, where w is row-major
+// [outN][inN] and bias may be nil. The result is an outN-vector.
+func FullyConnected(in *T, w []float32, bias []float32, outN int) *T {
+	inN := in.Len()
+	if len(w) != outN*inN {
+		panic(fmt.Sprintf("tensor: fc weights len %d, want %d", len(w), outN*inN))
+	}
+	out := NewVec(outN)
+	for o := 0; o < outN; o++ {
+		var sum float32
+		if bias != nil {
+			sum = bias[o]
+		}
+		row := w[o*inN : (o+1)*inN]
+		for i, v := range in.Data {
+			sum += row[i] * v
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+// ReLU applies max(0,x) in place and returns the tensor.
+func ReLU(t *T) *T {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// LeakyReLU applies x<0 ? alpha*x : x in place (YOLO uses alpha=0.1).
+func LeakyReLU(t *T, alpha float32) *T {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = alpha * v
+		}
+	}
+	return t
+}
+
+// Sigmoid applies the logistic function in place.
+func Sigmoid(t *T) *T {
+	for i, v := range t.Data {
+		t.Data[i] = 1 / (1 + exp32(-v))
+	}
+	return t
+}
+
+// Softmax normalizes the slice seg in place to a probability distribution
+// using the numerically stable max-shift formulation.
+func Softmax(seg []float32) {
+	if len(seg) == 0 {
+		return
+	}
+	maxV := seg[0]
+	for _, v := range seg[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float32
+	for i, v := range seg {
+		e := exp32(v - maxV)
+		seg[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range seg {
+		seg[i] /= sum
+	}
+}
+
+// exp32 is a float32 exponential clamped to the activation range so that
+// extreme logits saturate instead of overflowing to +Inf.
+func exp32(x float32) float32 {
+	if x > 60 {
+		x = 60
+	}
+	if x < -60 {
+		return 0
+	}
+	return float32(math.Exp(float64(x)))
+}

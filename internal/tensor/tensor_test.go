@@ -1,0 +1,398 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	x.Set(1, 2, 3, 7)
+	if x.At(1, 2, 3) != 7 {
+		t.Error("At/Set mismatch")
+	}
+	if x.Data[23] != 7 {
+		t.Error("CHW layout: (1,2,3) should be last element")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0,1,1) should panic")
+		}
+	}()
+	New(0, 1, 1)
+}
+
+func TestCloneFillSameShape(t *testing.T) {
+	x := New(1, 2, 2)
+	x.Fill(3)
+	y := x.Clone()
+	y.Set(0, 0, 0, 9)
+	if x.At(0, 0, 0) != 3 {
+		t.Error("Clone shares storage")
+	}
+	if !x.SameShape(y) || x.SameShape(New(2, 2, 2)) {
+		t.Error("SameShape wrong")
+	}
+	if x.String() != "tensor(1x2x2)" {
+		t.Errorf("String = %q", x.String())
+	}
+}
+
+func TestConv2DIdentity(t *testing.T) {
+	in := New(1, 3, 3)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	// 1x1 kernel with weight 1 = identity.
+	out := Conv2D(in, []float32{1}, nil, 1, 1, 1, 0)
+	if !out.SameShape(in) {
+		t.Fatalf("identity conv shape %v", out)
+	}
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatal("identity conv changed values")
+		}
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 1-channel 3x3 input, 3x3 averaging-like kernel of ones, no padding:
+	// single output = sum of all inputs.
+	in := New(1, 3, 3)
+	var want float32
+	for i := range in.Data {
+		in.Data[i] = float32(i + 1)
+		want += float32(i + 1)
+	}
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out := Conv2D(in, w, nil, 1, 3, 1, 0)
+	if out.C != 1 || out.H != 1 || out.W != 1 {
+		t.Fatalf("shape %v, want 1x1x1", out)
+	}
+	if out.Data[0] != want {
+		t.Errorf("conv sum = %v, want %v", out.Data[0], want)
+	}
+}
+
+func TestConv2DPaddingShape(t *testing.T) {
+	in := New(3, 8, 8)
+	w := make([]float32, 16*3*3*3)
+	out := Conv2D(in, w, nil, 16, 3, 1, 1)
+	if out.C != 16 || out.H != 8 || out.W != 8 {
+		t.Fatalf("same-pad conv shape %v, want 16x8x8", out)
+	}
+	out2 := Conv2D(in, w, nil, 16, 3, 2, 1)
+	if out2.H != 4 || out2.W != 4 {
+		t.Fatalf("stride-2 conv shape %v, want 16x4x4", out2)
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := New(1, 2, 2)
+	w := []float32{0} // 1x1 zero kernel
+	out := Conv2D(in, w, []float32{5}, 1, 1, 1, 0)
+	for _, v := range out.Data {
+		if v != 5 {
+			t.Fatalf("bias not applied: %v", v)
+		}
+	}
+}
+
+func TestConv2DPaddingZeros(t *testing.T) {
+	// All-ones input, 3x3 ones kernel, pad 1: corner output sees only 4
+	// valid taps, center sees 9.
+	in := New(1, 3, 3)
+	in.Fill(1)
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	out := Conv2D(in, w, nil, 1, 3, 1, 1)
+	if out.At(0, 0, 0) != 4 {
+		t.Errorf("corner = %v, want 4", out.At(0, 0, 0))
+	}
+	if out.At(0, 1, 1) != 9 {
+		t.Errorf("center = %v, want 9", out.At(0, 1, 1))
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	in := New(2, 1, 1)
+	in.Data[0], in.Data[1] = 3, 4
+	// outC=1, k=1: weight per input channel.
+	out := Conv2D(in, []float32{2, 10}, nil, 1, 1, 1, 0)
+	if out.Data[0] != 3*2+4*10 {
+		t.Errorf("multi-channel conv = %v, want 46", out.Data[0])
+	}
+}
+
+func TestConv2DPanicsOnBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short weights should panic")
+		}
+	}()
+	Conv2D(New(1, 3, 3), []float32{1, 2}, nil, 1, 3, 1, 0)
+}
+
+func TestMaxPool(t *testing.T) {
+	in := New(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	out := MaxPool2D(in, 2, 2)
+	if out.H != 2 || out.W != 2 {
+		t.Fatalf("pool shape %v", out)
+	}
+	want := []float32{5, 7, 13, 15}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("pool[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestMaxPoolNegativeValues(t *testing.T) {
+	in := New(1, 2, 2)
+	in.Data = []float32{-5, -3, -9, -7}
+	out := MaxPool2D(in, 2, 2)
+	if out.Data[0] != -3 {
+		t.Errorf("pool of negatives = %v, want -3", out.Data[0])
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	in := NewVec(3)
+	in.Data = []float32{1, 2, 3}
+	w := []float32{
+		1, 0, 0,
+		0, 1, 1,
+	}
+	out := FullyConnected(in, w, []float32{10, 20}, 2)
+	if out.Data[0] != 11 || out.Data[1] != 25 {
+		t.Errorf("fc = %v, want [11 25]", out.Data)
+	}
+}
+
+func TestFullyConnectedFlattens(t *testing.T) {
+	in := New(2, 2, 1) // 4 elements
+	in.Data = []float32{1, 2, 3, 4}
+	w := []float32{1, 1, 1, 1}
+	out := FullyConnected(in, w, nil, 1)
+	if out.Data[0] != 10 {
+		t.Errorf("fc over CHW = %v, want 10", out.Data[0])
+	}
+}
+
+func TestReLU(t *testing.T) {
+	x := NewVec(3)
+	x.Data = []float32{-1, 0, 2}
+	ReLU(x)
+	if x.Data[0] != 0 || x.Data[1] != 0 || x.Data[2] != 2 {
+		t.Errorf("relu = %v", x.Data)
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	x := NewVec(2)
+	x.Data = []float32{-10, 5}
+	LeakyReLU(x, 0.1)
+	if x.Data[0] != -1 || x.Data[1] != 5 {
+		t.Errorf("leaky = %v", x.Data)
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	x := NewVec(3)
+	x.Data = []float32{-100, 0, 100}
+	Sigmoid(x)
+	if x.Data[0] > 0.001 || math.Abs(float64(x.Data[1])-0.5) > 1e-5 || x.Data[2] < 0.999 {
+		t.Errorf("sigmoid = %v", x.Data)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	seg := []float32{1, 2, 3}
+	Softmax(seg)
+	var sum float32
+	for _, v := range seg {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1) > 1e-5 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+	if !(seg[2] > seg[1] && seg[1] > seg[0]) {
+		t.Errorf("softmax ordering broken: %v", seg)
+	}
+	Softmax(nil) // must not panic
+}
+
+func TestExp32Accuracy(t *testing.T) {
+	for _, x := range []float32{-20, -5, -1, -0.1, 0, 0.1, 1, 5, 20} {
+		got := float64(exp32(x))
+		want := math.Exp(float64(x))
+		rel := math.Abs(got-want) / want
+		if rel > 1e-5 {
+			t.Errorf("exp32(%v) = %v, want %v (rel err %v)", x, got, want, rel)
+		}
+	}
+	if exp32(-100) != 0 {
+		t.Error("exp32 underflow should clamp to 0")
+	}
+	if v := exp32(100); math.IsInf(float64(v), 1) {
+		t.Error("exp32 overflow should clamp, not inf")
+	}
+}
+
+// Property: softmax output is a probability distribution for finite input.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seg := make([]float32, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return true
+			}
+			// Clamp into activation range.
+			if v > 50 {
+				v = 50
+			}
+			if v < -50 {
+				v = -50
+			}
+			seg[i] = v
+		}
+		Softmax(seg)
+		var sum float64
+		for _, v := range seg {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: conv with a delta kernel (center 1, pad same) reproduces input.
+func TestConvDeltaProperty(t *testing.T) {
+	f := func(vals [9]int8) bool {
+		in := New(1, 3, 3)
+		for i, v := range vals {
+			in.Data[i] = float32(v)
+		}
+		w := make([]float32, 9)
+		w[4] = 1 // center tap of 3x3 kernel
+		out := Conv2D(in, w, nil, 1, 3, 1, 1)
+		for i := range in.Data {
+			if out.Data[i] != in.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	in := New(16, 52, 52)
+	w := make([]float32, 32*16*3*3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(in, w, nil, 32, 3, 1, 1)
+	}
+}
+
+func BenchmarkFullyConnected(b *testing.B) {
+	in := NewVec(4096)
+	w := make([]float32, 1000*4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FullyConnected(in, w, nil, 1000)
+	}
+}
+
+// Property: the im2col lowering computes exactly what the direct
+// convolution computes, across random shapes, strides and padding.
+func TestIm2ColMatchesDirectProperty(t *testing.T) {
+	f := func(seed uint32, kSel, sSel, pSel, cSel uint8) bool {
+		k := int(kSel)%3*2 + 1 // 1, 3, 5
+		stride := int(sSel)%2 + 1
+		pad := int(pSel) % 2
+		inC := int(cSel)%3 + 1
+		outC := int(cSel)%4 + 1
+		h := 6 + int(seed)%5
+		in := New(inC, h, h)
+		state := seed | 1
+		next := func() float32 {
+			state = state*1664525 + 1013904223
+			return float32(int32(state>>16)%100) / 25
+		}
+		for i := range in.Data {
+			in.Data[i] = next()
+		}
+		w := make([]float32, outC*inC*k*k)
+		for i := range w {
+			w[i] = next()
+		}
+		bias := make([]float32, outC)
+		for i := range bias {
+			bias[i] = next()
+		}
+		a := Conv2D(in, w, bias, outC, k, stride, pad)
+		b := Conv2DIm2Col(in, w, bias, outC, k, stride, pad)
+		if !a.SameShape(b) {
+			return false
+		}
+		for i := range a.Data {
+			d := a.Data[i] - b.Data[i]
+			if d > 1e-3 || d < -1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIm2ColPanicsOnBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short weights should panic")
+		}
+	}()
+	Conv2DIm2Col(New(1, 4, 4), []float32{1}, nil, 1, 3, 1, 0)
+}
+
+func BenchmarkConv2DIm2Col(b *testing.B) {
+	in := New(16, 52, 52)
+	w := make([]float32, 32*16*3*3)
+	for i := range w {
+		w[i] = 0.01
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DIm2Col(in, w, nil, 32, 3, 1, 1)
+	}
+}

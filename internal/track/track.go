@@ -1,0 +1,349 @@
+// Package track implements the object-tracking engine (TRA) of the
+// pipeline — the paper's GOTURN stage.
+//
+// Architecture follows the paper's description: a pool of single-object
+// trackers is launched up front to avoid initialization overhead, and a
+// tracked-object table records the objects currently being tracked; an
+// object that fails to appear in ten consecutive frames is dropped and its
+// tracker returns to the idle pool.
+//
+// Like the detection engine, each tracker couples a computational path (a
+// GOTURN-shaped two-branch network executed natively at tiny scale, with the
+// paper-scale GOTURN cost profile exported for the platform models) with a
+// functional path (template matching of the previous target crop inside the
+// current search region — the same crop geometry GOTURN uses).
+package track
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"adsim/internal/dnn"
+	"adsim/internal/img"
+	"adsim/internal/scene"
+	"adsim/internal/tensor"
+)
+
+// MissLimit is the number of consecutive frames an object may go undetected
+// before it is removed from the tracked-object table (the paper uses ten).
+const MissLimit = 10
+
+// Track is one entry in the tracked-object table.
+type Track struct {
+	ID    int
+	Class scene.Class
+	Box   img.Rect
+	// VX, VY is the box-center velocity in pixels/frame, smoothed by a
+	// per-track constant-velocity Kalman filter (raw frame differences
+	// are too jittery for the planner's obstacle extrapolation).
+	VX, VY float64
+	Age    int // frames since the track was created
+	Misses int // consecutive frames without a supporting detection
+
+	filter boxFilter
+}
+
+// Timing is the DNN-vs-other time breakdown of one engine invocation.
+type Timing struct {
+	DNN   time.Duration
+	Other time.Duration
+}
+
+// Total returns DNN + Other.
+func (t Timing) Total() time.Duration { return t.DNN + t.Other }
+
+// Config parameterizes the tracking engine.
+type Config struct {
+	// PoolSize is the number of pre-launched trackers and hence the
+	// maximum number of simultaneously tracked objects.
+	PoolSize int
+	// SearchScale is the factor by which the previous box is inflated to
+	// form the search region (GOTURN uses 2).
+	SearchScale float64
+	// TemplateSize is the square resolution templates are matched at.
+	TemplateSize int
+	// AssocIoU is the minimum IoU for associating a detection with an
+	// existing track.
+	AssocIoU float64
+	// RunDNN controls whether the native network executes per tracked
+	// object.
+	RunDNN bool
+}
+
+// DefaultConfig returns the standard tracking configuration.
+func DefaultConfig() Config {
+	return Config{
+		PoolSize:     16,
+		SearchScale:  2.0,
+		TemplateSize: 16,
+		AssocIoU:     0.3,
+		RunDNN:       true,
+	}
+}
+
+// Engine is the TRA engine: tracker pool plus tracked-object table.
+// Not safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	tower  *dnn.Network
+	head   *dnn.Network
+	nextID int
+
+	tracks     []*Track
+	prevFrame  *img.Gray
+	lastTiming Timing
+}
+
+// New constructs a tracking engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.PoolSize <= 0 {
+		return nil, fmt.Errorf("track: PoolSize %d must be positive", cfg.PoolSize)
+	}
+	if cfg.SearchScale <= 1 {
+		return nil, fmt.Errorf("track: SearchScale %v must exceed 1", cfg.SearchScale)
+	}
+	if cfg.TemplateSize < 4 {
+		return nil, fmt.Errorf("track: TemplateSize %d too small", cfg.TemplateSize)
+	}
+	e := &Engine{cfg: cfg}
+	if cfg.RunDNN {
+		e.tower = dnn.TinyTrackerTower(32)
+		e.head = dnn.TinyTrackerHead(e.tower.OutShape())
+	}
+	return e, nil
+}
+
+// PaperWorkload returns the paper-scale TRA cost: one GOTURN inference
+// (two CaffeNet tower passes plus the FC regression head) per tracked
+// object per frame.
+func PaperWorkload() dnn.Cost {
+	tower := dnn.GOTURNTower(227)
+	head := dnn.GOTURNHead(tower.OutShape())
+	return dnn.TrackerCost(tower, head)
+}
+
+// Tracks returns the live tracked-object table. The returned slice is the
+// engine's own; callers must not modify it.
+func (e *Engine) Tracks() []*Track { return e.tracks }
+
+// ActiveCount reports the number of tracked objects.
+func (e *Engine) ActiveCount() int { return len(e.tracks) }
+
+// IdleTrackers reports how many pool slots are free.
+func (e *Engine) IdleTrackers() int { return e.cfg.PoolSize - len(e.tracks) }
+
+// LastTiming returns the time breakdown of the most recent Step call.
+func (e *Engine) LastTiming() Timing { return e.lastTiming }
+
+// Detection is the minimal view of a detector output the engine needs;
+// it mirrors detect.Detection without importing the package (keeping the
+// dependency arrow pipeline→{detect,track} one-directional).
+type Detection struct {
+	Box   img.Rect
+	Class scene.Class
+}
+
+// Step advances the tracked-object table by one frame: every live track is
+// propagated by template matching (and the DNN path when enabled), then the
+// frame's detections are associated to tracks, spawning new tracks for
+// unmatched detections while idle trackers remain and aging out tracks that
+// have missed MissLimit consecutive frames.
+func (e *Engine) Step(frame *img.Gray, detections []Detection) {
+	var dnnDur, otherDur time.Duration
+
+	// 1. Propagate existing tracks on the new frame (GOTURN step).
+	if e.prevFrame != nil {
+		for _, tr := range e.tracks {
+			d, o := e.propagate(tr, frame)
+			dnnDur += d
+			otherDur += o
+		}
+	}
+
+	// 2. Associate detections to tracks (greedy best-IoU).
+	assocStart := time.Now()
+	usedDet := make([]bool, len(detections))
+	for _, tr := range e.tracks {
+		bestIoU := e.cfg.AssocIoU
+		bestIdx := -1
+		for i, det := range detections {
+			if usedDet[i] {
+				continue
+			}
+			if iou := tr.Box.IoU(det.Box); iou > bestIoU {
+				bestIoU = iou
+				bestIdx = i
+			}
+		}
+		if bestIdx >= 0 {
+			det := detections[bestIdx]
+			usedDet[bestIdx] = true
+			tr.Box = det.Box
+			tr.Class = det.Class
+			tr.Misses = 0
+		} else {
+			tr.Misses++
+		}
+		tr.Age++
+	}
+
+	// Velocity estimation: each live track's final box center for this
+	// frame is one measurement for its Kalman filter.
+	for _, tr := range e.tracks {
+		cx, cy := tr.Box.Center()
+		_, _, vx, vy := tr.filter.observe(cx, cy)
+		tr.VX, tr.VY = vx, vy
+	}
+
+	// 3. Expire stale tracks, freeing their pool slots.
+	live := e.tracks[:0]
+	for _, tr := range e.tracks {
+		if tr.Misses < MissLimit {
+			live = append(live, tr)
+		}
+	}
+	e.tracks = live
+
+	// 4. Spawn new tracks for unmatched detections while trackers remain.
+	for i, det := range detections {
+		if usedDet[i] || len(e.tracks) >= e.cfg.PoolSize {
+			continue
+		}
+		e.nextID++
+		tr := &Track{ID: e.nextID, Class: det.Class, Box: det.Box}
+		cx, cy := det.Box.Center()
+		tr.filter.observe(cx, cy) // initialize the velocity filter
+		e.tracks = append(e.tracks, tr)
+	}
+	otherDur += time.Since(assocStart)
+
+	e.prevFrame = frame
+	e.lastTiming = Timing{DNN: dnnDur, Other: otherDur}
+}
+
+// propagate runs one GOTURN-style tracking step for tr on the new frame,
+// returning the DNN and non-DNN durations.
+func (e *Engine) propagate(tr *Track, frame *img.Gray) (dnnDur, otherDur time.Duration) {
+	// Degenerate boxes (shrunk by repeated scale-down steps or clipped at
+	// the frame edge) cannot be matched; hold them in place and let the
+	// miss counter retire the track.
+	if tr.Box.W() < 4 || tr.Box.H() < 4 {
+		return 0, 0
+	}
+	startOther := time.Now()
+	// Crop previous target and current search region (GOTURN geometry).
+	target := e.prevFrame.Crop(tr.Box)
+	search := frame.Crop(tr.Box.Scale(e.cfg.SearchScale))
+
+	ts := e.cfg.TemplateSize
+	ss := int(float64(ts) * e.cfg.SearchScale)
+	targetSmall := target.Resize(ts, ts)
+	searchSmall := search.Resize(ss, ss)
+	otherDur += time.Since(startOther)
+
+	// Computational path: two-branch network + FC head.
+	if e.cfg.RunDNN {
+		startDNN := time.Now()
+		a := e.tower.Forward(toTensor(targetSmall.Resize(32, 32)))
+		b := e.tower.Forward(toTensor(searchSmall.Resize(32, 32)))
+		concat := tensor.NewVec(a.Len() + b.Len())
+		copy(concat.Data, a.Data)
+		copy(concat.Data[a.Len():], b.Data)
+		_ = e.head.Forward(concat)
+		dnnDur = time.Since(startDNN)
+	}
+
+	// Functional path: SAD template matching inside the search region,
+	// evaluated at three candidate scales — GOTURN regresses position and
+	// extent, and objects the vehicle approaches grow frame over frame.
+	startMatch := time.Now()
+	bestSAD := int64(1) << 62
+	bestDx, bestDy := 0, 0
+	bestTs := ts
+	for _, scale := range [...]float64{1.0, 1.08, 1.0 / 1.08} {
+		sts := int(math.Round(float64(ts) * scale))
+		if sts < 4 || sts > ss {
+			continue
+		}
+		tmpl := targetSmall
+		if sts != ts {
+			tmpl = target.Resize(sts, sts)
+		}
+		nominal := (ss - sts) / 2 // offset corresponding to zero motion
+		dx, dy, sad := matchTemplate(searchSmall, tmpl, nominal, nominal)
+		// Normalize by template area so scales compete fairly, with a
+		// mild preference for keeping the current scale.
+		norm := sad / int64(sts*sts)
+		if scale != 1.0 {
+			norm = norm + norm/16
+		}
+		if norm < bestSAD {
+			bestSAD = norm
+			bestDx, bestDy, bestTs = dx, dy, sts
+		}
+	}
+	// Map the template offset back to frame coordinates. The search region
+	// spans Box.Scale(SearchScale); template (0-offset) corresponds to the
+	// search region's top-left corner.
+	region := tr.Box.Scale(e.cfg.SearchScale).Clip(0, 0, frame.W, frame.H)
+	if !region.Empty() {
+		scaleX := region.W() / float64(ss)
+		scaleY := region.H() / float64(ss)
+		newX0 := region.X0 + float64(bestDx)*scaleX
+		newY0 := region.Y0 + float64(bestDy)*scaleY
+		newW := tr.Box.W() * float64(bestTs) / float64(ts)
+		newH := tr.Box.H() * float64(bestTs) / float64(ts)
+		tr.Box = img.RectWH(newX0, newY0, newW, newH)
+	}
+	otherDur += time.Since(startMatch)
+	return dnnDur, otherDur
+}
+
+// matchTemplate slides tmpl over search (both grayscale) and returns the
+// offset minimizing the sum of absolute differences, plus that SAD. Ties
+// are broken toward (nx,ny), the offset corresponding to zero motion, so
+// featureless regions do not cause the tracker to drift.
+func matchTemplate(search, tmpl *img.Gray, nx, ny int) (dx, dy int, best int64) {
+	bestSAD := int64(1) << 62
+	bestDist := int64(1) << 62
+	maxY := search.H - tmpl.H
+	maxX := search.W - tmpl.W
+	if maxY < 0 || maxX < 0 {
+		return 0, 0, bestSAD
+	}
+	for oy := 0; oy <= maxY; oy++ {
+		for ox := 0; ox <= maxX; ox++ {
+			var sad int64
+			for ty := 0; ty < tmpl.H; ty++ {
+				srow := (oy+ty)*search.W + ox
+				trow := ty * tmpl.W
+				for tx := 0; tx < tmpl.W; tx++ {
+					d := int64(search.Pix[srow+tx]) - int64(tmpl.Pix[trow+tx])
+					if d < 0 {
+						d = -d
+					}
+					sad += d
+				}
+				if sad > bestSAD {
+					break // early exit: already worse than best
+				}
+			}
+			ddx, ddy := int64(ox-nx), int64(oy-ny)
+			dist := ddx*ddx + ddy*ddy
+			if sad < bestSAD || (sad == bestSAD && dist < bestDist) {
+				bestSAD, bestDist = sad, dist
+				dx, dy = ox, oy
+			}
+		}
+	}
+	return dx, dy, bestSAD
+}
+
+func toTensor(g *img.Gray) *tensor.T {
+	t := tensor.New(1, g.H, g.W)
+	for i, p := range g.Pix {
+		t.Data[i] = float32(p) / 255
+	}
+	return t
+}

@@ -1,0 +1,420 @@
+package track
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adsim/internal/img"
+	"adsim/internal/scene"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{PoolSize: 0, SearchScale: 2, TemplateSize: 16},
+		{PoolSize: 4, SearchScale: 1, TemplateSize: 16},
+		{PoolSize: 4, SearchScale: 2, TemplateSize: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: config %+v should be rejected", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestSpawnAndTableLimits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 2
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := img.NewGray(100, 100)
+	dets := []Detection{
+		{Box: img.RectWH(0, 0, 10, 10)},
+		{Box: img.RectWH(30, 0, 10, 10)},
+		{Box: img.RectWH(60, 0, 10, 10)},
+	}
+	e.Step(f, dets)
+	if e.ActiveCount() != 2 {
+		t.Errorf("active = %d, want pool-limited 2", e.ActiveCount())
+	}
+	if e.IdleTrackers() != 0 {
+		t.Errorf("idle = %d, want 0", e.IdleTrackers())
+	}
+}
+
+func TestAssociationUpdatesTrack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := img.NewGray(100, 100)
+	e.Step(f, []Detection{{Box: img.RectWH(10, 10, 20, 20), Class: scene.Vehicle}})
+	id := e.Tracks()[0].ID
+
+	// Slightly moved detection should associate, not spawn.
+	e.Step(f, []Detection{{Box: img.RectWH(14, 10, 20, 20), Class: scene.Vehicle}})
+	if e.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1 (association failed)", e.ActiveCount())
+	}
+	tr := e.Tracks()[0]
+	if tr.ID != id {
+		t.Error("track identity changed on association")
+	}
+	if tr.VX <= 0 {
+		t.Errorf("velocity VX = %v, want positive (moved right)", tr.VX)
+	}
+	if tr.Misses != 0 {
+		t.Errorf("misses = %d after association", tr.Misses)
+	}
+}
+
+func TestMissExpiryAtTenFrames(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := img.NewGray(100, 100)
+	e.Step(f, []Detection{{Box: img.RectWH(10, 10, 20, 20)}})
+	if e.ActiveCount() != 1 {
+		t.Fatal("spawn failed")
+	}
+	// Miss for MissLimit-1 frames: still alive.
+	for i := 0; i < MissLimit-1; i++ {
+		e.Step(f, nil)
+	}
+	if e.ActiveCount() != 1 {
+		t.Fatalf("track expired after %d misses, limit is %d", MissLimit-1, MissLimit)
+	}
+	// Tenth consecutive miss: expired.
+	e.Step(f, nil)
+	if e.ActiveCount() != 0 {
+		t.Errorf("track not expired after %d misses", MissLimit)
+	}
+	if e.IdleTrackers() != cfg.PoolSize {
+		t.Error("expired track did not return to idle pool")
+	}
+}
+
+func TestMissCounterResets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := img.NewGray(100, 100)
+	det := []Detection{{Box: img.RectWH(10, 10, 20, 20)}}
+	e.Step(f, det)
+	for i := 0; i < 5; i++ {
+		e.Step(f, nil)
+	}
+	e.Step(f, det) // re-detected: miss counter resets
+	for i := 0; i < MissLimit-1; i++ {
+		e.Step(f, nil)
+	}
+	if e.ActiveCount() != 1 {
+		t.Error("miss counter did not reset on re-detection")
+	}
+}
+
+// movingSquareFrame renders a textured square at (x,y) for tracking tests.
+func movingSquareFrame(x, y int) *img.Gray {
+	f := img.NewGray(200, 100)
+	f.Fill(80)
+	box := img.RectWH(float64(x), float64(y), 24, 24)
+	f.FillRect(box, 180)
+	f.StrokeRect(box, 255)
+	f.FillRect(img.RectWH(float64(x)+6, float64(y)+6, 6, 6), 20) // asymmetric mark
+	return f
+}
+
+func TestTemplateTrackingFollowsMotion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+
+	x := 40
+	e.Step(movingSquareFrame(x, 40), []Detection{{Box: img.RectWH(float64(x), 40, 24, 24)}})
+	// Move the square right 4 px/frame with NO further detections: the
+	// template matcher must follow it for several frames.
+	for i := 0; i < 5; i++ {
+		x += 4
+		e.Step(movingSquareFrame(x, 40), nil)
+	}
+	if e.ActiveCount() != 1 {
+		t.Fatal("track lost")
+	}
+	tr := e.Tracks()[0]
+	cx, _ := tr.Box.Center()
+	wantCx := float64(x) + 12
+	if diff := cx - wantCx; diff > 6 || diff < -6 {
+		t.Errorf("tracked center x = %.1f, want ~%.1f", cx, wantCx)
+	}
+}
+
+func TestTrackOnSyntheticScene(t *testing.T) {
+	gen, err := scene.New(func() scene.Config {
+		c := scene.DefaultConfig(scene.Highway)
+		c.Width, c.Height = 640, 360
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+
+	for i := 0; i < 20; i++ {
+		f := gen.Step()
+		var dets []Detection
+		// Feed ground truth as detections every 5th frame; the tracker
+		// must coast in between.
+		if i%5 == 0 {
+			for _, tr := range f.Truth {
+				if tr.Box.Area() >= 100 {
+					dets = append(dets, Detection{Box: tr.Box, Class: tr.Class})
+				}
+			}
+		}
+		e.Step(f.Image, dets)
+	}
+	if e.ActiveCount() == 0 {
+		t.Error("no objects tracked on highway scene")
+	}
+}
+
+func TestDNNTimingDominates(t *testing.T) {
+	e, _ := New(DefaultConfig())
+	f0 := movingSquareFrame(40, 40)
+	e.Step(f0, []Detection{{Box: img.RectWH(40, 40, 24, 24)}})
+	e.Step(movingSquareFrame(44, 40), nil)
+	tm := e.LastTiming()
+	if tm.DNN <= 0 {
+		t.Fatal("DNN time not recorded")
+	}
+	if tm.Total() != tm.DNN+tm.Other {
+		t.Error("Total inconsistent")
+	}
+}
+
+func TestPaperWorkloadProfile(t *testing.T) {
+	c := PaperWorkload()
+	// GOTURN at 227x227: FC-heavy. Head weights must dominate (EIE's
+	// motivation); total weight bytes in the hundreds of MB.
+	if c.FCMACs <= 0 || c.ConvMACs <= 0 {
+		t.Fatal("missing MAC split")
+	}
+	if c.WeightBytes < 100e6 {
+		t.Errorf("GOTURN weights = %d bytes, expected >100MB (FC-dominated)", c.WeightBytes)
+	}
+}
+
+func TestMatchTemplateExact(t *testing.T) {
+	search := img.NewGray(20, 20)
+	for i := range search.Pix {
+		search.Pix[i] = uint8(i * 7 % 256)
+	}
+	tmpl := search.Crop(img.RectWH(5, 8, 6, 6))
+	dx, dy, sad := matchTemplate(search, tmpl, 0, 0)
+	if dx != 5 || dy != 8 {
+		t.Errorf("match at (%d,%d), want (5,8)", dx, dy)
+	}
+	if sad != 0 {
+		t.Errorf("exact match SAD = %d, want 0", sad)
+	}
+}
+
+func TestMatchTemplateOversizedTemplate(t *testing.T) {
+	search := img.NewGray(5, 5)
+	tmpl := img.NewGray(10, 10)
+	dx, dy, _ := matchTemplate(search, tmpl, 0, 0)
+	if dx != 0 || dy != 0 {
+		t.Error("oversized template should return origin")
+	}
+}
+
+func BenchmarkStepNoDNN(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := movingSquareFrame(40, 40)
+	e.Step(f, []Detection{{Box: img.RectWH(40, 40, 24, 24)}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step(f, nil)
+	}
+}
+
+// growingSquareFrame renders a textured square centered at (cx,cy) with the
+// given side length.
+func growingSquareFrame(cx, cy, side int) *img.Gray {
+	f := img.NewGray(200, 160)
+	f.Fill(80)
+	box := img.RectCenter(float64(cx), float64(cy), float64(side), float64(side))
+	f.FillRect(box, 180)
+	f.StrokeRect(box, 255)
+	f.FillRect(img.RectCenter(float64(cx), float64(cy), float64(side)/3, float64(side)/3), 20)
+	return f
+}
+
+func TestScaleAdaptiveTracking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+
+	side := 24
+	e.Step(growingSquareFrame(100, 80, side),
+		[]Detection{{Box: img.RectCenter(100, 80, float64(side), float64(side))}})
+	// The object grows ~8% per frame (approaching) with no detections:
+	// the scale-aware matcher must inflate the box.
+	for i := 0; i < 6; i++ {
+		side = int(float64(side) * 1.09)
+		e.Step(growingSquareFrame(100, 80, side), nil)
+	}
+	if e.ActiveCount() != 1 {
+		t.Fatal("track lost")
+	}
+	tr := e.Tracks()[0]
+	if tr.Box.W() <= 26 {
+		t.Errorf("box width %.1f did not grow with the object (now %d px)", tr.Box.W(), side)
+	}
+	truth := img.RectCenter(100, 80, float64(side), float64(side))
+	if iou := tr.Box.IoU(truth); iou < 0.5 {
+		t.Errorf("IoU with grown object = %.2f", iou)
+	}
+}
+
+func TestStableScaleNoDrift(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	e.Step(growingSquareFrame(100, 80, 24),
+		[]Detection{{Box: img.RectCenter(100, 80, 24, 24)}})
+	// Constant-size object: the scale hysteresis must hold the box size.
+	for i := 0; i < 8; i++ {
+		e.Step(growingSquareFrame(100, 80, 24), nil)
+	}
+	tr := e.Tracks()[0]
+	if tr.Box.W() < 18 || tr.Box.W() > 31 {
+		t.Errorf("box width drifted to %.1f on a constant-size object", tr.Box.W())
+	}
+}
+
+func TestDegenerateBoxHeldInPlace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := movingSquareFrame(40, 40)
+	e.Step(f, []Detection{{Box: img.RectWH(10, 10, 2, 0.5)}}) // degenerate spawn
+	before := e.Tracks()[0].Box
+	for i := 0; i < 3; i++ {
+		e.Step(movingSquareFrame(40+4*i, 40), nil) // must not panic
+	}
+	if e.ActiveCount() == 1 && e.Tracks()[0].Box != before {
+		t.Error("degenerate box should be held in place")
+	}
+}
+
+// Property: the tracked-object table never exceeds the pool size and never
+// holds degenerate or non-finite boxes, whatever detections arrive.
+func TestTableInvariantsProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PoolSize = 4
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	f := movingSquareFrame(40, 40)
+	prop := func(xs, ys, ws, hs [3]uint8) bool {
+		var dets []Detection
+		for i := 0; i < 3; i++ {
+			dets = append(dets, Detection{Box: img.RectWH(
+				float64(xs[i]), float64(ys[i]),
+				float64(ws[i]%60), float64(hs[i]%60))})
+		}
+		e.Step(f, dets)
+		if e.ActiveCount() > cfg.PoolSize {
+			return false
+		}
+		for _, tr := range e.Tracks() {
+			if math.IsNaN(tr.Box.X0) || math.IsInf(tr.Box.X0, 0) ||
+				math.IsNaN(tr.VX) || math.IsInf(tr.VY, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKalmanConvergesToConstantVelocity(t *testing.T) {
+	var f boxFilter
+	// Object moving at (3, -1) px/frame, exact measurements.
+	for i := 0; i < 30; i++ {
+		f.observe(float64(i*3), float64(100-i))
+	}
+	_, _, vx, vy := f.observe(90, 70)
+	if math.Abs(vx-3) > 0.3 || math.Abs(vy-(-1)) > 0.3 {
+		t.Errorf("KF velocity (%.2f, %.2f), want (3, -1)", vx, vy)
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	// Alternating ±2 px measurement noise on a static object: the
+	// filtered velocity must stay far below the raw frame-diff (±4).
+	var f boxFilter
+	f.observe(100, 100)
+	worst := 0.0
+	for i := 0; i < 40; i++ {
+		noise := 2.0
+		if i%2 == 1 {
+			noise = -2.0
+		}
+		_, _, vx, _ := f.observe(100+noise, 100)
+		if i > 10 && math.Abs(vx) > worst {
+			worst = math.Abs(vx)
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("steady-state KF velocity |%.2f| under ±2px noise; raw diff would be 4", worst)
+	}
+}
+
+func TestKalmanCoast(t *testing.T) {
+	var f boxFilter
+	// Uninitialized coast is inert.
+	if px, py, vx, vy := f.coast(); px != 0 || py != 0 || vx != 0 || vy != 0 {
+		t.Error("uninitialized coast should return zeros")
+	}
+	for i := 0; i < 20; i++ {
+		f.observe(float64(i*2), 50)
+	}
+	p0, _, v0, _ := f.coast()
+	p1, _, v1, _ := f.coast()
+	if math.Abs((p1-p0)-v0) > 1e-9 {
+		t.Errorf("coast did not advance by velocity: dp=%.3f v=%.3f", p1-p0, v0)
+	}
+	if math.Abs(v1-v0) > 1e-9 {
+		t.Error("coast should hold velocity")
+	}
+}
+
+func TestTrackVelocitySmoothed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+	// Detections every frame, center moving +4 px/frame with ±1 jitter.
+	x := 40.0
+	for i := 0; i < 15; i++ {
+		jitter := 1.0
+		if i%2 == 1 {
+			jitter = -1.0
+		}
+		e.Step(movingSquareFrame(int(x), 40),
+			[]Detection{{Box: img.RectCenter(x+12+jitter, 52, 24, 24)}})
+		x += 4
+	}
+	tr := e.Tracks()[0]
+	if math.Abs(tr.VX-4) > 1.5 {
+		t.Errorf("smoothed VX = %.2f, want ~4", tr.VX)
+	}
+}
