@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# The tier the concurrency work is held to: compile everything, vet, and
+# run the full test suite under the race detector.
+check: build vet race

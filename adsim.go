@@ -29,6 +29,7 @@ package adsim
 import (
 	"adsim/internal/accel"
 	"adsim/internal/constraint"
+	"adsim/internal/dnn"
 	"adsim/internal/experiment"
 	"adsim/internal/pipeline"
 	"adsim/internal/scene"
@@ -129,6 +130,31 @@ func NewPipeline(kind ScenarioKind) (*Pipeline, error) {
 func NewPipelineFromConfig(cfg PipelineConfig) (*Pipeline, error) {
 	return pipeline.NewNative(cfg)
 }
+
+// Runner pipelines multiple frames through a native pipeline concurrently,
+// delivering results in frame order that are bitwise-identical to a
+// sequential Step loop.
+type Runner = pipeline.Runner
+
+// RunnerOptions parameterizes the pipelined executor.
+type RunnerOptions = pipeline.RunnerOptions
+
+// RunnerResult is one frame's output from the pipelined executor.
+type RunnerResult = pipeline.RunnerResult
+
+// NewRunner wraps a native pipeline in a pipelined executor. The runner
+// owns the pipeline from construction: do not call Step on it afterwards.
+func NewRunner(p *Pipeline, opts RunnerOptions) (*Runner, error) {
+	return pipeline.NewRunner(p, opts)
+}
+
+// SetDNNWorkers overrides how many goroutines the native conv/FC kernels
+// shard their output across. 0 restores the default (runtime.NumCPU).
+// The kernels are bitwise-deterministic for any worker count.
+func SetDNNWorkers(n int) { dnn.SetWorkers(n) }
+
+// DNNWorkers reports the current kernel worker count.
+func DNNWorkers() int { return dnn.Workers() }
 
 // Distribution accumulates latency samples and answers quantile queries.
 type Distribution = stats.Distribution

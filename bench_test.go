@@ -78,6 +78,37 @@ func BenchmarkNativePipelineFrame(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkRunner measures the pipelined executor on the same workload as
+// BenchmarkNativePipelineFrame: identical config and seed, but with four
+// frames in flight so DET/LOC of frame N+1 overlap the back half of frame
+// N and the conv/FC kernels shard across cores. It reports throughput and
+// the P99.99 admission-to-delivery latency; the frames/s ratio against the
+// sequential benchmark is the pipelining speedup on this machine.
+func BenchmarkRunner(b *testing.B) {
+	cfg := DefaultPipelineConfig(Highway)
+	cfg.Scene.Width, cfg.Scene.Height = 512, 256
+	cfg.SurveyFrames = 20
+	p, err := NewPipelineFromConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRunner(p, RunnerOptions{InFlight: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wall := NewDistribution(b.N)
+	b.ResetTimer()
+	for res := range r.Run(b.N) {
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		wall.Add(float64(res.Wall) / 1e6)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(wall.P9999(), "p99.99-ms")
 }
 
 // BenchmarkSimulatedFrame measures the cost of one simulated frame sample

@@ -5,6 +5,7 @@
 //
 //	adpipe -scenario urban -frames 50
 //	adpipe -scenario highway -frames 100 -dnn=false -v
+//	adpipe -scenario highway -frames 200 -inflight 4 -workers 8
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 		height   = flag.Int("height", 256, "frame height")
 		survey   = flag.Int("survey", 60, "prior-map survey frames")
 		dnn      = flag.Bool("dnn", true, "execute the native DNNs (slower, full instrumentation)")
+		inflight = flag.Int("inflight", 1, "frames in flight: 1 runs sequentially, >1 pipelines frames through a concurrent Runner")
+		workers  = flag.Int("workers", 0, "goroutines per DNN conv/FC kernel (0 = number of CPUs)")
 		verbose  = flag.Bool("v", false, "print per-frame results")
 		hist     = flag.Bool("hist", false, "print an end-to-end latency histogram")
 		trace    = flag.String("trace", "", "write a JSON-lines trace of every frame to this file")
@@ -41,6 +44,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "adpipe: unknown scenario %q\n", *scenario)
 		os.Exit(2)
+	}
+
+	if *inflight < 1 {
+		fmt.Fprintf(os.Stderr, "adpipe: -inflight must be >= 1\n")
+		os.Exit(2)
+	}
+	if *workers != 0 {
+		adsim.SetDNNWorkers(*workers)
 	}
 
 	cfg := adsim.DefaultPipelineConfig(kind)
@@ -73,15 +84,10 @@ func main() {
 	loc := adsim.NewDistribution(*frames)
 	tracked := 0
 
-	fmt.Printf("running %d %s frames at %dx%d (dnn=%v, survey=%d)\n",
-		*frames, scene.Kind(kind), *width, *height, *dnn, *survey)
-	for i := 0; i < *frames; i++ {
-		res, err := p.Step()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	wall := adsim.NewDistribution(*frames)
+
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	record := func(i int, res adsim.FrameResult) {
 		e2e.Add(ms(res.Timing.E2E))
 		e2eSamples = append(e2eSamples, ms(res.Timing.E2E))
 		det.Add(ms(res.Timing.Det))
@@ -103,11 +109,45 @@ func main() {
 		}
 	}
 
+	fmt.Printf("running %d %s frames at %dx%d (dnn=%v, survey=%d, inflight=%d, workers=%d)\n",
+		*frames, scene.Kind(kind), *width, *height, *dnn, *survey, *inflight, adsim.DNNWorkers())
+	start := time.Now()
+	if *inflight > 1 {
+		r, err := adsim.NewRunner(p, adsim.RunnerOptions{InFlight: *inflight})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(1)
+		}
+		for res := range r.Run(*frames) {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", res.Frame.Index, res.Err)
+				os.Exit(1)
+			}
+			wall.Add(ms(res.Wall))
+			record(res.Frame.Index, res.FrameResult)
+		}
+	} else {
+		for i := 0; i < *frames; i++ {
+			res, err := p.Step()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			record(i, res)
+		}
+	}
+	elapsed := time.Since(start)
+
 	fmt.Printf("\nstage latency (ms, native execution on this machine):\n")
 	fmt.Printf("  DET  %s\n", det.Summary())
 	fmt.Printf("  TRA  %s\n", tra.Summary())
 	fmt.Printf("  LOC  %s\n", loc.Summary())
 	fmt.Printf("  E2E  %s\n", e2e.Summary())
+	if wall.N() > 0 {
+		fmt.Printf("  WALL %s (admission to delivery under pipelining)\n", wall.Summary())
+	}
+	fmt.Printf("throughput %.1f frames/s (%d frames in %v)\n",
+		float64(*frames)/elapsed.Seconds(), *frames, elapsed.Round(time.Millisecond))
 	fmt.Printf("localized %d/%d frames; relocalizations=%d, loop closures=%d, map=%v\n",
 		tracked, *frames, p.Localizer().Relocalizations(),
 		p.Localizer().LoopClosures(), p.Localizer().Map())

@@ -73,14 +73,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Detector is the DET engine. It is not safe for concurrent use; the
-// pipeline owns one detector per camera stream, as the paper's system
+// Detector is the DET engine. It holds no per-call mutable state (timing is
+// returned, not stored), so Detect calls are safe for concurrent use; the
+// pipeline still owns one detector per camera stream, as the paper's system
 // replicates the computing engine per camera.
 type Detector struct {
 	cfg Config
 	net *dnn.Network
-
-	lastTiming Timing
 }
 
 // New constructs a detector.
@@ -111,8 +110,18 @@ func PaperWorkload() *dnn.Network { return dnn.YOLOv2(416) }
 func PaperWorkloadGraph() *dnn.Graph { return dnn.YOLOv2Graph(416) }
 
 // Detect runs the DET engine on one frame and returns the surviving
-// detections, highest confidence first.
+// detections, highest confidence first. Use DetectTimed when the call's
+// time breakdown is needed.
 func (d *Detector) Detect(frame *img.Gray) []Detection {
+	dets, _ := d.DetectTimed(frame)
+	return dets
+}
+
+// DetectTimed is Detect with the call's DNN-vs-other time breakdown
+// returned alongside the result. Returning the timing (instead of the old
+// LastTiming accessor) means a pipelined frame N+1 can never overwrite the
+// breakdown frame N is about to read.
+func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
 	startOther := time.Now()
 
 	// Pre-processing: resize to network input and normalize.
@@ -146,12 +155,8 @@ func (d *Detector) Detect(frame *img.Gray) []Detection {
 	dets = NMS(dets, d.cfg.NMSThreshold)
 	postDur := time.Since(startPost)
 
-	d.lastTiming = Timing{DNN: dnnDur, Other: preDur + postDur}
-	return dets
+	return dets, Timing{DNN: dnnDur, Other: preDur + postDur}
 }
-
-// LastTiming returns the time breakdown of the most recent Detect call.
-func (d *Detector) LastTiming() Timing { return d.lastTiming }
 
 // NMS performs greedy non-maximum suppression: detections are processed in
 // decreasing confidence order and any detection overlapping an already kept

@@ -135,8 +135,7 @@ func TestDetectOnSyntheticScene(t *testing.T) {
 func TestTimingBreakdownRecorded(t *testing.T) {
 	d, _ := New(DefaultConfig())
 	f := frameWithBox(160, 120, img.RectWH(40, 30, 40, 33))
-	d.Detect(f)
-	tm := d.LastTiming()
+	_, tm := d.DetectTimed(f)
 	if tm.DNN <= 0 {
 		t.Error("DNN time not recorded")
 	}
@@ -157,11 +156,11 @@ func TestRunDNNDisabled(t *testing.T) {
 	cfg.RunDNN = false
 	d, _ := New(cfg)
 	f := frameWithBox(160, 120, img.RectWH(40, 30, 40, 33))
-	dets := d.Detect(f)
+	dets, tm := d.DetectTimed(f)
 	if len(dets) != 1 {
 		t.Fatalf("functional path broken without DNN: %d dets", len(dets))
 	}
-	if d.LastTiming().DNN != 0 {
+	if tm.DNN != 0 {
 		t.Error("DNN time should be zero when disabled")
 	}
 }

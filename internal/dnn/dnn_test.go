@@ -1,6 +1,8 @@
 package dnn
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -309,5 +311,65 @@ func TestSummaryRenders(t *testing.T) {
 func TestShapeString(t *testing.T) {
 	if (Shape{3, 416, 416}).String() != "3x416x416" {
 		t.Error("shape string wrong")
+	}
+}
+
+// TestForwardConcurrentAndWorkerInvariant checks the two guarantees the
+// parallel tracker pool and pipelined runner rely on: concurrent Forward
+// calls through one shared network are safe (lazy weight init is guarded),
+// and the result is bitwise-identical for any kernel worker count.
+func TestForwardConcurrentAndWorkerInvariant(t *testing.T) {
+	build := func() *Network {
+		return MustNetwork("t", Shape{C: 1, H: 16, W: 16},
+			NewConv(8, 3, 1, 1, Leaky, 11),
+			NewMaxPool(2, 2),
+			NewConv(16, 3, 1, 1, Leaky, 12),
+			NewFC(32, ReLU, 13),
+		)
+	}
+	in := tensor.New(1, 16, 16)
+	for i := range in.Data {
+		in.Data[i] = float32(i%7) / 7
+	}
+
+	defer SetWorkers(0)
+	SetWorkers(1)
+	ref := build().Forward(in)
+
+	SetWorkers(4)
+	net := build() // fresh net: weights lazily initialized under contention
+	const goroutines = 8
+	outs := make([]*tensor.T, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			outs[g] = net.Forward(in)
+		}(g)
+	}
+	wg.Wait()
+	for g, out := range outs {
+		if out.Len() != ref.Len() {
+			t.Fatalf("goroutine %d: len %d != %d", g, out.Len(), ref.Len())
+		}
+		for i := range out.Data {
+			if out.Data[i] != ref.Data[i] {
+				t.Fatalf("goroutine %d: elem %d = %v, serial single-worker %v",
+					g, i, out.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers = %d, want 3", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.NumCPU() {
+		t.Errorf("Workers = %d, want NumCPU after reset", Workers())
 	}
 }

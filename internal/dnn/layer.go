@@ -12,10 +12,38 @@ package dnn
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"adsim/internal/stats"
 	"adsim/internal/tensor"
 )
+
+// workerOverride holds the configured kernel worker count; 0 means "use
+// runtime.NumCPU()".
+var workerOverride atomic.Int32
+
+// Workers reports the number of goroutines the conv/FC kernels shard their
+// row loops across. The default is runtime.NumCPU().
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers sets the kernel worker count for all subsequent Forward calls.
+// n <= 0 restores the runtime.NumCPU() default. Sharding never changes
+// results: every output element is computed by exactly one goroutine with
+// the serial kernel's arithmetic order, so inference is bitwise-identical
+// for any worker count.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int32(n))
+}
 
 // Shape is a CHW tensor shape used for static shape/cost inference.
 type Shape struct {
@@ -105,7 +133,8 @@ type Conv struct {
 	OutC, K, Stride, Pad int
 	Act                  Activation
 
-	weights []float32 // lazily initialized per input channel count
+	mu      sync.Mutex // guards the lazy weight initialization below
+	weights []float32  // lazily initialized per input channel count
 	bias    []float32
 	inC     int
 	seed    int64
@@ -147,30 +176,36 @@ func (c *Conv) CostAt(in Shape) Cost {
 	}
 }
 
-func (c *Conv) ensureWeights(inC int) {
-	if c.weights != nil && c.inC == inC {
-		return
+// params returns the layer's weights and bias for an input channel count,
+// initializing them on first use. The mutex makes lazy initialization safe
+// under concurrent Forward calls (the parallel tracker pool runs many
+// inferences through one shared network).
+func (c *Conv) params(inC int) (w, b []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.weights == nil || c.inC != inC {
+		n := c.OutC * inC * c.K * c.K
+		rng := stats.NewRNG(c.seed)
+		// He-style scale keeps activations in range through deep stacks.
+		scale := 2.0 / float64(inC*c.K*c.K)
+		w := make([]float32, n)
+		for i := range w {
+			w[i] = float32(rng.Uniform(-scale, scale))
+		}
+		b := make([]float32, c.OutC)
+		for i := range b {
+			b[i] = float32(rng.Uniform(-0.01, 0.01))
+		}
+		c.weights, c.bias, c.inC = w, b, inC
 	}
-	n := c.OutC * inC * c.K * c.K
-	rng := stats.NewRNG(c.seed)
-	// He-style scale keeps activations in range through deep stacks.
-	scale := 2.0 / float64(inC*c.K*c.K)
-	w := make([]float32, n)
-	for i := range w {
-		w[i] = float32(rng.Uniform(-scale, scale))
-	}
-	b := make([]float32, c.OutC)
-	for i := range b {
-		b[i] = float32(rng.Uniform(-0.01, 0.01))
-	}
-	c.weights, c.bias, c.inC = w, b, inC
+	return c.weights, c.bias
 }
 
 func (c *Conv) Forward(in *tensor.T) *tensor.T {
-	c.ensureWeights(in.C)
+	w, b := c.params(in.C)
 	// The im2col lowering is ~4x faster than the direct loop at these
 	// shapes (property-tested equivalent in internal/tensor).
-	out := tensor.Conv2DIm2Col(in, c.weights, c.bias, c.OutC, c.K, c.Stride, c.Pad)
+	out := tensor.Conv2DIm2ColPar(in, w, b, c.OutC, c.K, c.Stride, c.Pad, Workers())
 	return c.Act.apply(out)
 }
 
@@ -214,6 +249,7 @@ func (p *MaxPool) Forward(in *tensor.T) *tensor.T {
 // scale/shift and running statistics fold into one per-channel affine
 // transform y = a·x + b, which is how deployed YOLOv2 executes its BN.
 type BatchNorm struct {
+	mu   sync.Mutex // guards the lazy parameter initialization
 	a, b []float32
 	seed int64
 }
@@ -234,25 +270,29 @@ func (bn *BatchNorm) CostAt(in Shape) Cost {
 	}
 }
 
-func (bn *BatchNorm) ensureParams(c int) {
-	if len(bn.a) == c {
-		return
+// params returns the folded per-channel affine parameters, initializing
+// them on first use (safe under concurrent Forward calls).
+func (bn *BatchNorm) params(c int) (a, b []float32) {
+	bn.mu.Lock()
+	defer bn.mu.Unlock()
+	if len(bn.a) != c {
+		rng := stats.NewRNG(bn.seed)
+		bn.a = make([]float32, c)
+		bn.b = make([]float32, c)
+		for i := 0; i < c; i++ {
+			bn.a[i] = float32(rng.Uniform(0.8, 1.2))
+			bn.b[i] = float32(rng.Uniform(-0.05, 0.05))
+		}
 	}
-	rng := stats.NewRNG(bn.seed)
-	bn.a = make([]float32, c)
-	bn.b = make([]float32, c)
-	for i := 0; i < c; i++ {
-		bn.a[i] = float32(rng.Uniform(0.8, 1.2))
-		bn.b[i] = float32(rng.Uniform(-0.05, 0.05))
-	}
+	return bn.a, bn.b
 }
 
 func (bn *BatchNorm) Forward(in *tensor.T) *tensor.T {
-	bn.ensureParams(in.C)
+	as, bs := bn.params(in.C)
 	out := in.Clone()
 	hw := in.H * in.W
 	for c := 0; c < in.C; c++ {
-		a, b := bn.a[c], bn.b[c]
+		a, b := as[c], bs[c]
 		seg := out.Data[c*hw : (c+1)*hw]
 		for i, v := range seg {
 			seg[i] = a*v + b
@@ -311,6 +351,7 @@ type FC struct {
 	OutN int
 	Act  Activation
 
+	mu      sync.Mutex // guards the lazy weight initialization below
 	weights []float32
 	bias    []float32
 	inN     int
@@ -339,25 +380,29 @@ func (f *FC) CostAt(in Shape) Cost {
 	}
 }
 
-func (f *FC) ensureWeights(inN int) {
-	if f.weights != nil && f.inN == inN {
-		return
+// params returns the layer's weights and bias for an input length,
+// initializing them on first use (safe under concurrent Forward calls).
+func (f *FC) params(inN int) (w, b []float32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.weights == nil || f.inN != inN {
+		rng := stats.NewRNG(f.seed)
+		scale := 2.0 / float64(inN)
+		w := make([]float32, f.OutN*inN)
+		for i := range w {
+			w[i] = float32(rng.Uniform(-scale, scale))
+		}
+		b := make([]float32, f.OutN)
+		for i := range b {
+			b[i] = float32(rng.Uniform(-0.01, 0.01))
+		}
+		f.weights, f.bias, f.inN = w, b, inN
 	}
-	rng := stats.NewRNG(f.seed)
-	scale := 2.0 / float64(inN)
-	w := make([]float32, f.OutN*inN)
-	for i := range w {
-		w[i] = float32(rng.Uniform(-scale, scale))
-	}
-	b := make([]float32, f.OutN)
-	for i := range b {
-		b[i] = float32(rng.Uniform(-0.01, 0.01))
-	}
-	f.weights, f.bias, f.inN = w, b, inN
+	return f.weights, f.bias
 }
 
 func (f *FC) Forward(in *tensor.T) *tensor.T {
-	f.ensureWeights(in.Len())
-	out := tensor.FullyConnected(in, f.weights, f.bias, f.OutN)
+	w, b := f.params(in.Len())
+	out := tensor.FullyConnectedPar(in, w, b, f.OutN, Workers())
 	return f.Act.apply(out)
 }

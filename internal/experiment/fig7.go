@@ -66,9 +66,13 @@ func runFig7(opts Options) (Result, error) {
 		detDNN += res.Timing.DetDNN
 		loc += res.Timing.Loc
 		locFE += res.Timing.LocFE
-		// TRA only exercises its kernels once tracks exist.
+		// TRA only exercises its kernels once tracks exist. The tracker
+		// pool propagates objects on parallel goroutines, so its breakdown
+		// sums per-tracker work: the denominator must be the same summed
+		// work (DNN+Other), not the stage's wall time, which the pool can
+		// exceed when trackers overlap.
 		if res.Timing.TraDNN > 0 {
-			tra += res.Timing.Tra
+			tra += res.Timing.TraDNN + res.Timing.TraOther
 			traDNN += res.Timing.TraDNN
 			traFrames++
 		}

@@ -69,8 +69,11 @@ type StageTiming struct {
 	// E2E follows the dependency structure: max(LOC, DET+TRA) + FUSION +
 	// MOTPLAN (DET and LOC run in parallel).
 	E2E time.Duration
-	// Breakdown instrumentation.
-	DetDNN, TraDNN, LocFE time.Duration
+	// Breakdown instrumentation. TraDNN and TraOther sum per-tracker
+	// durations across the tracker pool — total pool work, not wall time,
+	// when trackers propagate in parallel — so the TRA cycle breakdown is
+	// TraDNN/(TraDNN+TraOther), in consistent units.
+	DetDNN, TraDNN, TraOther, LocFE time.Duration
 }
 
 // FrameResult is the output of one pipeline step.
@@ -86,7 +89,9 @@ type FrameResult struct {
 	Timing     StageTiming
 }
 
-// Pipeline is the native end-to-end system. Not safe for concurrent use.
+// Pipeline is the native end-to-end system. Step is not safe for concurrent
+// use — one frame at a time; hand the pipeline to a Runner to overlap
+// multiple in-flight frames.
 type Pipeline struct {
 	cfg Config
 	gen *scene.Generator
@@ -151,40 +156,75 @@ func (p *Pipeline) Localizer() *slam.Engine { return p.loc }
 // Tracker exposes the TRA engine.
 func (p *Pipeline) Tracker() *track.Engine { return p.tra }
 
-// Step renders the next frame and runs it through the full pipeline.
+// Step renders the next frame and runs it through the full pipeline
+// sequentially (one frame in flight). Runner pipelines the same stage
+// functions across multiple in-flight frames.
 func (p *Pipeline) Step() (FrameResult, error) {
-	frame := p.gen.Step()
-	res := FrameResult{Frame: frame}
+	res := FrameResult{Frame: p.gen.Step()}
 
 	// DET and LOC consume the frame in parallel (Fig 1, steps 1a/1b).
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		start := time.Now()
-		res.Detections = p.det.Detect(frame.Image)
-		res.Timing.Det = time.Since(start)
-		res.Timing.DetDNN = p.det.LastTiming().DNN
+		p.runDet(&res)
 	}()
 	go func() {
 		defer wg.Done()
-		start := time.Now()
-		res.Pose = p.loc.Localize(frame.Image)
-		res.Timing.Loc = time.Since(start)
-		res.Timing.LocFE = p.loc.LastTiming().FE
+		p.runLoc(&res)
 	}()
 	wg.Wait()
 
-	// TRA consumes DET's output (step 1c).
-	startTra := time.Now()
+	p.runTra(&res)
+	if err := p.finishFrame(&res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runDet executes the DET stage for one frame, filling Detections and the
+// DET timings. Timing comes back from the engine by return value, so
+// overlapping frames in the pipelined runner cannot alias each other's
+// instrumentation.
+func (p *Pipeline) runDet(res *FrameResult) {
+	start := time.Now()
+	dets, tm := p.det.DetectTimed(res.Frame.Image)
+	res.Detections = dets
+	res.Timing.Det = time.Since(start)
+	res.Timing.DetDNN = tm.DNN
+}
+
+// runLoc executes the LOC stage for one frame, filling Pose and the LOC
+// timings.
+func (p *Pipeline) runLoc(res *FrameResult) {
+	start := time.Now()
+	est, tm := p.loc.LocalizeTimed(res.Frame.Image)
+	res.Pose = est
+	res.Timing.Loc = time.Since(start)
+	res.Timing.LocFE = tm.FE
+}
+
+// runTra executes the TRA stage for one frame (step 1c): the tracker table
+// advances and res receives a deep-copied snapshot immune to later frames.
+func (p *Pipeline) runTra(res *FrameResult) {
+	start := time.Now()
 	dets := make([]track.Detection, len(res.Detections))
 	for i, d := range res.Detections {
 		dets[i] = track.Detection{Box: d.Box, Class: d.Class}
 	}
-	p.tra.Step(frame.Image, dets)
-	res.Tracks = p.tra.Tracks()
-	res.Timing.Tra = time.Since(startTra)
-	res.Timing.TraDNN = p.tra.LastTiming().DNN
+	tracks, tm := p.tra.Step(res.Frame.Image, dets)
+	res.Tracks = tracks
+	res.Timing.Tra = time.Since(start)
+	res.Timing.TraDNN = tm.DNN
+	res.Timing.TraOther = tm.Other
+}
+
+// finishFrame runs the back half of the pipeline — FUSION, MISPLAN
+// guidance, MOTPLAN and vehicle control — and seals the frame's E2E timing
+// under the dependency law. It requires runDet, runLoc and runTra to have
+// completed for this frame.
+func (p *Pipeline) finishFrame(res *FrameResult) error {
+	frame := res.Frame
 
 	// FUSION (step 2).
 	startFuse := time.Now()
@@ -205,7 +245,7 @@ func (p *Pipeline) Step() (FrameResult, error) {
 	if p.mis != nil {
 		guid, err := p.mis.UpdateAt(res.Pose.Pose.X, res.Pose.Pose.Z, frame.Time)
 		if err != nil {
-			return res, fmt.Errorf("pipeline: mission update: %w", err)
+			return fmt.Errorf("pipeline: mission update: %w", err)
 		}
 		res.Guidance = guid
 		if guid.SpeedLimit > 0 && guid.SpeedLimit < planCfg.TargetSpeed {
@@ -233,7 +273,7 @@ func (p *Pipeline) Step() (FrameResult, error) {
 	}
 	pr, err := plan.PlanConformal(planCfg, res.Pose.Pose.X, res.Pose.Pose.Z, obstacles)
 	if err != nil {
-		return res, fmt.Errorf("pipeline: motion planning: %w", err)
+		return fmt.Errorf("pipeline: motion planning: %w", err)
 	}
 	res.Plan = pr
 	res.Timing.MotPlan = time.Since(startPlan)
@@ -253,5 +293,5 @@ func (p *Pipeline) Step() (FrameResult, error) {
 		critical = res.Timing.Loc
 	}
 	res.Timing.E2E = critical + res.Timing.Fusion + res.Timing.MotPlan + res.Timing.Control
-	return res, nil
+	return nil
 }

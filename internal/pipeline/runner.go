@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunnerOptions parameterizes the pipelined executor.
+type RunnerOptions struct {
+	// InFlight bounds the number of frames admitted but not yet delivered
+	// (the pipelining window). 1 degenerates to sequential Step behaviour;
+	// values above 1 let frame N+1's DET/LOC start while frame N is still
+	// in TRA→FUSION→MOTPLAN. 0 selects DefaultInFlight.
+	InFlight int
+}
+
+// DefaultInFlight is the default pipelining window. Three frames cover the
+// three sequential macro-stages (DET/LOC, TRA, back end), so every stage
+// has work each beat without queueing latency beyond the stage depth.
+const DefaultInFlight = 3
+
+// RunnerResult is one frame's output from the pipelined executor, delivered
+// in frame order.
+type RunnerResult struct {
+	FrameResult
+	// Err carries this frame's pipeline error (mission update or motion
+	// planning), if any. Later frames still flow; the consumer decides
+	// whether to Stop.
+	Err error
+	// Wall is the frame's admission-to-delivery wall-clock latency under
+	// pipelined execution. Unlike Timing.E2E (the dependency-law critical
+	// path), Wall includes time spent queued behind other in-flight
+	// frames, so it is the honest per-frame latency at a given throughput.
+	Wall time.Duration
+}
+
+// Runner pipelines frames through the native pipeline's stages: the frame
+// source, DET, LOC, TRA and the back end (FUSION→MISPLAN→MOTPLAN→CONTROL)
+// each run on their own goroutine, connected by channels. Every stateful
+// engine still sees frames strictly in order on a single goroutine, so the
+// results are bitwise-identical to a sequential Step loop on the same seed
+// — only the wall-clock schedule changes.
+//
+// The stage graph mirrors the paper's Figure 1 dependency law:
+//
+//	source ─┬─► DET ──► TRA ──┐
+//	        └─► LOC ──────────┴─► FUSION → MISPLAN → MOTPLAN → CONTROL ─► Results
+//
+// A Runner owns its Pipeline from construction: calling Step (or mutating
+// engines) while the runner is active races with the stage goroutines.
+type Runner struct {
+	p       *Pipeline
+	opts    RunnerOptions
+	results chan RunnerResult
+	quit    chan struct{}
+	started atomic.Bool
+	stop    sync.Once
+}
+
+// NewRunner wraps a native pipeline in a pipelined executor.
+func NewRunner(p *Pipeline, opts RunnerOptions) (*Runner, error) {
+	if p == nil {
+		return nil, fmt.Errorf("pipeline: nil pipeline")
+	}
+	if opts.InFlight == 0 {
+		opts.InFlight = DefaultInFlight
+	}
+	if opts.InFlight < 1 {
+		return nil, fmt.Errorf("pipeline: InFlight %d must be positive", opts.InFlight)
+	}
+	return &Runner{
+		p:       p,
+		opts:    opts,
+		results: make(chan RunnerResult),
+		quit:    make(chan struct{}),
+	}, nil
+}
+
+// InFlight reports the configured pipelining window.
+func (r *Runner) InFlight() int { return r.opts.InFlight }
+
+// frameState carries one frame through the stage graph. DET/TRA and LOC
+// write disjoint fields concurrently; the back end reads them only after
+// both streams hand the frame over (channel receives order those writes).
+type frameState struct {
+	admitted time.Time
+	res      FrameResult
+}
+
+// Run starts the stage goroutines and returns the in-order result channel.
+// The channel closes after frames results have been delivered, or earlier
+// if Stop drains the window first; frames <= 0 runs until Stop. Run may be
+// called once; subsequent calls return the same channel.
+func (r *Runner) Run(frames int) <-chan RunnerResult {
+	if !r.started.CompareAndSwap(false, true) {
+		return r.results
+	}
+	n := r.opts.InFlight
+	window := make(chan struct{}, n) // admission tokens: bounds frames in flight
+	detCh := make(chan *frameState, n)
+	locCh := make(chan *frameState, n)
+	traCh := make(chan *frameState, n)
+	fuseCh := make(chan *frameState, n)
+	locOut := make(chan *frameState, n)
+
+	// SOURCE: render frames in scenario order and admit them into the
+	// window. The channel buffers hold at most InFlight frames, so the
+	// sends below never block; only admission does.
+	go func() {
+		defer close(detCh)
+		defer close(locCh)
+		for i := 0; frames <= 0 || i < frames; i++ {
+			select {
+			case window <- struct{}{}:
+			case <-r.quit:
+				return
+			}
+			fs := &frameState{admitted: time.Now()}
+			fs.res.Frame = r.p.gen.Step()
+			detCh <- fs
+			locCh <- fs
+		}
+	}()
+
+	// DET stage (stateless per frame).
+	go func() {
+		defer close(traCh)
+		for fs := range detCh {
+			r.p.runDet(&fs.res)
+			traCh <- fs
+		}
+	}()
+
+	// LOC stage (stateful: motion model, map updates — frame order
+	// preserved by the single goroutine).
+	go func() {
+		defer close(locOut)
+		for fs := range locCh {
+			r.p.runLoc(&fs.res)
+			locOut <- fs
+		}
+	}()
+
+	// TRA stage (stateful: tracked-object table; internally fans out one
+	// goroutine per tracked object).
+	go func() {
+		defer close(fuseCh)
+		for fs := range traCh {
+			r.p.runTra(&fs.res)
+			fuseCh <- fs
+		}
+	}()
+
+	// BACK END: join the LOC stream, then fuse, plan, control and deliver
+	// in admission order.
+	go func() {
+		defer close(r.results)
+		for fs := range fuseCh {
+			<-locOut // same frame: both streams preserve admission order
+			err := r.p.finishFrame(&fs.res)
+			r.results <- RunnerResult{
+				FrameResult: fs.res,
+				Err:         err,
+				Wall:        time.Since(fs.admitted),
+			}
+			<-window // frame delivered: free its in-flight slot
+		}
+	}()
+	return r.results
+}
+
+// Stop ceases admitting new frames. Frames already in flight drain through
+// the stages and are delivered before the result channel closes, so no
+// admitted frame is ever lost. Safe to call multiple times and from any
+// goroutine, including while ranging over Run's channel.
+func (r *Runner) Stop() {
+	r.stop.Do(func() { close(r.quit) })
+}

@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"adsim/internal/scene"
+)
+
+// stripSchedule zeroes the fields that legitimately differ between
+// sequential and pipelined execution: wall-clock timings. Everything else —
+// detections, tracks, pose, fused frame, plan, guidance, command — must be
+// bitwise-identical.
+func stripSchedule(res FrameResult) FrameResult {
+	res.Timing = StageTiming{}
+	return res
+}
+
+// TestRunnerDeterminismMatchesSequential is the determinism guard of the
+// concurrency model: a Runner with ≥4 frames in flight must deliver results
+// in frame order that are bitwise-identical (modulo timing) to a sequential
+// Step loop on the same seed. Run under -race this also exercises every
+// cross-frame stage handoff.
+func TestRunnerDeterminismMatchesSequential(t *testing.T) {
+	const frames = 10
+	cfg := fastNativeConfig(scene.Urban)
+	// Enable the native DNNs so the race detector also covers the parallel
+	// conv/FC kernels and the shared tracker tower under pipelining.
+	cfg.Detect.RunDNN = true
+	cfg.Track.RunDNN = true
+
+	seq, err := NewNative(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]FrameResult, 0, frames)
+	for i := 0; i < frames; i++ {
+		res, err := seq.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, stripSchedule(res))
+	}
+
+	pipe, err := NewNative(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(pipe, RunnerOptions{InFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]FrameResult, 0, frames)
+	for res := range r.Run(frames) {
+		if res.Err != nil {
+			t.Fatalf("frame %d: %v", res.Frame.Index, res.Err)
+		}
+		if res.Wall <= 0 {
+			t.Fatalf("frame %d: missing wall latency", res.Frame.Index)
+		}
+		got = append(got, stripSchedule(res.FrameResult))
+	}
+
+	if len(got) != frames {
+		t.Fatalf("runner delivered %d frames, want %d", len(got), frames)
+	}
+	for i := range got {
+		if got[i].Frame.Index != i {
+			t.Fatalf("result %d carries frame index %d: out of order", i, got[i].Frame.Index)
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("frame %d: pipelined result differs from sequential Step", i)
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(nil, RunnerOptions{}); err == nil {
+		t.Error("nil pipeline accepted")
+	}
+	p, err := NewNative(fastNativeConfig(scene.Highway))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(p, RunnerOptions{InFlight: -1}); err == nil {
+		t.Error("negative InFlight accepted")
+	}
+	r, err := NewRunner(p, RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.InFlight() != DefaultInFlight {
+		t.Errorf("InFlight = %d, want default %d", r.InFlight(), DefaultInFlight)
+	}
+}
+
+// TestRunnerGracefulStop checks the drain contract: after Stop, every
+// already-admitted frame is still delivered (in order) and the result
+// channel closes without deadlock.
+func TestRunnerGracefulStop(t *testing.T) {
+	p, err := NewNative(fastNativeConfig(scene.Highway))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, RunnerOptions{InFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := r.Run(0) // unbounded: only Stop ends the run
+	next := 0
+	for res := range ch {
+		if res.Frame.Index != next {
+			t.Fatalf("frame %d delivered, want %d", res.Frame.Index, next)
+		}
+		next++
+		if next == 5 {
+			r.Stop()
+			r.Stop() // idempotent
+		}
+	}
+	if next < 5 {
+		t.Fatalf("only %d frames delivered before close", next)
+	}
+	// The window bounds the post-Stop drain to the frames already admitted.
+	if next > 5+r.InFlight() {
+		t.Errorf("%d frames delivered after Stop at 5; window is %d", next-5, r.InFlight())
+	}
+}
+
+// TestRunnerRunIdempotent checks that a second Run returns the same channel
+// instead of spawning a second stage graph over the shared engines.
+func TestRunnerRunIdempotent(t *testing.T) {
+	p, err := NewNative(fastNativeConfig(scene.Highway))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, RunnerOptions{InFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Run(3)
+	if b := r.Run(99); a != b {
+		t.Error("second Run returned a different channel")
+	}
+	deadline := time.After(30 * time.Second)
+	delivered := 0
+	for {
+		select {
+		case _, ok := <-a:
+			if !ok {
+				if delivered != 3 {
+					t.Fatalf("delivered %d frames, want 3", delivered)
+				}
+				return
+			}
+			delivered++
+		case <-deadline:
+			t.Fatal("runner did not finish")
+		}
+	}
+}

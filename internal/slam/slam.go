@@ -96,7 +96,6 @@ type Engine struct {
 	prevKps   []Keypoint   // previous frame's keypoints (visual odometry)
 	prevDescs []Descriptor // previous frame's descriptors (visual odometry)
 
-	lastTiming Timing
 	// Stats counters.
 	relocalizations int
 	loopClosures    int
@@ -123,9 +122,6 @@ func NewEngine(cfg Config, m *PriorMap) (*Engine, error) {
 
 // Map returns the engine's prior map.
 func (e *Engine) Map() *PriorMap { return e.m }
-
-// LastTiming returns the FE/other breakdown of the latest Localize call.
-func (e *Engine) LastTiming() Timing { return e.lastTiming }
 
 // Relocalizations reports how many frames required the wide-search path.
 func (e *Engine) Relocalizations() int { return e.relocalizations }
@@ -173,8 +169,18 @@ func (e *Engine) Survey(frame *img.Gray, pose scene.Pose) bool {
 
 // Localize estimates the vehicle pose from one camera frame against the
 // prior map, updating the engine's motion model and (when needed) running
-// relocalization, local mapping and loop closing.
+// relocalization, local mapping and loop closing. Use LocalizeTimed when
+// the call's time breakdown is needed.
 func (e *Engine) Localize(frame *img.Gray) Estimate {
+	est, _ := e.LocalizeTimed(frame)
+	return est
+}
+
+// LocalizeTimed is Localize with the call's FE-vs-other time breakdown
+// returned alongside the estimate. Returning the timing (instead of the old
+// LastTiming accessor) means a pipelined frame N+1 can never overwrite the
+// breakdown frame N is about to read.
+func (e *Engine) LocalizeTimed(frame *img.Gray) (Estimate, Timing) {
 	e.frame++
 
 	// --- FE stage (dominates LOC compute; Fig 7: 85.9%). ---
@@ -217,8 +223,7 @@ func (e *Engine) Localize(frame *img.Gray) Estimate {
 		}
 	}
 
-	e.lastTiming = Timing{FE: feDur, Other: time.Since(otherStart)}
-	return est
+	return est, Timing{FE: feDur, Other: time.Since(otherStart)}
 }
 
 // localizeFrom runs the matching cascade: motion-model windowed tracking,

@@ -385,8 +385,7 @@ func TestColdStartRelocalizes(t *testing.T) {
 func TestTimingBreakdownFEDominates(t *testing.T) {
 	eng, replay := surveyedWorld(t, 20)
 	f := replay.Step()
-	eng.Localize(f.Image)
-	tm := eng.LastTiming()
+	_, tm := eng.LocalizeTimed(f.Image)
 	if tm.FE <= 0 || tm.Other < 0 {
 		t.Fatalf("bad timing %+v", tm)
 	}

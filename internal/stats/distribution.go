@@ -113,9 +113,10 @@ func (d *Distribution) StdDev() float64 {
 	return math.Sqrt(ss / float64(n))
 }
 
-// Samples returns a copy of the recorded samples in insertion order is not
-// guaranteed (the distribution may have been sorted); use for histograms and
-// re-aggregation only.
+// Samples returns a copy of the recorded samples. Insertion order is NOT
+// preserved: any quantile query (Quantile, Min, Max, P99, ...) sorts the
+// backing slice in place, destroying the original order. Use the returned
+// values for histograms and re-aggregation only, never as a time series.
 func (d *Distribution) Samples() []float64 {
 	out := make([]float64, len(d.samples))
 	copy(out, d.samples)
@@ -137,13 +138,20 @@ func (d *Distribution) ensureSorted() {
 }
 
 // Merge returns a new distribution containing the samples of all inputs.
+// Nil inputs are skipped, so partial aggregations (e.g. a stage that never
+// ran) merge without special-casing at the call site.
 func Merge(ds ...*Distribution) *Distribution {
 	total := 0
 	for _, d := range ds {
-		total += d.N()
+		if d != nil {
+			total += d.N()
+		}
 	}
 	out := NewDistribution(total)
 	for _, d := range ds {
+		if d == nil {
+			continue
+		}
 		for _, v := range d.samples {
 			out.Add(v)
 		}

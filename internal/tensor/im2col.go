@@ -1,78 +1,14 @@
 package tensor
 
-import "fmt"
-
 // Conv2DIm2Col computes the same convolution as Conv2D by lowering to an
 // explicit im2col matrix multiplication — the strategy Caffe/cuDNN-era
 // frameworks (the paper's software stack) use to turn convolutions into
 // GEMM. Semantics and results are identical to Conv2D; the memory/compute
 // trade-off differs: im2col materializes a (inC·k²) × (outH·outW) patch
 // matrix and then performs a dense multiply with better locality.
+//
+// This is the single-threaded entry point; Conv2DIm2ColPar shards the same
+// kernel across goroutines with bitwise-identical results.
 func Conv2DIm2Col(in *T, w []float32, bias []float32, outC, k, stride, pad int) *T {
-	if stride <= 0 || k <= 0 {
-		panic(fmt.Sprintf("tensor: invalid conv k=%d stride=%d", k, stride))
-	}
-	if len(w) != outC*in.C*k*k {
-		panic(fmt.Sprintf("tensor: conv weights len %d, want %d", len(w), outC*in.C*k*k))
-	}
-	oh := (in.H+2*pad-k)/stride + 1
-	ow := (in.W+2*pad-k)/stride + 1
-	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: conv output %dx%d non-positive", oh, ow))
-	}
-
-	// Lower the input into the patch matrix: rows are (ic, ky, kx) weight
-	// positions, columns are output pixels.
-	patchRows := in.C * k * k
-	cols := oh * ow
-	patches := make([]float32, patchRows*cols)
-	row := 0
-	for ic := 0; ic < in.C; ic++ {
-		chanOff := ic * in.H * in.W
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				dst := patches[row*cols : (row+1)*cols]
-				col := 0
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride - pad + ky
-					if iy < 0 || iy >= in.H {
-						col += ow // whole row of zeros
-						continue
-					}
-					rowOff := chanOff + iy*in.W
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride - pad + kx
-						if ix >= 0 && ix < in.W {
-							dst[col] = in.Data[rowOff+ix]
-						}
-						col++
-					}
-				}
-				row++
-			}
-		}
-	}
-
-	// GEMM: out[oc][col] = Σ_r w[oc][r] · patches[r][col] (+ bias).
-	out := New(outC, oh, ow)
-	for oc := 0; oc < outC; oc++ {
-		dst := out.Data[oc*cols : (oc+1)*cols]
-		if bias != nil {
-			b := bias[oc]
-			for i := range dst {
-				dst[i] = b
-			}
-		}
-		wRow := w[oc*patchRows : (oc+1)*patchRows]
-		for r, wv := range wRow {
-			if wv == 0 {
-				continue
-			}
-			src := patches[r*cols : (r+1)*cols]
-			for i, pv := range src {
-				dst[i] += wv * pv
-			}
-		}
-	}
-	return out
+	return Conv2DIm2ColPar(in, w, bias, outC, k, stride, pad, 1)
 }

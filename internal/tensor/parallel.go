@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// parMinMACs is the work floor below which the parallel kernels run on the
+// caller's goroutine: tiny convolutions and FC heads lose more to goroutine
+// fan-out and cache ping-pong than they gain from extra cores.
+const parMinMACs = 1 << 18
+
+// shard splits [0,n) into at most workers contiguous ranges and runs fn on
+// each range from its own goroutine, blocking until all complete. Ranges are
+// disjoint, so fn bodies that only write elements inside their range never
+// share memory — the output is bitwise-independent of the worker count.
+// workers <= 1 degrades to a plain call on the caller's goroutine.
+func shard(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Conv2DIm2ColPar is Conv2DIm2Col with the patch lowering sharded across
+// weight-position rows and the GEMM sharded across output channels, spread
+// over up to workers goroutines. Every output element is produced by exactly
+// one goroutine with the same inner-loop order as the serial kernel, so the
+// result is bitwise-identical to Conv2DIm2Col for any worker count.
+func Conv2DIm2ColPar(in *T, w []float32, bias []float32, outC, k, stride, pad, workers int) *T {
+	if stride <= 0 || k <= 0 {
+		panic(fmt.Sprintf("tensor: invalid conv k=%d stride=%d", k, stride))
+	}
+	if len(w) != outC*in.C*k*k {
+		panic(fmt.Sprintf("tensor: conv weights len %d, want %d", len(w), outC*in.C*k*k))
+	}
+	oh := (in.H+2*pad-k)/stride + 1
+	ow := (in.W+2*pad-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d non-positive", oh, ow))
+	}
+
+	patchRows := in.C * k * k
+	cols := oh * ow
+	if int64(outC)*int64(patchRows)*int64(cols) < parMinMACs {
+		workers = 1
+	}
+
+	// Lower the input into the patch matrix: rows are (ic, ky, kx) weight
+	// positions, columns are output pixels. Each row is written by exactly
+	// one goroutine.
+	patches := make([]float32, patchRows*cols)
+	shard(patchRows, workers, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			ic := row / (k * k)
+			rem := row % (k * k)
+			ky, kx := rem/k, rem%k
+			chanOff := ic * in.H * in.W
+			dst := patches[row*cols : (row+1)*cols]
+			col := 0
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*stride - pad + ky
+				if iy < 0 || iy >= in.H {
+					col += ow // whole row of zeros
+					continue
+				}
+				rowOff := chanOff + iy*in.W
+				for ox := 0; ox < ow; ox++ {
+					ix := ox*stride - pad + kx
+					if ix >= 0 && ix < in.W {
+						dst[col] = in.Data[rowOff+ix]
+					}
+					col++
+				}
+			}
+		}
+	})
+
+	// GEMM: out[oc][col] = Σ_r w[oc][r] · patches[r][col] (+ bias). Each
+	// output channel is written by exactly one goroutine.
+	out := New(outC, oh, ow)
+	shard(outC, workers, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			dst := out.Data[oc*cols : (oc+1)*cols]
+			if bias != nil {
+				b := bias[oc]
+				for i := range dst {
+					dst[i] = b
+				}
+			}
+			wRow := w[oc*patchRows : (oc+1)*patchRows]
+			for r, wv := range wRow {
+				if wv == 0 {
+					continue
+				}
+				src := patches[r*cols : (r+1)*cols]
+				for i, pv := range src {
+					dst[i] += wv * pv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// FullyConnectedPar is FullyConnected with the output neurons sharded over
+// up to workers goroutines. Each neuron's dot product runs in the serial
+// kernel's order, so the result is bitwise-identical for any worker count.
+func FullyConnectedPar(in *T, w []float32, bias []float32, outN, workers int) *T {
+	inN := in.Len()
+	if len(w) != outN*inN {
+		panic(fmt.Sprintf("tensor: fc weights len %d, want %d", len(w), outN*inN))
+	}
+	if int64(outN)*int64(inN) < parMinMACs {
+		workers = 1
+	}
+	out := NewVec(outN)
+	shard(outN, workers, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			var sum float32
+			if bias != nil {
+				sum = bias[o]
+			}
+			row := w[o*inN : (o+1)*inN]
+			for i, v := range in.Data {
+				sum += row[i] * v
+			}
+			out.Data[o] = sum
+		}
+	})
+	return out
+}

@@ -148,25 +148,11 @@ func MaxPool2D(in *T, k, stride int) *T {
 }
 
 // FullyConnected computes out = W·flatten(in) + bias, where w is row-major
-// [outN][inN] and bias may be nil. The result is an outN-vector.
+// [outN][inN] and bias may be nil. The result is an outN-vector. This is the
+// single-threaded entry point; FullyConnectedPar shards the same kernel
+// across goroutines with bitwise-identical results.
 func FullyConnected(in *T, w []float32, bias []float32, outN int) *T {
-	inN := in.Len()
-	if len(w) != outN*inN {
-		panic(fmt.Sprintf("tensor: fc weights len %d, want %d", len(w), outN*inN))
-	}
-	out := NewVec(outN)
-	for o := 0; o < outN; o++ {
-		var sum float32
-		if bias != nil {
-			sum = bias[o]
-		}
-		row := w[o*inN : (o+1)*inN]
-		for i, v := range in.Data {
-			sum += row[i] * v
-		}
-		out.Data[o] = sum
-	}
-	return out
+	return FullyConnectedPar(in, w, bias, outN, 1)
 }
 
 // ReLU applies max(0,x) in place and returns the tensor.

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -394,5 +395,79 @@ func BenchmarkConv2DIm2Col(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Conv2DIm2Col(in, w, nil, 32, 3, 1, 1)
+	}
+}
+
+// Property: the sharded kernels are bitwise-identical to the serial ones
+// for any worker count — every output element is computed by exactly one
+// goroutine in the serial arithmetic order. Shapes are sized above the
+// parMinMACs floor so the parallel path actually engages.
+func TestParallelKernelsBitwiseEqualSerial(t *testing.T) {
+	state := uint32(12345)
+	next := func() float32 {
+		state = state*1664525 + 1013904223
+		return float32(int32(state>>16)%100) / 25
+	}
+	in := New(8, 32, 32)
+	for i := range in.Data {
+		in.Data[i] = next()
+	}
+	const outC, k = 16, 3
+	w := make([]float32, outC*in.C*k*k)
+	for i := range w {
+		w[i] = next()
+	}
+	bias := make([]float32, outC)
+	for i := range bias {
+		bias[i] = next()
+	}
+	ref := Conv2DIm2Col(in, w, bias, outC, k, 1, 1)
+	for _, workers := range []int{2, 3, 7, 64} {
+		got := Conv2DIm2ColPar(in, w, bias, outC, k, 1, 1, workers)
+		if !got.SameShape(ref) {
+			t.Fatalf("workers=%d: shape %v != %v", workers, got, ref)
+		}
+		for i := range got.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: conv elem %d = %v, serial %v", workers, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+
+	const outN = 512
+	vec := NewVec(1024)
+	for i := range vec.Data {
+		vec.Data[i] = next()
+	}
+	fw := make([]float32, outN*vec.Len())
+	for i := range fw {
+		fw[i] = next()
+	}
+	fref := FullyConnected(vec, fw, nil, outN)
+	for _, workers := range []int{2, 5, 33} {
+		got := FullyConnectedPar(vec, fw, nil, outN, workers)
+		for i := range got.Data {
+			if got.Data[i] != fref.Data[i] {
+				t.Fatalf("workers=%d: fc elem %d = %v, serial %v", workers, i, got.Data[i], fref.Data[i])
+			}
+		}
+	}
+}
+
+func TestShardCoversRangeOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 1}, {1, 8}, {5, 2}, {7, 7}, {100, 3}, {8, 64},
+	} {
+		hits := make([]int32, tc.n)
+		shard(tc.n, tc.workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d: index %d covered %d times", tc.n, tc.workers, i, h)
+			}
+		}
 	}
 }

@@ -17,6 +17,7 @@ package track
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"adsim/internal/dnn"
@@ -83,16 +84,17 @@ func DefaultConfig() Config {
 }
 
 // Engine is the TRA engine: tracker pool plus tracked-object table.
-// Not safe for concurrent use.
+// Step must be called from one goroutine at a time (the table is stateful),
+// but internally Step fans each live track's propagation out to its own
+// goroutine — the paper's pre-launched tracker-pool design.
 type Engine struct {
 	cfg    Config
 	tower  *dnn.Network
 	head   *dnn.Network
 	nextID int
 
-	tracks     []*Track
-	prevFrame  *img.Gray
-	lastTiming Timing
+	tracks    []*Track
+	prevFrame *img.Gray
 }
 
 // New constructs a tracking engine.
@@ -123,18 +125,27 @@ func PaperWorkload() dnn.Cost {
 	return dnn.TrackerCost(tower, head)
 }
 
-// Tracks returns the live tracked-object table. The returned slice is the
-// engine's own; callers must not modify it.
-func (e *Engine) Tracks() []*Track { return e.tracks }
+// Tracks returns a deep-copied snapshot of the tracked-object table. The
+// snapshot is immune to subsequent Step calls: callers may hold frame N's
+// tracks while frame N+1 advances the engine (the pipelined runner does
+// exactly that), without frame N's boxes mutating retroactively.
+func (e *Engine) Tracks() []*Track { return e.snapshot() }
+
+// snapshot deep-copies the live table.
+func (e *Engine) snapshot() []*Track {
+	out := make([]*Track, len(e.tracks))
+	for i, tr := range e.tracks {
+		cp := *tr
+		out[i] = &cp
+	}
+	return out
+}
 
 // ActiveCount reports the number of tracked objects.
 func (e *Engine) ActiveCount() int { return len(e.tracks) }
 
 // IdleTrackers reports how many pool slots are free.
 func (e *Engine) IdleTrackers() int { return e.cfg.PoolSize - len(e.tracks) }
-
-// LastTiming returns the time breakdown of the most recent Step call.
-func (e *Engine) LastTiming() Timing { return e.lastTiming }
 
 // Detection is the minimal view of a detector output the engine needs;
 // it mirrors detect.Detection without importing the package (keeping the
@@ -149,15 +160,39 @@ type Detection struct {
 // frame's detections are associated to tracks, spawning new tracks for
 // unmatched detections while idle trackers remain and aging out tracks that
 // have missed MissLimit consecutive frames.
-func (e *Engine) Step(frame *img.Gray, detections []Detection) {
+//
+// It returns a deep-copied snapshot of the table after the step together
+// with the step's time breakdown, so callers never read engine state that a
+// later frame may overwrite. The returned Timing sums per-tracker durations
+// (total tracker-pool work, not wall time, when trackers run in parallel).
+func (e *Engine) Step(frame *img.Gray, detections []Detection) ([]*Track, Timing) {
 	var dnnDur, otherDur time.Duration
 
-	// 1. Propagate existing tracks on the new frame (GOTURN step).
-	if e.prevFrame != nil {
-		for _, tr := range e.tracks {
-			d, o := e.propagate(tr, frame)
-			dnnDur += d
-			otherDur += o
+	// 1. Propagate existing tracks on the new frame (GOTURN step), one
+	// goroutine per tracked object — the paper's tracker-pool design. Each
+	// tracker mutates only its own Track; the shared DNN tower/head are
+	// safe for concurrent Forward calls, and per-track results do not
+	// depend on each other, so the outcome is order-independent.
+	if e.prevFrame != nil && len(e.tracks) > 0 {
+		if len(e.tracks) == 1 {
+			dnnDur, otherDur = e.propagate(e.tracks[0], frame)
+		} else {
+			type span struct{ dnn, other time.Duration }
+			spans := make([]span, len(e.tracks))
+			var wg sync.WaitGroup
+			wg.Add(len(e.tracks))
+			for i, tr := range e.tracks {
+				go func(i int, tr *Track) {
+					defer wg.Done()
+					d, o := e.propagate(tr, frame)
+					spans[i] = span{dnn: d, other: o}
+				}(i, tr)
+			}
+			wg.Wait()
+			for _, s := range spans {
+				dnnDur += s.dnn
+				otherDur += s.other
+			}
 		}
 	}
 
@@ -219,7 +254,7 @@ func (e *Engine) Step(frame *img.Gray, detections []Detection) {
 	otherDur += time.Since(assocStart)
 
 	e.prevFrame = frame
-	e.lastTiming = Timing{DNN: dnnDur, Other: otherDur}
+	return e.snapshot(), Timing{DNN: dnnDur, Other: otherDur}
 }
 
 // propagate runs one GOTURN-style tracking step for tr on the new frame,

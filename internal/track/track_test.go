@@ -115,6 +115,46 @@ func TestMissCounterResets(t *testing.T) {
 	}
 }
 
+// Regression for the cross-frame aliasing bug: Tracks() used to return the
+// engine's live internal slice, so frame N's FrameResult.Tracks mutated
+// retroactively when frame N+1 stepped the tracker. Snapshots must be
+// immutable once handed out.
+func TestTracksSnapshotImmuneToLaterSteps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	e, _ := New(cfg)
+
+	x := 40
+	frameN, _ := e.Step(movingSquareFrame(x, 40),
+		[]Detection{{Box: img.RectWH(float64(x), 40, 24, 24)}})
+	if len(frameN) != 1 {
+		t.Fatal("spawn failed")
+	}
+	boxN := frameN[0].Box
+	accessorN := e.Tracks()
+
+	// Frame N+1: the object moved; the engine's live table must update,
+	// but frame N's snapshots (both the Step return and the Tracks()
+	// accessor) must hold their boxes.
+	x += 8
+	frameN1, _ := e.Step(movingSquareFrame(x, 40),
+		[]Detection{{Box: img.RectWH(float64(x), 40, 24, 24)}})
+	if frameN[0].Box != boxN {
+		t.Errorf("frame N snapshot box mutated by frame N+1: %v -> %v", boxN, frameN[0].Box)
+	}
+	if accessorN[0].Box != boxN {
+		t.Errorf("Tracks() snapshot box mutated by frame N+1: %v -> %v", boxN, accessorN[0].Box)
+	}
+	if frameN1[0].Box == boxN {
+		t.Error("frame N+1 snapshot did not advance (object moved 8 px)")
+	}
+	// Mutating a snapshot must not corrupt the engine's table.
+	frameN1[0].Box = img.RectWH(0, 0, 1, 1)
+	if e.Tracks()[0].Box == frameN1[0].Box {
+		t.Error("mutating a returned snapshot leaked into the engine table")
+	}
+}
+
 // movingSquareFrame renders a textured square at (x,y) for tracking tests.
 func movingSquareFrame(x, y int) *img.Gray {
 	f := img.NewGray(200, 100)
@@ -186,8 +226,7 @@ func TestDNNTimingDominates(t *testing.T) {
 	e, _ := New(DefaultConfig())
 	f0 := movingSquareFrame(40, 40)
 	e.Step(f0, []Detection{{Box: img.RectWH(40, 40, 24, 24)}})
-	e.Step(movingSquareFrame(44, 40), nil)
-	tm := e.LastTiming()
+	_, tm := e.Step(movingSquareFrame(44, 40), nil)
 	if tm.DNN <= 0 {
 		t.Fatal("DNN time not recorded")
 	}
