@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build vet test race bench check
+# Coverage floor for the telemetry layer (percent of statements).
+TELEMETRY_COVER_FLOOR ?= 80
+
+.PHONY: build vet test race bench check cover fmt-check
 
 build:
 	$(GO) build ./...
@@ -20,3 +23,21 @@ bench:
 # The tier the concurrency work is held to: compile everything, vet, and
 # run the full test suite under the race detector.
 check: build vet race
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Coverage over the observability layer (telemetry, its stats backing, and
+# the constraint monitor), with an enforced floor on internal/telemetry.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/telemetry/...,./internal/stats/...,./internal/constraint/... \
+		./internal/telemetry/... ./internal/stats/... ./internal/constraint/... ./internal/pipeline/...
+	$(GO) tool cover -func=cover.out | tail -1
+	@total="$$($(GO) tool cover -func=cover.out | grep 'internal/telemetry/' | \
+		awk '{ sub(/%/, "", $$3); sum += $$3; n++ } END { if (n) printf "%.1f", sum / n; else print 0 }')"; \
+	echo "internal/telemetry mean statement coverage: $$total% (floor $(TELEMETRY_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(TELEMETRY_COVER_FLOOR)) }" || \
+		{ echo "coverage below floor"; exit 1; }

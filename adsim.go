@@ -34,6 +34,7 @@ import (
 	"adsim/internal/pipeline"
 	"adsim/internal/scene"
 	"adsim/internal/stats"
+	"adsim/internal/telemetry"
 )
 
 // Platform identifies one of the paper's four computing platforms.
@@ -161,6 +162,52 @@ type Distribution = stats.Distribution
 
 // NewDistribution returns an empty distribution with capacity n.
 func NewDistribution(n int) *Distribution { return stats.NewDistribution(n) }
+
+// Window is a bounded streaming latency window with O(1) folds and
+// Distribution-compatible quantile queries.
+type Window = stats.Window
+
+// NewWindow returns an empty streaming window holding the last capacity
+// samples (≤ 0 selects the default capacity).
+func NewWindow(capacity int) *Window { return stats.NewWindow(capacity) }
+
+// TelemetrySink receives per-stage spans and per-frame completions from
+// the pipeline's executors and the simulator.
+type TelemetrySink = telemetry.Sink
+
+// TelemetrySpan is one stage execution of one frame (queue wait + execute).
+type TelemetrySpan = telemetry.Span
+
+// TelemetryFrameEnd marks one frame's delivery.
+type TelemetryFrameEnd = telemetry.FrameEnd
+
+// TelemetryCollector aggregates spans into per-stage latency metrics and
+// renders JSON/CSV/text summaries.
+type TelemetryCollector = telemetry.Collector
+
+// NewTelemetryCollector returns a collector whose distributions keep the
+// last windowCap samples (≤ 0 selects the default).
+func NewTelemetryCollector(windowCap int) *TelemetryCollector {
+	return telemetry.NewCollector(windowCap)
+}
+
+// MultiSink fans telemetry out to several sinks.
+func MultiSink(sinks ...TelemetrySink) TelemetrySink { return telemetry.Multi(sinks...) }
+
+// ConstraintMonitor folds delivered frames into a rolling window and gives
+// live performance/predictability verdicts; it implements TelemetrySink.
+type ConstraintMonitor = constraint.Monitor
+
+// ConstraintMonitorConfig parameterizes the live monitor.
+type ConstraintMonitorConfig = constraint.MonitorConfig
+
+// LiveConstraintReport is the monitor's point-in-time verdict.
+type LiveConstraintReport = constraint.LiveReport
+
+// NewConstraintMonitor returns a live constraint monitor.
+func NewConstraintMonitor(cfg ConstraintMonitorConfig) *ConstraintMonitor {
+	return constraint.NewMonitor(cfg)
+}
 
 // ConstraintInput describes a candidate system for constraint checking.
 type ConstraintInput = constraint.Input

@@ -111,6 +111,44 @@ func BenchmarkRunner(b *testing.B) {
 	b.ReportMetric(wall.P9999(), "p99.99-ms")
 }
 
+// BenchmarkTelemetryOverhead quantifies the cost of full instrumentation:
+// the same pipelined Runner workload once with the no-op sink and once with
+// a Collector plus live constraint Monitor attached. The issue's acceptance
+// bar is the instrumented run staying within 5% frames/s of the no-op run;
+// compare the sub-benchmarks' frames/s to verify.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, sink TelemetrySink) {
+		cfg := DefaultPipelineConfig(Highway)
+		cfg.Scene.Width, cfg.Scene.Height = 512, 256
+		cfg.SurveyFrames = 20
+		cfg.Telemetry = sink
+		p, err := NewPipelineFromConfig(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewRunner(p, RunnerOptions{InFlight: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for res := range r.Run(b.N) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	}
+	b.Run("nop", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) {
+		col := NewTelemetryCollector(0)
+		mon := NewConstraintMonitor(ConstraintMonitorConfig{})
+		run(b, MultiSink(col, mon))
+		if col.Frames() != int64(b.N) {
+			b.Fatalf("collector saw %d frames, want %d", col.Frames(), b.N)
+		}
+	})
+}
+
 // BenchmarkSimulatedFrame measures the cost of one simulated frame sample
 // across the three engines.
 func BenchmarkSimulatedFrame(b *testing.B) {

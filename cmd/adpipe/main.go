@@ -6,6 +6,7 @@
 //	adpipe -scenario urban -frames 50
 //	adpipe -scenario highway -frames 100 -dnn=false -v
 //	adpipe -scenario highway -frames 200 -inflight 4 -workers 8
+//	adpipe -scenario urban -frames 100 -inflight 3 -telemetry json
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-frame results")
 		hist     = flag.Bool("hist", false, "print an end-to-end latency histogram")
 		trace    = flag.String("trace", "", "write a JSON-lines trace of every frame to this file")
+		telem    = flag.String("telemetry", "off", "telemetry summary format: json, csv or off; also enables the live constraint verdict")
 	)
 	flag.Parse()
 
@@ -59,6 +61,19 @@ func main() {
 	cfg.SurveyFrames = *survey
 	cfg.Detect.RunDNN = *dnn
 	cfg.Track.RunDNN = *dnn
+
+	var col *adsim.TelemetryCollector
+	var mon *adsim.ConstraintMonitor
+	switch *telem {
+	case "json", "csv":
+		col = adsim.NewTelemetryCollector(*frames)
+		mon = adsim.NewConstraintMonitor(adsim.ConstraintMonitorConfig{})
+		cfg.Telemetry = adsim.MultiSink(col, mon)
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "adpipe: unknown -telemetry format %q (want json, csv or off)\n", *telem)
+		os.Exit(2)
+	}
 
 	p, err := adsim.NewPipelineFromConfig(cfg)
 	if err != nil {
@@ -151,6 +166,22 @@ func main() {
 	fmt.Printf("localized %d/%d frames; relocalizations=%d, loop closures=%d, map=%v\n",
 		tracked, *frames, p.Localizer().Relocalizations(),
 		p.Localizer().LoopClosures(), p.Localizer().Map())
+
+	if col != nil {
+		fmt.Printf("\nper-stage telemetry (queue wait vs execute):\n")
+		var werr error
+		switch *telem {
+		case "json":
+			werr = col.WriteJSON(os.Stdout)
+		case "csv":
+			werr = col.WriteCSV(os.Stdout)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\nlive constraint verdict (rolling window):\n%s", mon.Snapshot())
+	}
 
 	if tw != nil {
 		fmt.Printf("wrote %d trace records to %s\n", tw.Count(), *trace)

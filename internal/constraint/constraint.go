@@ -139,41 +139,52 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// MinTailSamples is how many latency samples are needed before the tail
+// quantile is considered resolved (≥2 samples beyond the quantile).
+const MinTailSamples = int(2 / (1 - TailQuantile))
+
+// performanceVerdict judges the Performance class from a tail latency (ms),
+// a frame rate (fps) and a sample count. It is the single verdict rule both
+// the offline Check and the live Monitor apply, so the two can never drift.
+func performanceVerdict(tailMs, fps float64, n int) Verdict {
+	return Verdict{
+		Class:  Performance,
+		Passed: n > 0 && tailMs <= MaxTailLatencyMs && fps >= MinFrameRate,
+		Detail: fmt.Sprintf("tail %.1f ms (limit %.0f), %.1f fps (min %.0f)",
+			tailMs, MaxTailLatencyMs, fps, MinFrameRate),
+	}
+}
+
+// predictabilityVerdict judges the Predictability class: enough samples to
+// resolve the tail quantile, and a bounded tail-to-mean blowup (a system
+// whose tail is far above its mean cannot be certified predictable even if
+// the mean is fast). Shared by Check and Monitor.
+func predictabilityVerdict(tailMs, meanMs float64, n int) Verdict {
+	v := Verdict{Class: Predictability, Detail: "no latency distribution"}
+	if n > 0 {
+		blowup := tailMs / meanMs
+		v.Passed = n >= MinTailSamples && blowup <= 10
+		v.Detail = fmt.Sprintf("n=%d (need ≥%d), tail/mean %.1fx (limit 10x)",
+			n, MinTailSamples, blowup)
+	}
+	return v
+}
+
 // Check evaluates all constraint classes for the candidate configuration.
 func Check(in Input) Report {
 	var r Report
 	r.System = power.System(in.ComputePowerW, in.MapTB)
 	r.RangeReduction = power.RangeReduction(r.System.Total())
 
-	tail := 0.0
+	tail, mean := 0.0, 0.0
 	n := 0
 	if in.Latency != nil {
 		tail = in.Latency.Quantile(TailQuantile)
+		mean = in.Latency.Mean()
 		n = in.Latency.N()
 	}
-
-	perfOK := n > 0 && tail <= MaxTailLatencyMs && in.FrameRate >= MinFrameRate
-	r.Verdicts[Performance] = Verdict{
-		Class:  Performance,
-		Passed: perfOK,
-		Detail: fmt.Sprintf("tail %.1f ms (limit %.0f), %.1f fps (min %.0f)",
-			tail, MaxTailLatencyMs, in.FrameRate, MinFrameRate),
-	}
-
-	// Predictability: enough samples to resolve the tail quantile, and a
-	// bounded tail-to-mean blowup (a system whose tail is far above its
-	// mean cannot be certified predictable even if the mean is fast).
-	predOK := false
-	detail := "no latency distribution"
-	if n > 0 {
-		mean := in.Latency.Mean()
-		blowup := tail / mean
-		minSamples := int(2 / (1 - TailQuantile)) // ≥2 samples beyond the quantile
-		predOK = n >= minSamples && blowup <= 10
-		detail = fmt.Sprintf("n=%d (need ≥%d), tail/mean %.1fx (limit 10x)",
-			n, minSamples, blowup)
-	}
-	r.Verdicts[Predictability] = Verdict{Class: Predictability, Passed: predOK, Detail: detail}
+	r.Verdicts[Performance] = performanceVerdict(tail, in.FrameRate, n)
+	r.Verdicts[Predictability] = predictabilityVerdict(tail, mean, n)
 
 	storOK := in.AvailableStorageTB >= in.MapTB
 	r.Verdicts[Storage] = Verdict{

@@ -1,0 +1,157 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"adsim/internal/stats"
+	"adsim/internal/telemetry"
+)
+
+// MonitorConfig parameterizes the live constraint monitor.
+type MonitorConfig struct {
+	// Window bounds how many recent frames the rolling verdict is computed
+	// over. 0 selects DefaultMonitorWindow; the window must comfortably
+	// exceed MinTailSamples or the predictability verdict can never pass.
+	Window int
+}
+
+// DefaultMonitorWindow holds ~1.6x the samples the P99.99 tail needs to
+// resolve, at 8 bytes per sample — constant memory however long the vehicle
+// drives.
+const DefaultMonitorWindow = 1 << 15 // 32768
+
+// Monitor is the ONLINE half of the constraint story: where Check judges a
+// finished stats.Distribution after a run, Monitor folds each delivered
+// frame's wall latency into a bounded rolling window as the system executes
+// — O(1) amortized per frame — and answers live Performance and
+// Predictability verdicts at any moment. Both verdicts apply the exact same
+// rules as Check (shared verdict helpers), so a monitor fed a run's frames
+// agrees with the offline evaluation of the same samples.
+//
+// Monitor implements telemetry.Sink, so it attaches anywhere a Collector
+// does: stage spans are ignored, delivered frames are folded in. The frame
+// rate is measured from inter-delivery times over the same rolling window
+// (simulated executors supply a synthetic timeline via FrameEnd.At, so the
+// rate reflects simulated time, not host time).
+//
+// Safe for concurrent use.
+type Monitor struct {
+	mu    sync.Mutex
+	w     *stats.Window
+	at    []time.Time // delivery times, ring parallel to w's occupancy
+	head  int
+	count int
+}
+
+// NewMonitor returns a live monitor with the configured rolling window.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	n := cfg.Window
+	if n <= 0 {
+		n = DefaultMonitorWindow
+	}
+	return &Monitor{w: stats.NewWindow(n), at: make([]time.Time, n)}
+}
+
+// Observe folds one delivered frame in: its wall latency (ms) and delivery
+// time. O(1) amortized.
+func (m *Monitor) Observe(wallMs float64, at time.Time) {
+	m.mu.Lock()
+	m.w.Add(wallMs)
+	m.at[m.head] = at
+	m.head++
+	if m.head == len(m.at) {
+		m.head = 0
+	}
+	if m.count < len(m.at) {
+		m.count++
+	}
+	m.mu.Unlock()
+}
+
+// Span implements telemetry.Sink; stage spans carry no constraint signal.
+func (m *Monitor) Span(telemetry.Span) {}
+
+// FrameDone implements telemetry.Sink: folds the delivered frame in.
+func (m *Monitor) FrameDone(f telemetry.FrameEnd) {
+	at := f.At
+	if at.IsZero() {
+		at = time.Now()
+	}
+	m.Observe(float64(f.Wall)/1e6, at)
+}
+
+// LiveReport is a point-in-time verdict from the rolling window. Only the
+// classes the monitor can judge online (Performance, Predictability) are
+// present; the static classes (storage, thermal, power) need a platform
+// description and remain Check's job.
+type LiveReport struct {
+	Performance    Verdict
+	Predictability Verdict
+	// TailMs, MeanMs and FPS are the windowed measurements behind the
+	// verdicts.
+	TailMs float64
+	MeanMs float64
+	FPS    float64
+	// N is the window occupancy the verdicts were computed over; Total is
+	// the lifetime frame count.
+	N     int
+	Total int64
+}
+
+// Pass reports whether both live classes passed.
+func (r LiveReport) Pass() bool {
+	return r.Performance.Passed && r.Predictability.Passed
+}
+
+func (r LiveReport) String() string {
+	var b strings.Builder
+	for _, v := range []Verdict{r.Performance, r.Predictability} {
+		mark := "PASS"
+		if !v.Passed {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-14s %s  %s\n", v.Class, mark, v.Detail)
+	}
+	return b.String()
+}
+
+// Snapshot computes the live verdicts over the current rolling window.
+func (m *Monitor) Snapshot() LiveReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := LiveReport{
+		TailMs: m.w.Quantile(TailQuantile),
+		MeanMs: m.w.Mean(),
+		N:      m.w.N(),
+		Total:  m.w.TotalN(),
+	}
+	r.FPS = m.fpsLocked()
+	r.Performance = performanceVerdict(r.TailMs, r.FPS, r.N)
+	r.Predictability = predictabilityVerdict(r.TailMs, r.MeanMs, r.N)
+	return r
+}
+
+// FPS reports the windowed delivery rate (frames per second).
+func (m *Monitor) FPS() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fpsLocked()
+}
+
+// fpsLocked measures the delivery rate over the window: (frames-1) /
+// (newest - oldest delivery time). Needs at least two frames.
+func (m *Monitor) fpsLocked() float64 {
+	if m.count < 2 {
+		return 0
+	}
+	newest := m.at[(m.head-1+len(m.at))%len(m.at)]
+	oldest := m.at[(m.head-m.count+len(m.at))%len(m.at)]
+	span := newest.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(m.count-1) / span
+}

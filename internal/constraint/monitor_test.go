@@ -1,0 +1,175 @@
+package constraint
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adsim/internal/stats"
+	"adsim/internal/telemetry"
+)
+
+// feed drives one sample set through a fresh monitor at a fixed simulated
+// delivery rate and returns the monitor plus the equivalent offline inputs.
+func feed(t *testing.T, samples []float64, fps float64) (*Monitor, *stats.Distribution) {
+	t.Helper()
+	m := NewMonitor(MonitorConfig{Window: len(samples) + 1})
+	d := stats.NewDistribution(len(samples))
+	base := time.Unix(0, 0)
+	dt := time.Duration(float64(time.Second) / fps)
+	for i, v := range samples {
+		m.Observe(v, base.Add(time.Duration(i)*dt))
+		d.Add(v)
+	}
+	return m, d
+}
+
+// TestMonitorAgreesWithOfflineCheck is the acceptance-criteria test: on the
+// same sample set (and the monitor's own measured rate), the live monitor's
+// Performance and Predictability verdicts must equal the offline Check's.
+func TestMonitorAgreesWithOfflineCheck(t *testing.T) {
+	rng := stats.NewRNG(42)
+	mk := func(n int, mean, sd float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Abs(rng.Normal(mean, sd))
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		samples []float64
+		fps     float64
+	}{
+		{"fast-and-predictable", mk(25000, 20, 2), 50},
+		{"tail-too-slow", mk(25000, 90, 15), 50},
+		{"rate-too-low", mk(25000, 20, 2), 5},
+		{"too-few-samples", mk(500, 20, 2), 50},
+		{"unpredictable-blowup", append(mk(24999, 5, 0.1), 80), 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, d := feed(t, tc.samples, tc.fps)
+			live := m.Snapshot()
+			offline := Check(Input{Latency: d, FrameRate: live.FPS})
+			if live.Performance.Passed != offline.Verdicts[Performance].Passed {
+				t.Errorf("performance: live %v, offline %v\nlive: %s\noffline: %s",
+					live.Performance.Passed, offline.Verdicts[Performance].Passed,
+					live.Performance.Detail, offline.Verdicts[Performance].Detail)
+			}
+			if live.Predictability.Passed != offline.Verdicts[Predictability].Passed {
+				t.Errorf("predictability: live %v, offline %v\nlive: %s\noffline: %s",
+					live.Predictability.Passed, offline.Verdicts[Predictability].Passed,
+					live.Predictability.Detail, offline.Verdicts[Predictability].Detail)
+			}
+			// The measurements themselves must agree exactly: same samples,
+			// same quantile interpolation.
+			if live.TailMs != d.Quantile(TailQuantile) {
+				t.Errorf("tail: live %v, offline %v", live.TailMs, d.Quantile(TailQuantile))
+			}
+			if live.MeanMs != d.Mean() {
+				t.Errorf("mean: live %v, offline %v", live.MeanMs, d.Mean())
+			}
+		})
+	}
+}
+
+func TestMonitorMeasuresFPS(t *testing.T) {
+	samples := make([]float64, 101)
+	for i := range samples {
+		samples[i] = 10
+	}
+	m, _ := feed(t, samples, 25)
+	if fps := m.FPS(); math.Abs(fps-25) > 0.01 {
+		t.Errorf("fps = %v, want ~25", fps)
+	}
+}
+
+// TestMonitorRollingWindowForgets checks the live half of the contract: a
+// latency regression must surface once the window rolls past the good era.
+func TestMonitorRollingWindowForgets(t *testing.T) {
+	m := NewMonitor(MonitorConfig{Window: 100})
+	base := time.Unix(0, 0)
+	at := func(i int) time.Time { return base.Add(time.Duration(i) * 20 * time.Millisecond) }
+	for i := 0; i < 100; i++ {
+		m.Observe(10, at(i))
+	}
+	if tail := m.Snapshot().TailMs; tail != 10 {
+		t.Fatalf("healthy tail = %v", tail)
+	}
+	for i := 100; i < 200; i++ {
+		m.Observe(500, at(i))
+	}
+	snap := m.Snapshot()
+	if snap.TailMs != 500 {
+		t.Errorf("regressed tail = %v, want 500 (window should have forgotten the good era)", snap.TailMs)
+	}
+	if snap.Performance.Passed {
+		t.Error("performance verdict should fail after the regression")
+	}
+	if snap.N != 100 || snap.Total != 200 {
+		t.Errorf("window n=%d total=%d, want 100/200", snap.N, snap.Total)
+	}
+}
+
+// TestMonitorAsTelemetrySink drives the monitor through the Sink interface
+// the executors use, with a synthetic timeline.
+func TestMonitorAsTelemetrySink(t *testing.T) {
+	var sink telemetry.Sink = NewMonitor(MonitorConfig{Window: 64})
+	m := sink.(*Monitor)
+	base := time.Unix(0, 0)
+	for i := 0; i < 32; i++ {
+		sink.Span(telemetry.Span{Stage: "DET"}) // ignored
+		sink.FrameDone(telemetry.FrameEnd{
+			Frame: i,
+			Wall:  15 * time.Millisecond,
+			At:    base.Add(time.Duration(i) * 50 * time.Millisecond),
+		})
+	}
+	snap := m.Snapshot()
+	if snap.N != 32 {
+		t.Errorf("n = %d, want 32", snap.N)
+	}
+	if snap.TailMs != 15 {
+		t.Errorf("tail = %v, want 15", snap.TailMs)
+	}
+	if math.Abs(snap.FPS-20) > 0.01 {
+		t.Errorf("fps = %v, want ~20", snap.FPS)
+	}
+	// Zero At must not panic and must fall back to the host clock.
+	sink.FrameDone(telemetry.FrameEnd{Frame: 32, Wall: time.Millisecond})
+	if m.Snapshot().N != 33 {
+		t.Error("zero-At frame not folded in")
+	}
+	if s := snap.String(); !strings.Contains(s, "performance") || !strings.Contains(s, "predictability") {
+		t.Errorf("report render = %q", s)
+	}
+}
+
+func TestMonitorEmptyAndConcurrent(t *testing.T) {
+	m := NewMonitor(MonitorConfig{})
+	snap := m.Snapshot()
+	if snap.Performance.Passed || snap.Predictability.Passed {
+		t.Error("empty monitor must not pass")
+	}
+	if snap.Pass() {
+		t.Error("empty Pass() true")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Observe(10, time.Now())
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Snapshot().Total != 2000 {
+		t.Errorf("total = %d, want 2000", m.Snapshot().Total)
+	}
+}

@@ -1,0 +1,5 @@
+package control
+
+// StageName identifies the controller in the pipeline's declarative stage
+// graph and in telemetry spans (implements telemetry.Stage).
+func (c *Controller) StageName() string { return "CONTROL" }

@@ -1,0 +1,5 @@
+package detect
+
+// StageName identifies the detector in the pipeline's declarative stage
+// graph and in telemetry spans (implements telemetry.Stage).
+func (d *Detector) StageName() string { return "DET" }

@@ -3,10 +3,10 @@ package experiment
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"adsim/internal/pipeline"
 	"adsim/internal/scene"
+	"adsim/internal/telemetry"
 )
 
 func init() { register("fig7", runFig7) }
@@ -51,42 +51,41 @@ func runFig7(opts Options) (Result, error) {
 	cfg := pipeline.DefaultConfig(scene.Urban)
 	cfg.Scene.Width, cfg.Scene.Height = 512, 256
 	cfg.SurveyFrames = 20
+	// The breakdown now comes entirely from the telemetry layer: the stage
+	// bodies emit kernel sub-spans ("DET/dnn", "TRA/dnn", "TRA/other",
+	// "LOC/fe") alongside the stage spans, and the collector's lifetime
+	// exec sums are the figure's numerators and denominators.
+	col := telemetry.NewCollector(0)
+	cfg.Telemetry = col
 	p, err := pipeline.NewNative(cfg)
 	if err != nil {
 		return nil, err
 	}
-	var det, detDNN, tra, traDNN, loc, locFE time.Duration
-	traFrames := 0
 	for i := 0; i < opts.NativeFrames; i++ {
-		res, err := p.Step()
-		if err != nil {
+		if _, err := p.Step(); err != nil {
 			return nil, err
 		}
-		det += res.Timing.Det
-		detDNN += res.Timing.DetDNN
-		loc += res.Timing.Loc
-		locFE += res.Timing.LocFE
-		// TRA only exercises its kernels once tracks exist. The tracker
-		// pool propagates objects on parallel goroutines, so its breakdown
-		// sums per-tracker work: the denominator must be the same summed
-		// work (DNN+Other), not the stage's wall time, which the pool can
-		// exceed when trackers overlap.
-		if res.Timing.TraDNN > 0 {
-			tra += res.Timing.TraDNN + res.Timing.TraOther
-			traDNN += res.Timing.TraDNN
-			traFrames++
-		}
 	}
-	share := func(hot, total time.Duration) float64 {
+	share := func(hot, total float64) float64 {
 		if total <= 0 {
 			return 0
 		}
-		return float64(hot) / float64(total)
+		return hot / total
 	}
+	// TRA's kernels only run once tracks exist, and the tracker pool
+	// propagates objects on parallel goroutines — its breakdown must divide
+	// summed per-tracker work (DNN+Other), not the stage's wall time, which
+	// the pool can exceed when trackers overlap. The sub-spans are emitted
+	// only on frames where the kernel ran, so the sums already restrict to
+	// those frames.
+	traDNN, traOther := col.ExecSumMs("TRA/dnn"), col.ExecSumMs("TRA/other")
 	rows := []Fig7Row{
-		{Engine: "DET", HotLabel: "DNN", HotShare: share(detDNN, det), PaperShare: 0.994},
-		{Engine: "TRA", HotLabel: "DNN", HotShare: share(traDNN, tra), PaperShare: 0.990},
-		{Engine: "LOC", HotLabel: "FE", HotShare: share(locFE, loc), PaperShare: 0.859},
+		{Engine: "DET", HotLabel: "DNN",
+			HotShare: share(col.ExecSumMs("DET/dnn"), col.ExecSumMs("DET")), PaperShare: 0.994},
+		{Engine: "TRA", HotLabel: "DNN",
+			HotShare: share(traDNN, traDNN+traOther), PaperShare: 0.990},
+		{Engine: "LOC", HotLabel: "FE",
+			HotShare: share(col.ExecSumMs("LOC/fe"), col.ExecSumMs("LOC")), PaperShare: 0.859},
 	}
 	return Fig7Result{Rows: rows, Frames: opts.NativeFrames}, nil
 }

@@ -1,0 +1,5 @@
+package fusion
+
+// StageName identifies the fusion engine in the pipeline's declarative
+// stage graph and in telemetry spans (implements telemetry.Stage).
+func (e *Engine) StageName() string { return "FUSION" }

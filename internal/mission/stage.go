@@ -1,0 +1,5 @@
+package mission
+
+// StageName identifies the mission planner in the pipeline's declarative
+// stage graph and in telemetry spans (implements telemetry.Stage).
+func (p *Planner) StageName() string { return "MISPLAN" }

@@ -1,0 +1,268 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"adsim/internal/telemetry"
+)
+
+// This file is the single source of truth for the pipeline's topology: the
+// declarative stage graph encoding the paper's Figure 1 dependency law.
+// Both executors are constructed from it — the sequential Step loop runs
+// the graph one frame at a time (stages still overlap within the frame
+// wherever the graph allows), and the pipelined Runner turns each stage
+// into a long-lived goroutine with one channel per graph edge. Neither
+// executor hard-codes an ordering of its own, so the topology, the
+// ordering guarantees, and the determinism test live in exactly one place.
+//
+//	SRC ─┬─► DET ──► TRA ──┐
+//	     └─► LOC ──┬───────┴─► FUSION ──┐
+//	               └─► MISPLAN ─────────┴─► MOTPLAN ──► CONTROL
+//
+// Determinism: every stateful engine is pinned to exactly one stage, and
+// both executors run each stage over frames in admission order, so results
+// are bitwise-identical across executors and in-flight window sizes.
+
+// StageID identifies one stage of the graph. The declaration order is a
+// valid topological order (validated at construction), which the executors
+// and error reporting rely on.
+type StageID int
+
+const (
+	StageSrc StageID = iota
+	StageDet
+	StageLoc
+	StageTra
+	StageFusion
+	StageMisplan
+	StageMotplan
+	StageControl
+	NumStages
+)
+
+// stageNames are the canonical names. Graph validation cross-checks each
+// engine's telemetry.Stage adapter against this table, so a span's stage
+// label, the graph, and the engine can never disagree.
+var stageNames = [NumStages]string{
+	"SRC", "DET", "LOC", "TRA", "FUSION", "MISPLAN", "MOTPLAN", "CONTROL",
+}
+
+func (id StageID) String() string {
+	if id < 0 || id >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(id))
+	}
+	return stageNames[id]
+}
+
+// StageSpec declares one stage: the engine behind it (its telemetry.Stage
+// adapter supplies the canonical name), the stages it depends on, and the
+// per-frame body.
+type StageSpec struct {
+	ID     StageID
+	Engine telemetry.Stage
+	Deps   []StageID
+	Run    func(*frameState) error
+}
+
+// Graph is a validated declarative stage graph.
+type Graph struct {
+	stages [NumStages]StageSpec
+	topo   []StageID
+}
+
+// Stages returns the stage declarations indexed by StageID.
+func (g *Graph) Stages() [NumStages]StageSpec { return g.stages }
+
+// Topo returns a deterministic topological order (ascending StageID among
+// ready stages).
+func (g *Graph) Topo() []StageID { return g.topo }
+
+// Deps returns the declared dependencies of a stage.
+func (g *Graph) Deps(id StageID) []StageID { return g.stages[id].Deps }
+
+// successors inverts the dependency edges: successors()[s] lists every
+// stage that consumes s's output, in ascending StageID order.
+func (g *Graph) successors() [NumStages][]StageID {
+	var out [NumStages][]StageID
+	for id := StageID(0); id < NumStages; id++ {
+		for _, dep := range g.stages[id].Deps {
+			out[dep] = append(out[dep], id)
+		}
+	}
+	return out
+}
+
+// finalize validates the graph and computes its topological order:
+// every stage declared with a body and a name matching the canonical
+// table, dependencies in range without duplicates or self-loops, the
+// whole graph acyclic with SRC as the only root and CONTROL as the only
+// sink, and every stage reachable from SRC.
+func (g *Graph) finalize() error {
+	indeg := [NumStages]int{}
+	for id := StageID(0); id < NumStages; id++ {
+		s := g.stages[id]
+		if s.ID != id {
+			return fmt.Errorf("pipeline: stage %v declared with ID %v", id, s.ID)
+		}
+		if s.Run == nil {
+			return fmt.Errorf("pipeline: stage %v has no body", id)
+		}
+		if s.Engine == nil {
+			return fmt.Errorf("pipeline: stage %v has no engine", id)
+		}
+		if got, want := s.Engine.StageName(), id.String(); got != want {
+			return fmt.Errorf("pipeline: stage %v engine names itself %q", id, got)
+		}
+		seen := map[StageID]bool{}
+		for _, dep := range s.Deps {
+			if dep < 0 || dep >= NumStages {
+				return fmt.Errorf("pipeline: stage %v depends on unknown stage %d", id, int(dep))
+			}
+			if dep == id {
+				return fmt.Errorf("pipeline: stage %v depends on itself", id)
+			}
+			if seen[dep] {
+				return fmt.Errorf("pipeline: stage %v lists dependency %v twice", id, dep)
+			}
+			seen[dep] = true
+		}
+		indeg[id] = len(s.Deps)
+		if len(s.Deps) == 0 && id != StageSrc {
+			return fmt.Errorf("pipeline: stage %v has no dependencies; only %v may be a root", id, StageSrc)
+		}
+	}
+
+	succ := g.successors()
+	for id := StageID(0); id < NumStages; id++ {
+		if len(succ[id]) == 0 && id != StageControl {
+			return fmt.Errorf("pipeline: stage %v has no consumers; only %v may be the sink", id, StageControl)
+		}
+	}
+	if len(succ[StageControl]) != 0 {
+		return fmt.Errorf("pipeline: %v must be the terminal stage", StageControl)
+	}
+
+	// Kahn's algorithm with ascending-StageID tie-break: deterministic, and
+	// detects cycles (not all stages drained).
+	g.topo = g.topo[:0]
+	ready := []StageID{StageSrc}
+	deg := indeg
+	for len(ready) > 0 {
+		// Pop the smallest ready StageID.
+		min := 0
+		for i := range ready {
+			if ready[i] < ready[min] {
+				min = i
+			}
+		}
+		id := ready[min]
+		ready = append(ready[:min], ready[min+1:]...)
+		g.topo = append(g.topo, id)
+		for _, nxt := range succ[id] {
+			deg[nxt]--
+			if deg[nxt] == 0 {
+				ready = append(ready, nxt)
+			}
+		}
+	}
+	if len(g.topo) != int(NumStages) {
+		return fmt.Errorf("pipeline: stage graph is cyclic or disconnected (%d/%d stages ordered)",
+			len(g.topo), NumStages)
+	}
+	return nil
+}
+
+// frameState carries one frame through the stage graph. Stages write
+// disjoint FrameResult fields; cross-stage visibility is ordered by the
+// executors (done-channel close in Step, channel send in Runner), so
+// concurrent stages of the same frame never touch the same memory.
+type frameState struct {
+	admitted time.Time
+	res      FrameResult
+	// doneAt stamps each stage's completion; a consumer stage derives its
+	// queue wait as (execution start − latest dependency completion).
+	doneAt [NumStages]time.Time
+	// failed marks stages that errored or were skipped because an upstream
+	// stage failed; errs holds each stage's own error.
+	failed [NumStages]bool
+	errs   [NumStages]error
+	// targetSpeed is MISPLAN's per-frame guidance-shaped speed for MOTPLAN
+	// (the leg speed limit cap and stop-line ramp); <= 0 keeps the
+	// planner's configured target speed.
+	targetSpeed float64
+}
+
+// err returns the frame's first error in stage order, if any.
+func (fs *frameState) err() error {
+	for id := StageID(0); id < NumStages; id++ {
+		if e := fs.errs[id]; e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// execStage runs one stage of the graph for one frame. It is the single
+// stage executor both Step and Runner go through: upstream-failure
+// skipping, the test-only fault-injection hook, and queue/exec span
+// emission all live here. The caller must have ordered every dependency's
+// completion before this call.
+func (p *Pipeline) execStage(spec StageSpec, fs *frameState) {
+	ready := fs.admitted
+	failed := false
+	for _, dep := range spec.Deps {
+		if t := fs.doneAt[dep]; t.After(ready) {
+			ready = t
+		}
+		if fs.failed[dep] {
+			failed = true
+		}
+	}
+	if !failed {
+		start := time.Now()
+		var err error
+		if p.inject != nil {
+			err = p.inject(spec.ID, fs.res.Frame.Index)
+		}
+		if err == nil {
+			err = spec.Run(fs)
+		}
+		if err != nil {
+			fs.errs[spec.ID] = err
+			failed = true
+		}
+		p.sink.Span(telemetry.Span{
+			Stage: spec.Engine.StageName(),
+			Frame: fs.res.Frame.Index,
+			Queue: start.Sub(ready),
+			Exec:  time.Since(start),
+		})
+	}
+	fs.failed[spec.ID] = failed
+	fs.doneAt[spec.ID] = time.Now()
+}
+
+// runFrame executes the whole graph for one frame: one goroutine per
+// stage, each starting the moment its dependencies finish. This is the
+// sequential executor's body — DET and LOC overlap within the frame
+// exactly as Figure 1 allows, but only one frame is in flight.
+func (p *Pipeline) runFrame(fs *frameState) {
+	var done [NumStages]chan struct{}
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	for _, id := range p.g.topo {
+		spec := p.g.stages[id]
+		go func() {
+			for _, dep := range spec.Deps {
+				<-done[dep]
+			}
+			p.execStage(spec, fs)
+			close(done[spec.ID])
+		}()
+	}
+	// CONTROL is the graph's only sink (validated), so its completion
+	// transitively orders every stage's.
+	<-done[StageControl]
+}

@@ -12,11 +12,16 @@
 //   - Simulated mode (sim.go) composes per-frame latency samples from the
 //     calibrated platform models in internal/accel at full paper scale,
 //     which is how the paper's latency figures are regenerated.
+//
+// The topology is declared exactly once, as the stage graph in graph.go;
+// the sequential Step loop and the pipelined Runner are both constructed
+// from it, and every stage execution is reported to the configured
+// telemetry.Sink as a span (queue wait vs. execute split), with engine hot
+// kernels emitting "STAGE/kernel" sub-spans.
 package pipeline
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"adsim/internal/control"
@@ -26,6 +31,7 @@ import (
 	"adsim/internal/plan"
 	"adsim/internal/scene"
 	"adsim/internal/slam"
+	"adsim/internal/telemetry"
 	"adsim/internal/track"
 )
 
@@ -42,6 +48,9 @@ type Config struct {
 	// provider role). 0 keeps the map empty (the localizer dead-reckons
 	// and relocalizes).
 	SurveyFrames int
+	// Telemetry receives every stage span and delivered frame from both
+	// executors. nil runs with the no-op sink.
+	Telemetry telemetry.Sink
 }
 
 // DefaultConfig returns a ready-to-run native configuration for a scenario
@@ -65,7 +74,7 @@ func DefaultConfig(kind scene.Kind) Config {
 // StageTiming is the per-frame wall-clock timing of every stage, plus the
 // DNN/FE instrumentation the cycle-breakdown experiment consumes.
 type StageTiming struct {
-	Det, Tra, Loc, Fusion, MotPlan, Control time.Duration
+	Det, Tra, Loc, Fusion, MisPlan, MotPlan, Control time.Duration
 	// E2E follows the dependency structure: max(LOC, DET+TRA) + FUSION +
 	// MOTPLAN (DET and LOC run in parallel).
 	E2E time.Duration
@@ -93,15 +102,26 @@ type FrameResult struct {
 // use — one frame at a time; hand the pipeline to a Runner to overlap
 // multiple in-flight frames.
 type Pipeline struct {
-	cfg Config
-	gen *scene.Generator
+	cfg  Config
+	gen  *scene.Generator
+	sink telemetry.Sink
 
 	det  *detect.Detector
 	tra  *track.Engine
 	loc  *slam.Engine
 	fuse *fusion.Engine
+	mot  *plan.Planner
 	ctl  *control.Controller
 	mis  *mission.Planner // optional
+
+	// g is the validated stage graph both executors are built from.
+	g Graph
+
+	// inject is a test-only fault hook: when set, it is consulted before
+	// every stage body and its error fails the stage as if the body had
+	// returned it. (The SRC stage is consulted before the frame index is
+	// assigned; inject on engine stages only.)
+	inject func(StageID, int) error
 }
 
 // NewNative constructs the native pipeline, surveying the prior map first
@@ -131,7 +151,19 @@ func NewNative(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pipeline{cfg: cfg, gen: gen, det: det, tra: tra, loc: loc, fuse: fuse, ctl: ctl}
+	sink := cfg.Telemetry
+	if sink == nil {
+		sink = telemetry.Nop{}
+	}
+	p := &Pipeline{
+		cfg: cfg, gen: gen, sink: sink,
+		det: det, tra: tra, loc: loc, fuse: fuse,
+		mot: plan.NewPlanner(cfg.Plan), ctl: ctl,
+	}
+	p.g = p.buildGraph()
+	if err := p.g.finalize(); err != nil {
+		return nil, err
+	}
 
 	if cfg.SurveyFrames > 0 {
 		survey, err := scene.New(cfg.Scene)
@@ -146,6 +178,27 @@ func NewNative(cfg Config) (*Pipeline, error) {
 	return p, nil
 }
 
+// buildGraph declares the Figure 1 stage graph over this pipeline's
+// engines. This is the only place the topology is written down.
+func (p *Pipeline) buildGraph() Graph {
+	var g Graph
+	add := func(id StageID, eng telemetry.Stage, deps []StageID, run func(*frameState) error) {
+		g.stages[id] = StageSpec{ID: id, Engine: eng, Deps: deps, Run: run}
+	}
+	add(StageSrc, p.gen, nil, p.runSrc)
+	add(StageDet, p.det, []StageID{StageSrc}, p.runDet)
+	add(StageLoc, p.loc, []StageID{StageSrc}, p.runLoc)
+	add(StageTra, p.tra, []StageID{StageDet}, p.runTra)
+	add(StageFusion, p.fuse, []StageID{StageTra, StageLoc}, p.runFusion)
+	add(StageMisplan, p.mis, []StageID{StageLoc}, p.runMisplan)
+	add(StageMotplan, p.mot, []StageID{StageFusion, StageMisplan}, p.runMotplan)
+	add(StageControl, p.ctl, []StageID{StageMotplan}, p.runControl)
+	return g
+}
+
+// Graph exposes the validated stage graph (for inspection and tests).
+func (p *Pipeline) Graph() *Graph { return &p.g }
+
 // AttachMission wires a mission planner into the pipeline; its per-leg
 // speed limit then caps the motion planner's target speed.
 func (p *Pipeline) AttachMission(m *mission.Planner) { p.mis = m }
@@ -156,142 +209,170 @@ func (p *Pipeline) Localizer() *slam.Engine { return p.loc }
 // Tracker exposes the TRA engine.
 func (p *Pipeline) Tracker() *track.Engine { return p.tra }
 
-// Step renders the next frame and runs it through the full pipeline
-// sequentially (one frame in flight). Runner pipelines the same stage
-// functions across multiple in-flight frames.
+// Step renders the next frame and runs it through the full stage graph
+// with one frame in flight (stages still overlap within the frame wherever
+// the graph allows — DET and LOC in parallel, per Fig 1). Runner pipelines
+// the same graph across multiple in-flight frames.
 func (p *Pipeline) Step() (FrameResult, error) {
-	res := FrameResult{Frame: p.gen.Step()}
+	fs := &frameState{admitted: time.Now()}
+	p.runFrame(fs)
+	err := fs.err()
+	p.sink.FrameDone(telemetry.FrameEnd{
+		Frame: fs.res.Frame.Index,
+		Wall:  time.Since(fs.admitted),
+		Err:   err != nil,
+	})
+	return fs.res, err
+}
 
-	// DET and LOC consume the frame in parallel (Fig 1, steps 1a/1b).
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		p.runDet(&res)
-	}()
-	go func() {
-		defer wg.Done()
-		p.runLoc(&res)
-	}()
-	wg.Wait()
-
-	p.runTra(&res)
-	if err := p.finishFrame(&res); err != nil {
-		return res, err
-	}
-	return res, nil
+// runSrc renders the next scenario frame (the SRC stage).
+func (p *Pipeline) runSrc(fs *frameState) error {
+	fs.res.Frame = p.gen.Step()
+	return nil
 }
 
 // runDet executes the DET stage for one frame, filling Detections and the
 // DET timings. Timing comes back from the engine by return value, so
 // overlapping frames in the pipelined runner cannot alias each other's
 // instrumentation.
-func (p *Pipeline) runDet(res *FrameResult) {
+func (p *Pipeline) runDet(fs *frameState) error {
 	start := time.Now()
-	dets, tm := p.det.DetectTimed(res.Frame.Image)
-	res.Detections = dets
-	res.Timing.Det = time.Since(start)
-	res.Timing.DetDNN = tm.DNN
+	dets, tm := p.det.DetectTimed(fs.res.Frame.Image)
+	fs.res.Detections = dets
+	fs.res.Timing.Det = time.Since(start)
+	fs.res.Timing.DetDNN = tm.DNN
+	if tm.DNN > 0 {
+		p.sink.Span(telemetry.Span{Stage: "DET/dnn", Frame: fs.res.Frame.Index, Exec: tm.DNN})
+	}
+	return nil
 }
 
 // runLoc executes the LOC stage for one frame, filling Pose and the LOC
 // timings.
-func (p *Pipeline) runLoc(res *FrameResult) {
+func (p *Pipeline) runLoc(fs *frameState) error {
 	start := time.Now()
-	est, tm := p.loc.LocalizeTimed(res.Frame.Image)
-	res.Pose = est
-	res.Timing.Loc = time.Since(start)
-	res.Timing.LocFE = tm.FE
+	est, tm := p.loc.LocalizeTimed(fs.res.Frame.Image)
+	fs.res.Pose = est
+	fs.res.Timing.Loc = time.Since(start)
+	fs.res.Timing.LocFE = tm.FE
+	if tm.FE > 0 {
+		p.sink.Span(telemetry.Span{Stage: "LOC/fe", Frame: fs.res.Frame.Index, Exec: tm.FE})
+	}
+	return nil
 }
 
 // runTra executes the TRA stage for one frame (step 1c): the tracker table
 // advances and res receives a deep-copied snapshot immune to later frames.
-func (p *Pipeline) runTra(res *FrameResult) {
+// The kernel sub-spans are emitted only on frames where the tracker pool's
+// DNN actually ran, mirroring the Fig 7 accounting (per-tracker work sums,
+// not wall time).
+func (p *Pipeline) runTra(fs *frameState) error {
 	start := time.Now()
-	dets := make([]track.Detection, len(res.Detections))
-	for i, d := range res.Detections {
+	dets := make([]track.Detection, len(fs.res.Detections))
+	for i, d := range fs.res.Detections {
 		dets[i] = track.Detection{Box: d.Box, Class: d.Class}
 	}
-	tracks, tm := p.tra.Step(res.Frame.Image, dets)
-	res.Tracks = tracks
-	res.Timing.Tra = time.Since(start)
-	res.Timing.TraDNN = tm.DNN
-	res.Timing.TraOther = tm.Other
+	tracks, tm := p.tra.Step(fs.res.Frame.Image, dets)
+	fs.res.Tracks = tracks
+	fs.res.Timing.Tra = time.Since(start)
+	fs.res.Timing.TraDNN = tm.DNN
+	fs.res.Timing.TraOther = tm.Other
+	if tm.DNN > 0 {
+		p.sink.Span(telemetry.Span{Stage: "TRA/dnn", Frame: fs.res.Frame.Index, Exec: tm.DNN})
+		p.sink.Span(telemetry.Span{Stage: "TRA/other", Frame: fs.res.Frame.Index, Exec: tm.Other})
+	}
+	return nil
 }
 
-// finishFrame runs the back half of the pipeline — FUSION, MISPLAN
-// guidance, MOTPLAN and vehicle control — and seals the frame's E2E timing
-// under the dependency law. It requires runDet, runLoc and runTra to have
-// completed for this frame.
-func (p *Pipeline) finishFrame(res *FrameResult) error {
-	frame := res.Frame
-
-	// FUSION (step 2).
-	startFuse := time.Now()
-	tracked := make([]fusion.TrackedObject, len(res.Tracks))
-	for i, tr := range res.Tracks {
+// runFusion executes the FUSION stage (step 2): tracked objects and the
+// vehicle pose merge into one world frame.
+func (p *Pipeline) runFusion(fs *frameState) error {
+	start := time.Now()
+	tracked := make([]fusion.TrackedObject, len(fs.res.Tracks))
+	for i, tr := range fs.res.Tracks {
 		tracked[i] = fusion.TrackedObject{
 			ID: tr.ID, Class: tr.Class, Box: tr.Box, VX: tr.VX, VY: tr.VY,
 		}
 	}
-	res.Fused = p.fuse.Fuse(res.Pose.Pose, tracked)
-	res.Timing.Fusion = time.Since(startFuse)
+	fs.res.Fused = p.fuse.Fuse(fs.res.Pose.Pose, tracked)
+	fs.res.Timing.Fusion = time.Since(start)
+	return nil
+}
 
-	// MISPLAN guidance (step 4; route re-planned only on deviation). The
-	// rule engine's outputs shape the motion plan: the leg's speed limit
-	// caps the target speed, and an upcoming stop line ramps it down
-	// linearly over the approach zone so the vehicle arrives stopped.
-	planCfg := p.cfg.Plan
-	if p.mis != nil {
-		guid, err := p.mis.UpdateAt(res.Pose.Pose.X, res.Pose.Pose.Z, frame.Time)
-		if err != nil {
-			return fmt.Errorf("pipeline: mission update: %w", err)
+// runMisplan executes the MISPLAN stage (step 4; route re-planned only on
+// deviation). The rule engine's outputs shape the motion plan: the leg's
+// speed limit caps the target speed, and an upcoming stop line ramps it
+// down linearly over the approach zone so the vehicle arrives stopped. The
+// shaped speed travels to MOTPLAN through the frame state, never by
+// mutating shared configuration.
+func (p *Pipeline) runMisplan(fs *frameState) error {
+	fs.targetSpeed = p.cfg.Plan.TargetSpeed
+	if p.mis == nil {
+		return nil
+	}
+	start := time.Now()
+	guid, err := p.mis.UpdateAt(fs.res.Pose.Pose.X, fs.res.Pose.Pose.Z, fs.res.Frame.Time)
+	if err != nil {
+		return fmt.Errorf("pipeline: mission update: %w", err)
+	}
+	fs.res.Guidance = guid
+	ts := fs.targetSpeed
+	if guid.SpeedLimit > 0 && guid.SpeedLimit < ts {
+		ts = guid.SpeedLimit
+	}
+	const stopApproach = 30.0 // meters over which to ramp down
+	if guid.StopAhead && guid.DistanceToLegEnd < stopApproach {
+		ramp := guid.DistanceToLegEnd / stopApproach
+		if ramp < 0.15 {
+			ramp = 0.15 // planner needs a positive speed; control stops
 		}
-		res.Guidance = guid
-		if guid.SpeedLimit > 0 && guid.SpeedLimit < planCfg.TargetSpeed {
-			planCfg.TargetSpeed = guid.SpeedLimit
-		}
-		const stopApproach = 30.0 // meters over which to ramp down
-		if guid.StopAhead && guid.DistanceToLegEnd < stopApproach {
-			ramp := guid.DistanceToLegEnd / stopApproach
-			if ramp < 0.15 {
-				ramp = 0.15 // planner needs a positive speed; control stops
-			}
-			if v := planCfg.TargetSpeed * ramp; v < planCfg.TargetSpeed {
-				planCfg.TargetSpeed = v
-			}
+		if v := ts * ramp; v < ts {
+			ts = v
 		}
 	}
+	fs.targetSpeed = ts
+	fs.res.Timing.MisPlan = time.Since(start)
+	return nil
+}
 
-	// MOTPLAN (step 3): plan in the ego lane frame against fused objects.
-	startPlan := time.Now()
-	obstacles := make([]plan.Obstacle, 0, len(res.Fused.Objects))
-	for _, o := range res.Fused.Objects {
+// runMotplan executes the MOTPLAN stage (step 3): plan in the ego lane
+// frame against fused objects, under MISPLAN's guidance-shaped target
+// speed.
+func (p *Pipeline) runMotplan(fs *frameState) error {
+	start := time.Now()
+	obstacles := make([]plan.Obstacle, 0, len(fs.res.Fused.Objects))
+	for _, o := range fs.res.Fused.Objects {
 		obstacles = append(obstacles, plan.Obstacle{
 			X: o.X, Z: o.Z, Radius: o.Width/2 + 0.5, VX: o.VX, VZ: o.VZ,
 		})
 	}
-	pr, err := plan.PlanConformal(planCfg, res.Pose.Pose.X, res.Pose.Pose.Z, obstacles)
+	pr, err := p.mot.Plan(fs.res.Pose.Pose.X, fs.res.Pose.Pose.Z, obstacles, fs.targetSpeed)
 	if err != nil {
 		return fmt.Errorf("pipeline: motion planning: %w", err)
 	}
-	res.Plan = pr
-	res.Timing.MotPlan = time.Since(startPlan)
+	fs.res.Plan = pr
+	fs.res.Timing.MotPlan = time.Since(start)
+	return nil
+}
 
-	// Vehicle control (step 5): actuation commands that follow the plan.
-	startCtl := time.Now()
+// runControl executes the CONTROL stage (step 5): actuation commands that
+// follow the plan. As the graph's terminal stage it also seals the frame's
+// E2E timing under the dependency law.
+func (p *Pipeline) runControl(fs *frameState) error {
+	start := time.Now()
 	speed := p.cfg.Scene.EgoSpeed // the scenario ego's current speed
-	res.Command = p.ctl.Track(control.State{
-		X: res.Pose.Pose.X, Z: res.Pose.Pose.Z,
-		Theta: res.Pose.Pose.Theta, Speed: speed,
-	}, res.Plan.Path)
-	res.Timing.Control = time.Since(startCtl)
+	fs.res.Command = p.ctl.Track(control.State{
+		X: fs.res.Pose.Pose.X, Z: fs.res.Pose.Pose.Z,
+		Theta: fs.res.Pose.Pose.Theta, Speed: speed,
+	}, fs.res.Plan.Path)
+	fs.res.Timing.Control = time.Since(start)
 
 	// End-to-end per the dependency law.
-	critical := res.Timing.Det + res.Timing.Tra
-	if res.Timing.Loc > critical {
-		critical = res.Timing.Loc
+	tm := &fs.res.Timing
+	critical := tm.Det + tm.Tra
+	if tm.Loc > critical {
+		critical = tm.Loc
 	}
-	res.Timing.E2E = critical + res.Timing.Fusion + res.Timing.MotPlan + res.Timing.Control
+	tm.E2E = critical + tm.Fusion + tm.MotPlan + tm.Control
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adsim/internal/telemetry"
 )
 
 // RunnerOptions parameterizes the pipelined executor.
@@ -36,17 +38,19 @@ type RunnerResult struct {
 	Wall time.Duration
 }
 
-// Runner pipelines frames through the native pipeline's stages: the frame
-// source, DET, LOC, TRA and the back end (FUSION→MISPLAN→MOTPLAN→CONTROL)
-// each run on their own goroutine, connected by channels. Every stateful
-// engine still sees frames strictly in order on a single goroutine, so the
-// results are bitwise-identical to a sequential Step loop on the same seed
-// — only the wall-clock schedule changes.
+// Runner pipelines frames through the pipeline's declarative stage graph
+// (graph.go): every stage of the graph runs on its own long-lived
+// goroutine, connected by one channel per graph edge, with a join at each
+// multi-dependency stage. The topology is not restated here — it is read
+// from the same Graph the sequential Step executor runs, so the two can
+// never diverge. Every stateful engine still sees frames strictly in order
+// on a single goroutine, so the results are bitwise-identical to a
+// sequential Step loop on the same seed — only the wall-clock schedule
+// changes.
 //
-// The stage graph mirrors the paper's Figure 1 dependency law:
-//
-//	source ─┬─► DET ──► TRA ──┐
-//	        └─► LOC ──────────┴─► FUSION → MISPLAN → MOTPLAN → CONTROL ─► Results
+// A frame whose stage errors (mission update, motion planning) skips its
+// downstream stages and is delivered with Err set; later frames are
+// unaffected and keep flowing.
 //
 // A Runner owns its Pipeline from construction: calling Step (or mutating
 // engines) while the runner is active races with the stage goroutines.
@@ -81,36 +85,45 @@ func NewRunner(p *Pipeline, opts RunnerOptions) (*Runner, error) {
 // InFlight reports the configured pipelining window.
 func (r *Runner) InFlight() int { return r.opts.InFlight }
 
-// frameState carries one frame through the stage graph. DET/TRA and LOC
-// write disjoint fields concurrently; the back end reads them only after
-// both streams hand the frame over (channel receives order those writes).
-type frameState struct {
-	admitted time.Time
-	res      FrameResult
-}
-
-// Run starts the stage goroutines and returns the in-order result channel.
-// The channel closes after frames results have been delivered, or earlier
-// if Stop drains the window first; frames <= 0 runs until Stop. Run may be
-// called once; subsequent calls return the same channel.
+// Run starts one goroutine per graph stage and returns the in-order result
+// channel. The channel closes after frames results have been delivered, or
+// earlier if Stop drains the window first; frames <= 0 runs until Stop.
+// Run may be called once; subsequent calls return the same channel.
 func (r *Runner) Run(frames int) <-chan RunnerResult {
 	if !r.started.CompareAndSwap(false, true) {
 		return r.results
 	}
 	n := r.opts.InFlight
-	window := make(chan struct{}, n) // admission tokens: bounds frames in flight
-	detCh := make(chan *frameState, n)
-	locCh := make(chan *frameState, n)
-	traCh := make(chan *frameState, n)
-	fuseCh := make(chan *frameState, n)
-	locOut := make(chan *frameState, n)
+	g := &r.p.g
 
-	// SOURCE: render frames in scenario order and admit them into the
-	// window. The channel buffers hold at most InFlight frames, so the
-	// sends below never block; only admission does.
+	// One channel per graph edge, buffered to the window size: at most
+	// InFlight frames exist at once, so sends below never block — only
+	// admission does. inputs[s][i] is the edge from s's i-th dependency.
+	var inputs, outputs [NumStages][]chan *frameState
+	for _, id := range g.Topo() {
+		for _, dep := range g.stages[id].Deps {
+			ch := make(chan *frameState, n)
+			inputs[id] = append(inputs[id], ch)
+			outputs[dep] = append(outputs[dep], ch)
+		}
+	}
+	// The terminal stage's single consumer is the delivery loop.
+	deliver := make(chan *frameState, n)
+	outputs[StageControl] = append(outputs[StageControl], deliver)
+
+	window := make(chan struct{}, n) // admission tokens: bounds frames in flight
+
+	closeAll := func(chs []chan *frameState) {
+		for _, ch := range chs {
+			close(ch)
+		}
+	}
+
+	// SRC: render frames in scenario order and admit them into the window.
+	srcSpec := g.stages[StageSrc]
+	srcOut := outputs[StageSrc]
 	go func() {
-		defer close(detCh)
-		defer close(locCh)
+		defer closeAll(srcOut)
 		for i := 0; frames <= 0 || i < frames; i++ {
 			select {
 			case window <- struct{}{}:
@@ -118,52 +131,57 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 				return
 			}
 			fs := &frameState{admitted: time.Now()}
-			fs.res.Frame = r.p.gen.Step()
-			detCh <- fs
-			locCh <- fs
+			r.p.execStage(srcSpec, fs)
+			for _, ch := range srcOut {
+				ch <- fs
+			}
 		}
 	}()
 
-	// DET stage (stateless per frame).
-	go func() {
-		defer close(traCh)
-		for fs := range detCh {
-			r.p.runDet(&fs.res)
-			traCh <- fs
+	// Engine stages: one goroutine each, consuming every dependency's
+	// stream. All streams deliver the same frames in admission order, so
+	// receiving one item from each joins the frame; the receive also
+	// orders the dependency's writes (including its doneAt stamp) before
+	// execStage reads them.
+	for _, id := range g.Topo() {
+		if id == StageSrc {
+			continue
 		}
-	}()
+		spec := g.stages[id]
+		ins, outs := inputs[id], outputs[id]
+		go func() {
+			defer closeAll(outs)
+			for {
+				fs, ok := <-ins[0]
+				if !ok {
+					return
+				}
+				for _, ch := range ins[1:] {
+					<-ch // same frame: every stream preserves admission order
+				}
+				r.p.execStage(spec, fs)
+				for _, ch := range outs {
+					ch <- fs
+				}
+			}
+		}()
+	}
 
-	// LOC stage (stateful: motion model, map updates — frame order
-	// preserved by the single goroutine).
-	go func() {
-		defer close(locOut)
-		for fs := range locCh {
-			r.p.runLoc(&fs.res)
-			locOut <- fs
-		}
-	}()
-
-	// TRA stage (stateful: tracked-object table; internally fans out one
-	// goroutine per tracked object).
-	go func() {
-		defer close(fuseCh)
-		for fs := range traCh {
-			r.p.runTra(&fs.res)
-			fuseCh <- fs
-		}
-	}()
-
-	// BACK END: join the LOC stream, then fuse, plan, control and deliver
-	// in admission order.
+	// DELIVER: in admission order, emit telemetry and free the window slot.
 	go func() {
 		defer close(r.results)
-		for fs := range fuseCh {
-			<-locOut // same frame: both streams preserve admission order
-			err := r.p.finishFrame(&fs.res)
+		for fs := range deliver {
+			wall := time.Since(fs.admitted)
+			err := fs.err()
+			r.p.sink.FrameDone(telemetry.FrameEnd{
+				Frame: fs.res.Frame.Index,
+				Wall:  wall,
+				Err:   err != nil,
+			})
 			r.results <- RunnerResult{
 				FrameResult: fs.res,
 				Err:         err,
-				Wall:        time.Since(fs.admitted),
+				Wall:        wall,
 			}
 			<-window // frame delivered: free its in-flight slot
 		}

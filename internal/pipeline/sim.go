@@ -2,9 +2,11 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"adsim/internal/accel"
 	"adsim/internal/stats"
+	"adsim/internal/telemetry"
 )
 
 // Assignment maps each computational bottleneck to a platform — one
@@ -55,6 +57,13 @@ type SimConfig struct {
 	// noise-correlation ablation; the default (false) matches the paper's
 	// tail composition.
 	IndependentNoise bool
+	// Telemetry receives one span per modeled stage per frame (Exec set to
+	// the sampled latency; the analytic model has no queueing, so Queue is
+	// zero) and one FrameDone per frame on a synthetic back-to-back
+	// timeline: frame i's timestamp is the cumulative E2E latency of frames
+	// 0..i, so a live constraint.Monitor measures the assignment's
+	// latency-bound throughput. nil disables emission.
+	Telemetry telemetry.Sink
 }
 
 // SimResult holds the latency distributions of a simulated run (all in ms).
@@ -77,6 +86,11 @@ func Simulate(m *accel.Model, cfg SimConfig) (SimResult, error) {
 		cfg.Res = accel.ResKITTI
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	sink := cfg.Telemetry
+	if sink == nil {
+		sink = telemetry.Nop{}
+	}
+	clock := time.Unix(0, 0)
 	res := SimResult{
 		Det:        stats.NewDistribution(cfg.Frames),
 		Tra:        stats.NewDistribution(cfg.Frames),
@@ -111,12 +125,28 @@ func Simulate(m *accel.Model, cfg SimConfig) (SimResult, error) {
 		if loc > critical {
 			critical = loc
 		}
+		e2e := critical + fuse + mot
 		res.Det.Add(det)
 		res.Tra.Add(tra)
 		res.Loc.Add(loc)
 		res.Fusion.Add(fuse)
 		res.MotPlan.Add(mot)
-		res.E2E.Add(critical + fuse + mot)
+		res.E2E.Add(e2e)
+
+		if _, nop := sink.(telemetry.Nop); !nop {
+			msDur := func(ms float64) time.Duration { return time.Duration(ms * float64(time.Millisecond)) }
+			for _, s := range [...]struct {
+				stage string
+				ms    float64
+			}{
+				{StageDet.String(), det}, {StageTra.String(), tra}, {StageLoc.String(), loc},
+				{StageFusion.String(), fuse}, {StageMotplan.String(), mot},
+			} {
+				sink.Span(telemetry.Span{Stage: s.stage, Frame: i, Exec: msDur(s.ms)})
+			}
+			clock = clock.Add(msDur(e2e))
+			sink.FrameDone(telemetry.FrameEnd{Frame: i, Wall: msDur(e2e), At: clock})
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"adsim/internal/accel"
+	"adsim/internal/constraint"
+	"adsim/internal/stats"
+	"adsim/internal/telemetry"
+)
+
+// TestSimulateFeedsTelemetry runs the analytic simulator with a collector
+// and a live constraint monitor attached, and checks (a) the collector's
+// per-stage aggregates match the SimResult distributions exactly, and
+// (b) the live monitor's verdicts agree with the offline constraint.Check
+// on the same frames — the issue's acceptance criterion.
+func TestSimulateFeedsTelemetry(t *testing.T) {
+	m := accel.NewModel()
+	for _, tc := range []struct {
+		name     string
+		assign   Assignment
+		frames   int
+		wantPerf bool
+	}{
+		// ASIC everywhere is fast and predictable at KITTI resolution.
+		{"asic-pass", Uniform(accel.ASIC), constraint.MinTailSamples + 1, true},
+		// CPU-only blows the 100 ms tail budget (paper Fig 6).
+		{"cpu-fail", Uniform(accel.CPU), 4000, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			col := telemetry.NewCollector(tc.frames)
+			mon := constraint.NewMonitor(constraint.MonitorConfig{Window: tc.frames})
+			sim, err := Simulate(m, SimConfig{
+				Assignment: tc.assign,
+				Frames:     tc.frames,
+				Seed:       7,
+				Telemetry:  telemetry.Multi(col, mon),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Collector aggregates must match the simulator's own
+			// distributions bit-for-bit: same samples, same fold.
+			for _, s := range []struct {
+				stage string
+				dist  *stats.Distribution
+			}{
+				{"DET", sim.Det}, {"TRA", sim.Tra}, {"LOC", sim.Loc},
+				{"FUSION", sim.Fusion}, {"MOTPLAN", sim.MotPlan},
+			} {
+				if got := col.SpanCount(s.stage); got != int64(tc.frames) {
+					t.Errorf("%s spans = %d, want %d", s.stage, got, tc.frames)
+				}
+				// The sink quantizes each span to nanosecond Durations, so
+				// allow 1 ns of truncation per sample.
+				want := s.dist.Mean() * float64(s.dist.N())
+				if got := col.ExecSumMs(s.stage); math.Abs(got-want) > 1e-6*float64(tc.frames) {
+					t.Errorf("%s exec sum = %g ms, want %g", s.stage, got, want)
+				}
+			}
+			if col.Frames() != int64(tc.frames) {
+				t.Errorf("collector frames = %d, want %d", col.Frames(), tc.frames)
+			}
+
+			// Live monitor vs offline Check on identical samples. The
+			// monitor's window holds every frame, so tail and mean must
+			// match the offline distribution's up to the sink's
+			// nanosecond-Duration granularity; the verdict rule is shared
+			// code, but assert agreement end to end anyway.
+			live := mon.Snapshot()
+			off := constraint.Check(constraint.Input{
+				Latency:   sim.E2E,
+				FrameRate: live.FPS,
+			})
+			if live.Performance.Passed != off.Verdicts[constraint.Performance].Passed {
+				t.Errorf("performance: live %v, offline %v",
+					live.Performance.Passed, off.Verdicts[constraint.Performance].Passed)
+			}
+			if live.Predictability.Passed != off.Verdicts[constraint.Predictability].Passed {
+				t.Errorf("predictability: live %v, offline %v",
+					live.Predictability.Passed, off.Verdicts[constraint.Predictability].Passed)
+			}
+			if want := sim.E2E.Quantile(constraint.TailQuantile); math.Abs(live.TailMs-want) > 1e-6*want {
+				t.Errorf("live tail %g ms, offline %g ms", live.TailMs, want)
+			}
+			if want := sim.E2E.Mean(); math.Abs(live.MeanMs-want) > 1e-6*want {
+				t.Errorf("live mean %g ms, offline %g ms", live.MeanMs, want)
+			}
+			if live.Performance.Passed != tc.wantPerf {
+				t.Errorf("performance verdict = %v, want %v (%s)",
+					live.Performance.Passed, tc.wantPerf, live.Performance.Detail)
+			}
+
+			// The synthetic timeline processes frames back to back, so the
+			// measured rate must be ~1000/mean(e2e ms) fps.
+			if want := 1000 / sim.E2E.Mean(); math.Abs(live.FPS-want)/want > 0.01 {
+				t.Errorf("fps %g, want ~%g from back-to-back timeline", live.FPS, want)
+			}
+		})
+	}
+}
+
+// TestSimulateNilTelemetry pins that a nil sink emits nothing and changes
+// nothing: same seed, same distributions.
+func TestSimulateNilTelemetry(t *testing.T) {
+	m := accel.NewModel()
+	base, err := Simulate(m, SimConfig{Assignment: Uniform(accel.GPU), Frames: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector(0)
+	instr, err := Simulate(m, SimConfig{
+		Assignment: Uniform(accel.GPU), Frames: 500, Seed: 11, Telemetry: col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.E2E.Quantile(0.99) != instr.E2E.Quantile(0.99) || base.E2E.Mean() != instr.E2E.Mean() {
+		t.Error("telemetry emission perturbed the simulation")
+	}
+}

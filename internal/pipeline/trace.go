@@ -26,6 +26,7 @@ type TraceRecord struct {
 	TraMs     float64 `json:"tra_ms"`
 	LocMs     float64 `json:"loc_ms"`
 	FusionMs  float64 `json:"fusion_ms"`
+	MisPlanMs float64 `json:"misplan_ms"`
 	MotPlanMs float64 `json:"motplan_ms"`
 	ControlMs float64 `json:"control_ms"`
 	E2EMs     float64 `json:"e2e_ms"`
@@ -52,6 +53,7 @@ func NewTraceRecord(res FrameResult) TraceRecord {
 		TraMs:      ms(res.Timing.Tra),
 		LocMs:      ms(res.Timing.Loc),
 		FusionMs:   ms(res.Timing.Fusion),
+		MisPlanMs:  ms(res.Timing.MisPlan),
 		MotPlanMs:  ms(res.Timing.MotPlan),
 		ControlMs:  ms(res.Timing.Control),
 		E2EMs:      ms(res.Timing.E2E),

@@ -1,0 +1,34 @@
+package plan
+
+// Planner is the MOTPLAN engine object: it owns a base ConformalConfig and
+// plans one frame at a time, optionally under a per-frame target-speed
+// override (how mission guidance — speed limits, stop-line ramps — shapes
+// the motion plan without mutating the base configuration). Wrapping the
+// free PlanConformal function in an engine gives MOTPLAN the same shape as
+// the other engines, so the stage graph can treat all seven uniformly.
+//
+// Planner is stateless frame-to-frame and safe for sequential reuse.
+type Planner struct {
+	cfg ConformalConfig
+}
+
+// NewPlanner returns a MOTPLAN engine planning under cfg.
+func NewPlanner(cfg ConformalConfig) *Planner { return &Planner{cfg: cfg} }
+
+// StageName identifies the motion planner in the pipeline's declarative
+// stage graph and in telemetry spans (implements telemetry.Stage).
+func (p *Planner) StageName() string { return "MOTPLAN" }
+
+// Config returns the base configuration.
+func (p *Planner) Config() ConformalConfig { return p.cfg }
+
+// Plan plans from ego position (x, z) against the fused obstacles.
+// targetSpeed > 0 overrides the configured target speed for this frame
+// only; <= 0 keeps the base target speed.
+func (p *Planner) Plan(x, z float64, obstacles []Obstacle, targetSpeed float64) (ConformalResult, error) {
+	cfg := p.cfg
+	if targetSpeed > 0 {
+		cfg.TargetSpeed = targetSpeed
+	}
+	return PlanConformal(cfg, x, z, obstacles)
+}

@@ -1,0 +1,5 @@
+package scene
+
+// StageName identifies the frame source in the pipeline's declarative
+// stage graph and in telemetry spans (implements telemetry.Stage).
+func (g *Generator) StageName() string { return "SRC" }

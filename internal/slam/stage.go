@@ -1,0 +1,5 @@
+package slam
+
+// StageName identifies the localizer in the pipeline's declarative stage
+// graph and in telemetry spans (implements telemetry.Stage).
+func (e *Engine) StageName() string { return "LOC" }

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWindowMatchesDistributionExactly is the satellite's core contract:
+// while the window has not wrapped, Window must agree bit-for-bit with the
+// exact Distribution on the same samples at every query.
+func TestWindowMatchesDistributionExactly(t *testing.T) {
+	const n = 5000
+	rng := NewRNG(7)
+	w := NewWindow(n)
+	d := NewDistribution(n)
+	for i := 0; i < n; i++ {
+		v := math.Abs(rng.Normal(50, 20))
+		w.Add(v)
+		d.Add(v)
+	}
+	if w.N() != d.N() {
+		t.Fatalf("window n=%d, distribution n=%d", w.N(), d.N())
+	}
+	if w.Mean() != d.Mean() {
+		// Summation order is identical (insertion order), so this must be
+		// exact, not approximate.
+		t.Errorf("mean: window %v, distribution %v", w.Mean(), d.Mean())
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		if got, want := w.Quantile(q), d.Quantile(q); got != want {
+			t.Errorf("quantile(%v): window %v, distribution %v", q, got, want)
+		}
+	}
+	if w.Min() != d.Min() || w.Max() != d.Max() {
+		t.Error("min/max disagree with distribution")
+	}
+	if w.P99() != d.P99() || w.P9999() != d.P9999() {
+		t.Error("tail shorthands disagree with distribution")
+	}
+}
+
+// TestWindowEviction checks the rolling semantics: only the most recent
+// capacity samples answer queries, while lifetime aggregates keep counting.
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 10; i++ {
+		w.Add(float64(i))
+	}
+	if w.N() != 4 {
+		t.Fatalf("n=%d, want 4", w.N())
+	}
+	if w.Min() != 7 || w.Max() != 10 {
+		t.Errorf("window holds [%v,%v], want [7,10]", w.Min(), w.Max())
+	}
+	if w.Mean() != 8.5 {
+		t.Errorf("windowed mean = %v, want 8.5", w.Mean())
+	}
+	if w.Quantile(0.5) != 8.5 {
+		t.Errorf("median = %v, want 8.5", w.Quantile(0.5))
+	}
+	if w.TotalN() != 10 {
+		t.Errorf("total n = %d, want 10", w.TotalN())
+	}
+	if w.TotalSum() != 55 {
+		t.Errorf("total sum = %v, want 55", w.TotalSum())
+	}
+	if w.TotalMean() != 5.5 {
+		t.Errorf("total mean = %v, want 5.5", w.TotalMean())
+	}
+}
+
+// TestWindowWrappedQuantileAgainstOracle re-checks quantiles after the ring
+// wraps by rebuilding a Distribution over the same trailing window.
+func TestWindowWrappedQuantileAgainstOracle(t *testing.T) {
+	const capacity, total = 257, 2000
+	rng := NewRNG(11)
+	samples := make([]float64, total)
+	w := NewWindow(capacity)
+	for i := range samples {
+		samples[i] = rng.Uniform(0, 100)
+		w.Add(samples[i])
+	}
+	oracle := NewDistribution(capacity)
+	oracle.AddAll(samples[total-capacity:])
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if got, want := w.Quantile(q), oracle.Quantile(q); got != want {
+			t.Errorf("wrapped quantile(%v): window %v, oracle %v", q, got, want)
+		}
+	}
+}
+
+func TestWindowEmptyAndDefaults(t *testing.T) {
+	w := NewWindow(0)
+	if w.Cap() != DefaultWindowCap {
+		t.Errorf("default capacity = %d, want %d", w.Cap(), DefaultWindowCap)
+	}
+	if w.Quantile(0.5) != 0 || w.Mean() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Error("empty window must answer 0")
+	}
+	if w.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestWindowQueryDoesNotDisturbFolds guards the lazy-sort bookkeeping:
+// alternating Add/Quantile must not corrupt the ring contents.
+func TestWindowAlternatingAddQuery(t *testing.T) {
+	w := NewWindow(8)
+	d := NewDistribution(8)
+	for i := 0; i < 8; i++ {
+		v := float64((i * 37) % 11)
+		w.Add(v)
+		d.Add(v)
+		if got, want := w.Quantile(0.5), d.Quantile(0.5); got != want {
+			t.Fatalf("after %d adds: median %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+func BenchmarkWindowAdd(b *testing.B) {
+	w := NewWindow(DefaultWindowCap)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 1000))
+	}
+}
+
+// BenchmarkWindowFoldAndQuery measures the live monitor's per-frame pattern
+// (one fold, one tail query) on a full window — the hot path the satellite
+// bounds.
+func BenchmarkWindowFoldAndQuery(b *testing.B) {
+	w := NewWindow(4096)
+	for i := 0; i < 4096; i++ {
+		w.Add(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 1000))
+		_ = w.P9999()
+	}
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Collector is the standard aggregating Sink: it folds every span into
+// per-stage queue/exec distributions (via the lock-cheap Registry) and every
+// delivered frame into a wall-latency distribution, and renders the result
+// as a table, JSON or CSV. Stages are reported in first-seen order, which
+// under both executors is the stage-graph order.
+type Collector struct {
+	reg *Registry
+
+	mu     sync.Mutex
+	order  []string        // stage names in first-seen order
+	seen   map[string]bool // guards order
+	frames int64
+	errs   int64
+}
+
+// NewCollector returns a collector whose streaming distributions keep the
+// most recent windowCap samples (0 selects the default window).
+func NewCollector(windowCap int) *Collector {
+	return &Collector{reg: NewRegistry(windowCap), seen: make(map[string]bool)}
+}
+
+const msPerNs = 1e-6
+
+// Span folds one stage execution into the per-stage aggregates.
+func (c *Collector) Span(s Span) {
+	c.mu.Lock()
+	if !c.seen[s.Stage] {
+		c.seen[s.Stage] = true
+		c.order = append(c.order, s.Stage)
+	}
+	c.mu.Unlock()
+	c.reg.Counter("stage." + s.Stage + ".frames").Inc()
+	c.reg.Dist("stage." + s.Stage + ".exec_ms").Observe(float64(s.Exec) * msPerNs)
+	c.reg.Dist("stage." + s.Stage + ".queue_ms").Observe(float64(s.Queue) * msPerNs)
+}
+
+// FrameDone folds one delivered frame's wall latency in.
+func (c *Collector) FrameDone(f FrameEnd) {
+	c.mu.Lock()
+	c.frames++
+	if f.Err {
+		c.errs++
+	}
+	c.mu.Unlock()
+	c.reg.Dist("frame.wall_ms").Observe(float64(f.Wall) * msPerNs)
+}
+
+// Registry exposes the collector's underlying metrics registry, for callers
+// that want to co-locate their own counters/gauges with the span metrics.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Frames reports how many frames have been delivered into the collector.
+func (c *Collector) Frames() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}
+
+// FrameErrs reports how many delivered frames carried an error.
+func (c *Collector) FrameErrs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs
+}
+
+// ExecSumMs returns the lifetime sum (ms) of a stage's execution time over
+// every span recorded for it — the aggregate the Figure 7 cycle breakdowns
+// divide. Returns 0 for a stage that never ran.
+func (c *Collector) ExecSumMs(stage string) float64 {
+	return c.reg.Dist("stage." + stage + ".exec_ms").Snapshot().Sum
+}
+
+// SpanCount reports how many spans were recorded for a stage.
+func (c *Collector) SpanCount(stage string) int64 {
+	return c.reg.Counter("stage." + stage + ".frames").Value()
+}
+
+// StageSummary is one stage's aggregated span statistics. All latencies are
+// milliseconds; quantiles are over the collector's rolling window.
+type StageSummary struct {
+	Stage       string  `json:"stage"`
+	Frames      int64   `json:"frames"`
+	QueueMeanMs float64 `json:"queue_mean_ms"`
+	QueueP99Ms  float64 `json:"queue_p99_ms"`
+	QueueMaxMs  float64 `json:"queue_max_ms"`
+	ExecMeanMs  float64 `json:"exec_mean_ms"`
+	ExecP99Ms   float64 `json:"exec_p99_ms"`
+	ExecP9999Ms float64 `json:"exec_p9999_ms"`
+	ExecSumMs   float64 `json:"exec_sum_ms"`
+}
+
+// FrameSummary aggregates the delivered-frame wall latencies.
+type FrameSummary struct {
+	Frames     int64   `json:"frames"`
+	Errs       int64   `json:"errs"`
+	WallMeanMs float64 `json:"wall_mean_ms"`
+	WallP99Ms  float64 `json:"wall_p99_ms"`
+	WallP99p99 float64 `json:"wall_p9999_ms"`
+	WallMaxMs  float64 `json:"wall_max_ms"`
+}
+
+// Summary is the collector's full export.
+type Summary struct {
+	Stages []StageSummary `json:"stages"`
+	Frame  FrameSummary   `json:"frame"`
+}
+
+// Summarize snapshots every stage (in first-seen order) and the frame wall
+// distribution.
+func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	order := append([]string(nil), c.order...)
+	frames, errs := c.frames, c.errs
+	c.mu.Unlock()
+
+	var out Summary
+	for _, stage := range order {
+		q := c.reg.Dist("stage." + stage + ".queue_ms").Snapshot()
+		e := c.reg.Dist("stage." + stage + ".exec_ms").Snapshot()
+		out.Stages = append(out.Stages, StageSummary{
+			Stage:       stage,
+			Frames:      c.reg.Counter("stage." + stage + ".frames").Value(),
+			QueueMeanMs: q.Mean,
+			QueueP99Ms:  q.P99,
+			QueueMaxMs:  q.Max,
+			ExecMeanMs:  e.Mean,
+			ExecP99Ms:   e.P99,
+			ExecP9999Ms: e.P9999,
+			ExecSumMs:   e.Sum,
+		})
+	}
+	w := c.reg.Dist("frame.wall_ms").Snapshot()
+	out.Frame = FrameSummary{
+		Frames:     frames,
+		Errs:       errs,
+		WallMeanMs: w.Mean,
+		WallP99Ms:  w.P99,
+		WallP99p99: w.P9999,
+		WallMaxMs:  w.Max,
+	}
+	return out
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c.Summarize()); err != nil {
+		return fmt.Errorf("telemetry: json export: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV writes the per-stage summary as CSV (one header row, one row per
+// stage, then one "frame" row for the wall-latency aggregate).
+func (c *Collector) WriteCSV(w io.Writer) error {
+	s := c.Summarize()
+	var b strings.Builder
+	b.WriteString("stage,frames,queue_mean_ms,queue_p99_ms,queue_max_ms,exec_mean_ms,exec_p99_ms,exec_p9999_ms,exec_sum_ms\n")
+	for _, row := range s.Stages {
+		fmt.Fprintf(&b, "%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			row.Stage, row.Frames, row.QueueMeanMs, row.QueueP99Ms, row.QueueMaxMs,
+			row.ExecMeanMs, row.ExecP99Ms, row.ExecP9999Ms, row.ExecSumMs)
+	}
+	fmt.Fprintf(&b, "frame,%d,,,,%.4f,%.4f,%.4f,\n",
+		s.Frame.Frames, s.Frame.WallMeanMs, s.Frame.WallP99Ms, s.Frame.WallP99p99)
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("telemetry: csv export: %w", err)
+	}
+	return nil
+}
+
+// String renders the summary as an aligned human-readable table.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %7s %11s %11s %11s %11s %12s\n",
+		"stage", "frames", "queue mean", "queue p99", "exec mean", "exec p99", "exec p99.99")
+	for _, row := range s.Stages {
+		fmt.Fprintf(&b, "%-12s %7d %9.3fms %9.3fms %9.3fms %9.3fms %10.3fms\n",
+			row.Stage, row.Frames, row.QueueMeanMs, row.QueueP99Ms,
+			row.ExecMeanMs, row.ExecP99Ms, row.ExecP9999Ms)
+	}
+	fmt.Fprintf(&b, "frame wall: mean=%.3fms p99=%.3fms p99.99=%.3fms max=%.3fms (%d frames, %d errs)\n",
+		s.Frame.WallMeanMs, s.Frame.WallP99Ms, s.Frame.WallP99p99, s.Frame.WallMaxMs,
+		s.Frame.Frames, s.Frame.Errs)
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adsim/internal/stats"
+)
+
+// Registry is a lock-cheap metrics registry. Metric handles are looked up
+// (or created) once and then operated on with atomics (Counter, Gauge) or a
+// short per-metric mutex (Dist) — the registry-wide lock is only taken on
+// first registration or a cold name-miss, never on the hot path when the
+// caller retains the handle.
+//
+// The zero value is ready for use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	dists    map[string]*Dist
+	// distCap is the window capacity new Dists are created with; 0 selects
+	// stats.DefaultWindowCap.
+	distCap int
+}
+
+// NewRegistry returns a registry whose streaming distributions keep the
+// most recent distCap samples (0 selects stats.DefaultWindowCap).
+func NewRegistry(distCap int) *Registry { return &Registry{distCap: distCap} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		if r.counters == nil {
+			r.counters = make(map[string]*Counter)
+		}
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		if r.gauges == nil {
+			r.gauges = make(map[string]*Gauge)
+		}
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Dist returns the named streaming latency distribution, creating it on
+// first use.
+func (r *Registry) Dist(name string) *Dist {
+	r.mu.RLock()
+	d := r.dists[name]
+	r.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d = r.dists[name]; d == nil {
+		if r.dists == nil {
+			r.dists = make(map[string]*Dist)
+		}
+		d = &Dist{w: stats.NewWindow(r.distCap)}
+		r.dists[name] = d
+	}
+	return d
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.counters)
+}
+
+// GaugeNames returns the registered gauge names, sorted.
+func (r *Registry) GaugeNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.gauges)
+}
+
+// DistNames returns the registered distribution names, sorted.
+func (r *Registry) DistNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.dists)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use and lock-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric. All methods are safe for
+// concurrent use and lock-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the most recently set value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Dist is a streaming latency distribution: a mutex-guarded stats.Window
+// plus lifetime count/sum, so Observe is O(1) and quantiles are answered
+// over the most recent window.
+type Dist struct {
+	mu sync.Mutex
+	w  *stats.Window
+}
+
+// Observe folds one sample in. O(1).
+func (d *Dist) Observe(v float64) {
+	d.mu.Lock()
+	d.w.Add(v)
+	d.mu.Unlock()
+}
+
+// DistSnapshot is a point-in-time summary of a Dist.
+type DistSnapshot struct {
+	// N and Sum are lifetime aggregates over every observed sample.
+	N   int64
+	Sum float64
+	// Mean, P50, P99, P9999, Min and Max describe the current window.
+	Mean, P50, P99, P9999, Min, Max float64
+	// WindowN is how many samples the quantiles were computed over.
+	WindowN int
+}
+
+// Snapshot summarizes the distribution: lifetime count/sum plus windowed
+// mean and quantiles.
+func (d *Dist) Snapshot() DistSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DistSnapshot{
+		N:       d.w.TotalN(),
+		Sum:     d.w.TotalSum(),
+		Mean:    d.w.Mean(),
+		P50:     d.w.Quantile(0.5),
+		P99:     d.w.P99(),
+		P9999:   d.w.P9999(),
+		Min:     d.w.Min(),
+		Max:     d.w.Max(),
+		WindowN: d.w.N(),
+	}
+}
+
+// Quantile answers one windowed quantile query.
+func (d *Dist) Quantile(q float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.w.Quantile(q)
+}

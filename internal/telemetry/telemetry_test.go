@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGaugesDists(t *testing.T) {
+	r := NewRegistry(0)
+	c := r.Counter("frames")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("frames") != c {
+		t.Error("counter handle not stable across lookups")
+	}
+	g := r.Gauge("fps")
+	if g.Value() != 0 {
+		t.Error("gauge should start at 0")
+	}
+	g.Set(12.5)
+	if g.Value() != 12.5 {
+		t.Errorf("gauge = %v, want 12.5", g.Value())
+	}
+	d := r.Dist("lat_ms")
+	for i := 1; i <= 4; i++ {
+		d.Observe(float64(i))
+	}
+	snap := d.Snapshot()
+	if snap.N != 4 || snap.Sum != 10 || snap.Mean != 2.5 {
+		t.Errorf("dist snapshot = %+v", snap)
+	}
+	if d.Quantile(1) != 4 {
+		t.Errorf("dist max quantile = %v", d.Quantile(1))
+	}
+	if got := r.CounterNames(); len(got) != 1 || got[0] != "frames" {
+		t.Errorf("counter names = %v", got)
+	}
+	if got := r.DistNames(); len(got) != 1 || got[0] != "lat_ms" {
+		t.Errorf("dist names = %v", got)
+	}
+	if got := r.GaugeNames(); len(got) != 1 || got[0] != "fps" {
+		t.Errorf("gauge names = %v", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run
+// under -race this is the lock-cheapness contract's safety half.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry(256)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Dist("d").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Dist("d").Snapshot().N; got != workers*perWorker {
+		t.Errorf("dist lifetime n = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCollectorAggregatesSpans(t *testing.T) {
+	c := NewCollector(0)
+	for i := 0; i < 10; i++ {
+		c.Span(Span{Stage: "DET", Frame: i, Queue: time.Millisecond, Exec: 2 * time.Millisecond})
+		c.Span(Span{Stage: "LOC", Frame: i, Exec: 3 * time.Millisecond})
+		if i%2 == 0 {
+			c.Span(Span{Stage: "DET/dnn", Frame: i, Exec: time.Millisecond})
+		}
+		c.FrameDone(FrameEnd{Frame: i, Wall: 5 * time.Millisecond, Err: i == 3})
+	}
+	if c.Frames() != 10 || c.FrameErrs() != 1 {
+		t.Errorf("frames=%d errs=%d", c.Frames(), c.FrameErrs())
+	}
+	if got := c.SpanCount("DET"); got != 10 {
+		t.Errorf("DET span count = %d", got)
+	}
+	if got := c.ExecSumMs("DET"); got != 20 {
+		t.Errorf("DET exec sum = %v ms, want 20", got)
+	}
+	if got := c.ExecSumMs("DET/dnn"); got != 5 {
+		t.Errorf("DET/dnn exec sum = %v ms, want 5", got)
+	}
+	s := c.Summarize()
+	if len(s.Stages) != 3 {
+		t.Fatalf("%d stages summarized, want 3", len(s.Stages))
+	}
+	// First-seen order, not alphabetical.
+	if s.Stages[0].Stage != "DET" || s.Stages[1].Stage != "LOC" || s.Stages[2].Stage != "DET/dnn" {
+		t.Errorf("stage order = %v %v %v", s.Stages[0].Stage, s.Stages[1].Stage, s.Stages[2].Stage)
+	}
+	if s.Stages[0].QueueMeanMs != 1 || s.Stages[0].ExecMeanMs != 2 {
+		t.Errorf("DET summary = %+v", s.Stages[0])
+	}
+	if s.Frame.WallMeanMs != 5 || s.Frame.Frames != 10 || s.Frame.Errs != 1 {
+		t.Errorf("frame summary = %+v", s.Frame)
+	}
+	if !strings.Contains(s.String(), "DET") {
+		t.Error("table render missing stage")
+	}
+}
+
+func TestCollectorJSONAndCSV(t *testing.T) {
+	c := NewCollector(0)
+	c.Span(Span{Stage: "DET", Exec: time.Millisecond})
+	c.FrameDone(FrameEnd{Wall: 2 * time.Millisecond})
+
+	var jb bytes.Buffer
+	if err := c.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var round Summary
+	if err := json.Unmarshal(jb.Bytes(), &round); err != nil {
+		t.Fatalf("json export not parseable: %v", err)
+	}
+	if len(round.Stages) != 1 || round.Stages[0].Stage != "DET" {
+		t.Errorf("json round trip = %+v", round)
+	}
+
+	var cb bytes.Buffer
+	if err := c.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 3 { // header + DET + frame
+		t.Fatalf("csv has %d lines: %q", len(lines), cb.String())
+	}
+	if !strings.HasPrefix(lines[1], "DET,1,") {
+		t.Errorf("csv stage row = %q", lines[1])
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := NewCollector(0), NewCollector(0)
+	m := Multi(a, nil, b)
+	m.Span(Span{Stage: "DET", Exec: time.Millisecond})
+	m.FrameDone(FrameEnd{Wall: time.Millisecond})
+	if a.SpanCount("DET") != 1 || b.SpanCount("DET") != 1 {
+		t.Error("multi did not fan out spans")
+	}
+	if a.Frames() != 1 || b.Frames() != 1 {
+		t.Error("multi did not fan out frame ends")
+	}
+	if _, ok := Multi(nil, nil).(Nop); !ok {
+		t.Error("all-nil Multi should collapse to Nop")
+	}
+	if Multi(a) != Sink(a) {
+		t.Error("single-sink Multi should unwrap")
+	}
+}
+
+func TestNopIsSilent(t *testing.T) {
+	var n Nop
+	n.Span(Span{Stage: "DET"})
+	n.FrameDone(FrameEnd{})
+}
