@@ -3,7 +3,7 @@ GO ?= go
 # Coverage floor for the telemetry layer (percent of statements).
 TELEMETRY_COVER_FLOOR ?= 80
 
-.PHONY: build vet test race bench check cover fmt-check
+.PHONY: build vet test race bench check cover fmt-check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# The tier the concurrency work is held to: compile everything, vet, and
-# run the full test suite under the race detector.
-check: build vet race
+# Short fuzz smoke over the ADM1 prior-map decoder (go test -fuzz works on
+# one package at a time; -run '^$' skips the unit tests it already ran).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadPriorMap -fuzztime=10s -run='^$$' ./internal/slam
+
+# The tier the concurrency work is held to: compile everything, vet, run
+# the full test suite under the race detector, then fuzz the map decoder.
+check: build vet race fuzz-smoke
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

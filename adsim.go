@@ -27,12 +27,15 @@
 package adsim
 
 import (
+	"io"
+
 	"adsim/internal/accel"
 	"adsim/internal/constraint"
 	"adsim/internal/dnn"
 	"adsim/internal/experiment"
 	"adsim/internal/pipeline"
 	"adsim/internal/scene"
+	"adsim/internal/slam"
 	"adsim/internal/stats"
 	"adsim/internal/telemetry"
 )
@@ -217,6 +220,88 @@ type ConstraintReport = constraint.Report
 
 // CheckConstraints evaluates the paper's Section 2.4 design constraints.
 func CheckConstraints(in ConstraintInput) ConstraintReport { return constraint.Check(in) }
+
+// Pose is the 2D ground-plane vehicle pose used throughout the pipeline.
+type Pose = scene.Pose
+
+// Keyframe is one prior-map entry: the features observed at a surveyed
+// pose.
+type Keyframe = slam.Keyframe
+
+// Keypoint is one oFAST feature location.
+type Keypoint = slam.Keypoint
+
+// Descriptor is a 256-bit rBRIEF feature descriptor.
+type Descriptor = slam.Descriptor
+
+// PriorMap is the monolithic in-memory prior map the LOC engine localizes
+// against. It implements MapStore.
+type PriorMap = slam.PriorMap
+
+// NewPriorMap returns an empty prior map.
+func NewPriorMap() *PriorMap { return slam.NewPriorMap() }
+
+// ReadPriorMap deserializes a prior map from the compact ADM1 format
+// written by PriorMap.WriteTo.
+func ReadPriorMap(r io.Reader) (*PriorMap, error) { return slam.ReadPriorMap(r) }
+
+// MapStore is the prior-map database interface the LOC engine reads and
+// extends: monolithic in memory (PriorMap) or tiled on disk behind a
+// byte-budgeted LRU cache (ShardStore). The paper's storage constraint
+// (~41 TB of US prior maps) is why the map must be able to page.
+type MapStore = slam.MapStore
+
+// ShardStore is the tiled on-disk prior-map store with an LRU shard cache.
+type ShardStore = slam.ShardStore
+
+// ShardStoreOptions parameterizes OpenShardStore (cache budget, telemetry,
+// prefetch).
+type ShardStoreOptions = slam.ShardStoreOptions
+
+// ShardIndex is a shard directory's table of contents.
+type ShardIndex = slam.ShardIndex
+
+// MapCacheStats is a point-in-time snapshot of a ShardStore's cache
+// counters.
+type MapCacheStats = slam.CacheStats
+
+// DefaultTilePitch is the default longitudinal tile length in meters.
+const DefaultTilePitch = slam.DefaultTilePitch
+
+// WriteMapShards splits a prior map into fixed-pitch longitudinal tiles
+// under dir (ADM1 shard files plus a JSON index) for serving through a
+// ShardStore. pitch ≤ 0 selects DefaultTilePitch.
+func WriteMapShards(m *PriorMap, dir string, pitch float64) (*ShardIndex, error) {
+	return slam.WriteShards(m, dir, pitch)
+}
+
+// OpenShardStore opens a shard directory written by WriteMapShards.
+func OpenShardStore(dir string, opts ShardStoreOptions) (*ShardStore, error) {
+	return slam.OpenShardStore(dir, opts)
+}
+
+// LOCConfig parameterizes the localization engine.
+type LOCConfig = slam.Config
+
+// DefaultLOCConfig returns the standard LOC configuration.
+func DefaultLOCConfig() LOCConfig { return slam.DefaultConfig() }
+
+// LOCEngine is the standalone localization engine (the pipeline embeds
+// one; build your own over a MapStore to replay against sharded maps).
+type LOCEngine = slam.Engine
+
+// NewLOCEngine builds a localization engine over any prior-map store.
+func NewLOCEngine(cfg LOCConfig, store MapStore) (*LOCEngine, error) {
+	return slam.NewEngineStore(cfg, store)
+}
+
+// TelemetryRegistry is the named counter/gauge/distribution registry;
+// pass one in ShardStoreOptions.Telemetry to observe the map cache.
+type TelemetryRegistry = telemetry.Registry
+
+// NewTelemetryRegistry returns a registry whose streaming distributions
+// keep the most recent distCap samples (0 selects the default).
+func NewTelemetryRegistry(distCap int) *TelemetryRegistry { return telemetry.NewRegistry(distCap) }
 
 // TraceRecord is one frame's entry in a machine-readable pipeline trace.
 type TraceRecord = pipeline.TraceRecord

@@ -73,3 +73,38 @@ func TestFacadeExperiments(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+func TestFacadeShardedMapStore(t *testing.T) {
+	m := NewPriorMap()
+	for i := 0; i < 12; i++ {
+		m.Add(Pose{Z: float64(i * 3)}, nil, nil)
+	}
+	dir := t.TempDir()
+	idx, err := WriteMapShards(m, dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Tiles) < 3 {
+		t.Fatalf("expected several tiles, got %d", len(idx.Tiles))
+	}
+	reg := NewTelemetryRegistry(0)
+	store, err := OpenShardStore(dir, ShardStoreOptions{CacheBudget: 1, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if store.Len() != m.Len() {
+		t.Fatalf("store holds %d keyframes, want %d", store.Len(), m.Len())
+	}
+	if _, err := NewLOCEngine(DefaultLOCConfig(), store); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	store.Scan(func(Keyframe) bool { n++; return true })
+	if n != m.Len() {
+		t.Fatalf("Scan visited %d keyframes, want %d", n, m.Len())
+	}
+	if reg.Counter("mapstore/misses").Value() == 0 {
+		t.Error("scan through a cold cache recorded no misses")
+	}
+}

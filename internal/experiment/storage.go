@@ -21,11 +21,17 @@ const USPublicRoadKm = 6.68e6
 // the real SLAM engine from a surveyed synthetic route — and extrapolates
 // it to the US road network, cross-checking the paper's 41 TB storage
 // constraint from first principles.
+//
+// The extrapolation basis is the serialized (ADM1 on-disk) density, the
+// same figure `admap -build` prints, so the two tools quote one "US TB"
+// number; MemBytes records the in-memory resident footprint for contrast
+// (it is what the shard cache budgets against, not a storage figure).
 type StorageResult struct {
 	SurveyMeters    float64
 	Keyframes       int
-	MapBytes        int64
-	BytesPerMeter   float64
+	MapBytes        int64   // serialized size: the extrapolation basis
+	MemBytes        int64   // in-memory footprint (slam.PriorMap.StorageBytes)
+	BytesPerMeter   float64 // serialized density
 	USExtrapolation float64 // TB for the whole US road network
 	PaperTB         float64
 	StoragePowerW   float64
@@ -37,15 +43,17 @@ func (r StorageResult) Render() string {
 	var b strings.Builder
 	b.WriteString(header("storage", "Prior-map storage extrapolation (extension)"))
 	fmt.Fprintf(&b, "surveyed route        %8.0f m (%d keyframes)\n", r.SurveyMeters, r.Keyframes)
-	fmt.Fprintf(&b, "map size              %8.1f KB (%.1f KB per meter)\n",
+	fmt.Fprintf(&b, "map size (serialized) %8.1f KB (%.1f KB per meter)\n",
 		float64(r.MapBytes)/1024, r.BytesPerMeter/1024)
+	fmt.Fprintf(&b, "resident footprint    %8.1f KB in memory\n", float64(r.MemBytes)/1024)
 	fmt.Fprintf(&b, "US road network       %8.2e km\n", USPublicRoadKm)
 	fmt.Fprintf(&b, "extrapolated US map   %8.1f TB\n", r.USExtrapolation)
 	fmt.Fprintf(&b, "paper's US map        %8.1f TB\n", r.PaperTB)
 	fmt.Fprintf(&b, "storage power (paper) %8.1f W\n", r.StoragePowerW)
 	b.WriteString("\nOur from-scratch ORB keyframe map lands within an order of magnitude of\n")
 	b.WriteString("the paper's 41 TB figure, independently supporting its storage constraint\n")
-	b.WriteString("(tens of TB must ride on the vehicle).\n")
+	b.WriteString("(tens of TB must ride on the vehicle; see slam.ShardStore for how the\n")
+	b.WriteString("engine bounds the resident slice of such a map).\n")
 	return b.String()
 }
 
@@ -72,11 +80,12 @@ func runStorage(opts Options) (Result, error) {
 	if meters <= 0 || m.Len() == 0 {
 		return nil, fmt.Errorf("storage: survey produced no map")
 	}
-	bytesPerMeter := float64(m.StorageBytes()) / meters
+	bytesPerMeter := float64(m.SerializedBytes()) / meters
 	return StorageResult{
 		SurveyMeters:    meters,
 		Keyframes:       m.Len(),
-		MapBytes:        m.StorageBytes(),
+		MapBytes:        m.SerializedBytes(),
+		MemBytes:        m.StorageBytes(),
 		BytesPerMeter:   bytesPerMeter,
 		USExtrapolation: bytesPerMeter * USPublicRoadKm * 1000 / 1e12,
 		PaperTB:         power.USMapTB,

@@ -1,0 +1,54 @@
+package slam
+
+import (
+	"bytes"
+	"testing"
+
+	"adsim/internal/scene"
+)
+
+// FuzzReadPriorMap throws arbitrary bytes at the ADM1 decoder: it must
+// return an error or a valid map, never panic or over-allocate, and any
+// map it accepts must re-serialize to exactly SerializedBytes bytes and
+// round-trip. `make fuzz-smoke` runs this for 10s as part of `make check`.
+func FuzzReadPriorMap(f *testing.F) {
+	m := NewPriorMap()
+	m.Add(scene.Pose{X: 1.5, Z: 2, Theta: 0.1},
+		[]Keypoint{{X: 3, Y: 4, Level: 1, Angle: 0.5}}, make([]Descriptor, 1))
+	m.Add(scene.Pose{Z: 7}, make([]Keypoint, 2), make([]Descriptor, 2))
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated mid-feature
+	f.Add(valid[:9])            // truncated mid-keyframe
+	f.Add([]byte("1MDA"))       // magic only (little-endian "ADM1")
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadPriorMap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got == nil {
+			t.Fatal("nil map without error")
+		}
+		var out bytes.Buffer
+		n, err := got.WriteTo(&out)
+		if err != nil {
+			t.Fatalf("accepted map failed to re-serialize: %v", err)
+		}
+		if n != got.SerializedBytes() {
+			t.Fatalf("WriteTo wrote %d bytes but SerializedBytes predicts %d", n, got.SerializedBytes())
+		}
+		back, err := ReadPriorMap(&out)
+		if err != nil {
+			t.Fatalf("re-reading own output failed: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatalf("round trip changed keyframe count: %d -> %d", got.Len(), back.Len())
+		}
+	})
+}

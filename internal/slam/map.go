@@ -3,6 +3,7 @@ package slam
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"adsim/internal/scene"
 )
@@ -17,10 +18,19 @@ type Keyframe struct {
 	Descriptors []Descriptor
 }
 
-// PriorMap is the on-vehicle prior map: keyframes indexed by longitudinal
-// position for windowed candidate lookup. The paper's LOC engine matches
-// live features against this database to localize at high precision.
+// PriorMap is the monolithic in-memory prior-map store: keyframes indexed
+// by longitudinal position for windowed candidate lookup. The paper's LOC
+// engine matches live features against this database to localize at high
+// precision. PriorMap implements MapStore; ShardStore is the tiled on-disk
+// alternative for maps that must not be fully resident.
+//
+// All methods are safe for concurrent use. Reads return snapshots: the
+// returned keyframe slices have their own backing array, so a retained
+// result is never shifted or overwritten by a later Add (a Keyframe's
+// keypoint/descriptor slices are shared with the map, but are immutable
+// once inserted).
 type PriorMap struct {
+	mu        sync.RWMutex
 	keyframes []Keyframe // sorted by Pose.Z
 	nextID    int
 }
@@ -29,19 +39,32 @@ type PriorMap struct {
 func NewPriorMap() *PriorMap { return &PriorMap{} }
 
 // Len reports the number of keyframes.
-func (m *PriorMap) Len() int { return len(m.keyframes) }
+func (m *PriorMap) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.keyframes)
+}
 
 // Add inserts a keyframe observed at pose, keeping the database sorted by
 // longitudinal position, and returns its assigned ID.
 func (m *PriorMap) Add(pose scene.Pose, kps []Keypoint, descs []Descriptor) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.nextID++
-	m.insert(Keyframe{ID: m.nextID, Pose: pose, Keypoints: kps, Descriptors: descs})
-	return m.nextID
+	id := m.nextID
+	m.insertLocked(Keyframe{ID: id, Pose: pose, Keypoints: kps, Descriptors: descs})
+	return id
 }
 
 // insert places a fully-formed keyframe at its sorted position (used by Add
 // and by deserialization, which preserves stored IDs).
 func (m *PriorMap) insert(kf Keyframe) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.insertLocked(kf)
+}
+
+func (m *PriorMap) insertLocked(kf Keyframe) {
 	idx := sort.Search(len(m.keyframes), func(i int) bool {
 		return m.keyframes[i].Pose.Z >= kf.Pose.Z
 	})
@@ -54,24 +77,51 @@ func (m *PriorMap) insert(kf Keyframe) {
 }
 
 // Candidates returns the keyframes whose longitudinal position lies within
-// ±window meters of z. This is the tracking-mode search set; relocalization
-// passes a much larger window, which is what makes it expensive.
+// ±window meters of z, in ascending-Z order. This is the tracking-mode
+// search set; relocalization passes a much larger window, which is what
+// makes it expensive. The result is a snapshot owned by the caller.
 func (m *PriorMap) Candidates(z, window float64) []Keyframe {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	lo := sort.Search(len(m.keyframes), func(i int) bool {
 		return m.keyframes[i].Pose.Z >= z-window
 	})
 	hi := sort.Search(len(m.keyframes), func(i int) bool {
 		return m.keyframes[i].Pose.Z > z+window
 	})
-	return m.keyframes[lo:hi]
+	out := make([]Keyframe, hi-lo)
+	copy(out, m.keyframes[lo:hi])
+	return out
 }
 
-// All returns every keyframe (the relocalization worst case).
-func (m *PriorMap) All() []Keyframe { return m.keyframes }
+// All returns a snapshot of every keyframe in ascending-Z order. Prefer
+// Scan on the relocalization path: a sharded store streams tiles through
+// its cache instead of materializing the whole map.
+func (m *PriorMap) All() []Keyframe {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Keyframe, len(m.keyframes))
+	copy(out, m.keyframes)
+	return out
+}
+
+// Scan calls fn for every keyframe in ascending-Z order, stopping early
+// when fn returns false. fn runs on a snapshot: keyframes added after Scan
+// starts are not observed.
+func (m *PriorMap) Scan(fn func(Keyframe) bool) {
+	for _, kf := range m.All() {
+		if !fn(kf) {
+			return
+		}
+	}
+}
 
 // NearestZ returns the keyframe whose longitudinal position is closest to
-// z, and false if the map is empty.
+// z, and false if the map is empty. On an exact distance tie the lower-Z
+// neighbor wins.
 func (m *PriorMap) NearestZ(z float64) (Keyframe, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(m.keyframes) == 0 {
 		return Keyframe{}, false
 	}
@@ -95,11 +145,21 @@ func (m *PriorMap) NearestZ(z float64) (Keyframe, bool) {
 	return m.keyframes[best], true
 }
 
-// StorageBytes estimates the map's in-memory footprint: descriptors plus
-// keypoint coordinates plus pose. Used by the storage-constraint analysis.
+// StorageBytes estimates the map's in-memory resident footprint:
+// descriptors plus keypoint coordinates plus pose. This is the estimate the
+// shard cache budgets against; the storage-constraint extrapolation uses
+// the serialized density instead (see SerializedBytes).
 func (m *PriorMap) StorageBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return storageBytes(m.keyframes)
+}
+
+// storageBytes is the resident-footprint estimate shared by PriorMap and
+// the shard cache accounting.
+func storageBytes(kfs []Keyframe) int64 {
 	var total int64
-	for _, kf := range m.keyframes {
+	for _, kf := range kfs {
 		total += int64(len(kf.Descriptors)) * 32 // 256-bit descriptors
 		total += int64(len(kf.Keypoints)) * 16   // x, y, score, angle (packed)
 		total += 24                              // pose

@@ -28,8 +28,32 @@ import (
 
 const mapMagic = 0x4144_4D31 // "ADM1"
 
+// Serialized sizes (bytes) of the format above.
+const (
+	serMapHeader      = 8  // magic + keyframe count
+	serKeyframeHeader = 32 // id + pose + feature count
+	serFeature        = 41 // x + y + level + angle + descriptor
+)
+
+// SerializedBytes reports the exact size WriteTo would encode the map to,
+// without serializing it. This on-disk density is what the paper's storage
+// constraint is about and is the basis both the storage experiment and
+// admap use for the US-map extrapolation (StorageBytes is the in-memory
+// estimate, which differs).
+func (m *PriorMap) SerializedBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := int64(serMapHeader)
+	for _, kf := range m.keyframes {
+		total += serKeyframeHeader + int64(len(kf.Keypoints))*serFeature
+	}
+	return total
+}
+
 // WriteTo serializes the map. It returns the number of bytes written.
+// Concurrent-safe: it writes a snapshot of the map at the time of the call.
 func (m *PriorMap) WriteTo(w io.Writer) (int64, error) {
+	kfs := m.All()
 	bw := bufio.NewWriter(w)
 	var n int64
 	put := func(v interface{}) error {
@@ -42,10 +66,10 @@ func (m *PriorMap) WriteTo(w io.Writer) (int64, error) {
 	if err := put(uint32(mapMagic)); err != nil {
 		return n, err
 	}
-	if err := put(uint32(len(m.keyframes))); err != nil {
+	if err := put(uint32(len(kfs))); err != nil {
 		return n, err
 	}
-	for _, kf := range m.keyframes {
+	for _, kf := range kfs {
 		if len(kf.Keypoints) != len(kf.Descriptors) {
 			return n, fmt.Errorf("slam: keyframe %d has %d keypoints but %d descriptors",
 				kf.ID, len(kf.Keypoints), len(kf.Descriptors))
@@ -65,6 +89,9 @@ func (m *PriorMap) WriteTo(w io.Writer) (int64, error) {
 			if kp.X < math.MinInt16 || kp.X > math.MaxInt16 ||
 				kp.Y < math.MinInt16 || kp.Y > math.MaxInt16 {
 				return n, fmt.Errorf("slam: keypoint (%d,%d) exceeds int16 frame bounds", kp.X, kp.Y)
+			}
+			if kp.Level < 0 || kp.Level > math.MaxUint8 {
+				return n, fmt.Errorf("slam: keypoint level %d exceeds uint8 bounds", kp.Level)
 			}
 			if err := put(int16(kp.X)); err != nil {
 				return n, err

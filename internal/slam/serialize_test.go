@@ -106,6 +106,72 @@ func TestWriteToRejectsInconsistentKeyframe(t *testing.T) {
 	}
 }
 
+// Satellite-bug regression: Level used to be silently truncated to uint8 on
+// write, so a level > 255 round-tripped to a wrong pyramid level instead of
+// erroring the way out-of-range X/Y always have.
+func TestWriteToRejectsOutOfRangeLevel(t *testing.T) {
+	for _, level := range []int{-1, 256, 300} {
+		m := NewPriorMap()
+		m.Add(scene.Pose{}, []Keypoint{{X: 1, Y: 1, Level: level}}, make([]Descriptor, 1))
+		if _, err := m.WriteTo(&bytes.Buffer{}); err == nil {
+			t.Errorf("out-of-range level %d accepted", level)
+		}
+	}
+}
+
+func TestSerializedBytesMatchesWriteTo(t *testing.T) {
+	for _, m := range []*PriorMap{NewPriorMap(), mustMap(t)} {
+		var buf bytes.Buffer
+		n, err := m.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != m.SerializedBytes() {
+			t.Errorf("WriteTo wrote %d bytes, SerializedBytes predicts %d", n, m.SerializedBytes())
+		}
+	}
+}
+
+func mustMap(t *testing.T) *PriorMap {
+	t.Helper()
+	m := NewPriorMap()
+	m.Add(scene.Pose{Z: 1}, make([]Keypoint, 3), make([]Descriptor, 3))
+	m.Add(scene.Pose{Z: 5}, []Keypoint{{X: 7, Y: 9, Level: 2}}, make([]Descriptor, 1))
+	return m
+}
+
+// Every possible truncation of a valid stream must produce an error, never
+// a panic or a silently short map.
+func TestReadPriorMapTruncations(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := mustMap(t).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := ReadPriorMap(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d accepted", cut)
+		}
+	}
+	if _, err := ReadPriorMap(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("untruncated stream rejected: %v", err)
+	}
+}
+
+// A keyframe header claiming a huge feature count must be rejected before
+// any allocation is sized from it.
+func TestReadPriorMapHostileFeatureCount(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(mapMagic))
+	binary.Write(&buf, binary.LittleEndian, uint32(1)) // one keyframe
+	binary.Write(&buf, binary.LittleEndian, int32(1))  // id
+	binary.Write(&buf, binary.LittleEndian, [3]float64{})
+	binary.Write(&buf, binary.LittleEndian, uint32(1<<30)) // absurd features
+	if _, err := ReadPriorMap(&buf); err == nil {
+		t.Error("absurd feature count accepted")
+	}
+}
+
 func TestSerializedDensityMatchesEstimate(t *testing.T) {
 	// The on-disk byte density should be close to StorageBytes' estimate
 	// (the storage experiment's basis).

@@ -1,0 +1,160 @@
+package slam
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// A sharded prior map is a directory of ADM1 tile files plus a small JSON
+// index of their Z-ranges:
+//
+//	mapdir/
+//	  index.json       tile pitch, per-tile Z ranges and sizes
+//	  tile-000007.adm  keyframes with floor(Z/pitch) == 7, ADM1 format
+//	  tile-000008.adm  ...
+//
+// Each tile is itself a valid ADM1 map file (admap -info works on it), so
+// the shard workflow reuses the exact serialization the storage numbers are
+// about. Tiles cover fixed-length longitudinal intervals; only non-empty
+// tiles are written, so sparse coverage costs nothing.
+
+// ShardIndexFile is the index filename inside a shard directory.
+const ShardIndexFile = "index.json"
+
+// DefaultTilePitch is the default longitudinal tile length in meters.
+const DefaultTilePitch = 64.0
+
+// TileInfo describes one shard file in the index.
+type TileInfo struct {
+	File      string  `json:"file"`
+	Tile      int     `json:"tile"` // floor(Z / pitch)
+	ZMin      float64 `json:"zmin_m"`
+	ZMax      float64 `json:"zmax_m"`
+	Keyframes int     `json:"keyframes"`
+	Bytes     int64   `json:"bytes"`     // serialized size on disk
+	MemBytes  int64   `json:"mem_bytes"` // resident-footprint estimate when cached
+}
+
+// ShardIndex is a shard directory's table of contents.
+type ShardIndex struct {
+	Version   int        `json:"version"`
+	TilePitch float64    `json:"tile_pitch_m"`
+	Keyframes int        `json:"keyframes"`
+	MaxID     int        `json:"max_id"` // seeds runtime-add IDs past stored ones
+	Bytes     int64      `json:"bytes"`  // total serialized tile bytes
+	Tiles     []TileInfo `json:"tiles"`  // ascending Tile order
+}
+
+// tileOf maps a longitudinal position to its tile number.
+func tileOf(z, pitch float64) int { return int(math.Floor(z / pitch)) }
+
+// WriteShards splits m into fixed-pitch longitudinal tiles under dir and
+// writes the index, returning it. pitch ≤ 0 selects DefaultTilePitch. The
+// directory is created if needed; an existing index and tiles are
+// overwritten.
+func WriteShards(m *PriorMap, dir string, pitch float64) (*ShardIndex, error) {
+	if pitch <= 0 {
+		pitch = DefaultTilePitch
+	}
+	kfs := m.All()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("slam: creating shard dir: %w", err)
+	}
+	idx := &ShardIndex{Version: 1, TilePitch: pitch, Keyframes: len(kfs)}
+	for start := 0; start < len(kfs); {
+		tile := tileOf(kfs[start].Pose.Z, pitch)
+		end := start + 1
+		for end < len(kfs) && tileOf(kfs[end].Pose.Z, pitch) == tile {
+			end++
+		}
+		group := kfs[start:end]
+		// Wrap the already-sorted group directly (not via insert) so the
+		// within-tile order is exactly the monolithic order — candidate
+		// ordering is what makes sharded reads bit-identical.
+		tm := &PriorMap{keyframes: group}
+		name := fmt.Sprintf("tile-%06d.adm", tile)
+		n, err := writeTileFile(filepath.Join(dir, name), tm)
+		if err != nil {
+			return nil, err
+		}
+		for _, kf := range group {
+			if kf.ID > idx.MaxID {
+				idx.MaxID = kf.ID
+			}
+		}
+		idx.Bytes += n
+		idx.Tiles = append(idx.Tiles, TileInfo{
+			File:      name,
+			Tile:      tile,
+			ZMin:      group[0].Pose.Z,
+			ZMax:      group[len(group)-1].Pose.Z,
+			Keyframes: len(group),
+			Bytes:     n,
+			MemBytes:  storageBytes(group),
+		})
+		start = end
+	}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, ShardIndexFile), append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("slam: writing shard index: %w", err)
+	}
+	return idx, nil
+}
+
+func writeTileFile(path string, tm *PriorMap) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("slam: creating shard: %w", err)
+	}
+	n, err := tm.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return n, fmt.Errorf("slam: writing shard %s: %w", filepath.Base(path), err)
+	}
+	return n, nil
+}
+
+// ReadShardIndex loads and validates a shard directory's index.
+func ReadShardIndex(dir string) (*ShardIndex, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ShardIndexFile))
+	if err != nil {
+		return nil, fmt.Errorf("slam: reading shard index: %w", err)
+	}
+	var idx ShardIndex
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("slam: parsing shard index: %w", err)
+	}
+	if idx.Version != 1 {
+		return nil, fmt.Errorf("slam: unsupported shard index version %d", idx.Version)
+	}
+	if idx.TilePitch <= 0 {
+		return nil, fmt.Errorf("slam: shard index tile pitch %v must be positive", idx.TilePitch)
+	}
+	total := 0
+	for i, t := range idx.Tiles {
+		// A hostile index must not escape the shard directory.
+		if t.File == "" || t.File != filepath.Base(t.File) || strings.HasPrefix(t.File, ".") {
+			return nil, fmt.Errorf("slam: shard index entry %d has invalid file %q", i, t.File)
+		}
+		if i > 0 && t.Tile <= idx.Tiles[i-1].Tile {
+			return nil, fmt.Errorf("slam: shard index tiles not in ascending order at entry %d", i)
+		}
+		if t.ZMax < t.ZMin || t.Keyframes <= 0 {
+			return nil, fmt.Errorf("slam: shard index entry %d is inconsistent", i)
+		}
+		total += t.Keyframes
+	}
+	if total != idx.Keyframes {
+		return nil, fmt.Errorf("slam: shard index keyframe total %d != sum of tiles %d", idx.Keyframes, total)
+	}
+	return &idx, nil
+}

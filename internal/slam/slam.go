@@ -83,10 +83,12 @@ type Estimate struct {
 	LoopClosed bool
 }
 
-// Engine is the LOC engine. Not safe for concurrent use.
+// Engine is the LOC engine. Not safe for concurrent use itself — but its
+// MapStore is, so several engines (concurrent LOC replicas) may share one
+// store.
 type Engine struct {
-	cfg Config
-	m   *PriorMap
+	cfg   Config
+	store MapStore
 
 	havePose  bool
 	lastPose  scene.Pose
@@ -102,11 +104,21 @@ type Engine struct {
 	mapUpdates      int
 }
 
-// NewEngine builds a localization engine over a prior map. The map may be
-// empty (e.g. during a survey run that populates it via ExtendMap).
+// NewEngine builds a localization engine over a monolithic in-memory prior
+// map. The map may be empty (e.g. during a survey run that populates it).
 func NewEngine(cfg Config, m *PriorMap) (*Engine, error) {
 	if m == nil {
 		return nil, fmt.Errorf("slam: nil prior map")
+	}
+	return NewEngineStore(cfg, m)
+}
+
+// NewEngineStore builds a localization engine over any prior-map store —
+// in particular a ShardStore, whose tiles page in lazily so the map's
+// resident set stays bounded.
+func NewEngineStore(cfg Config, store MapStore) (*Engine, error) {
+	if store == nil {
+		return nil, fmt.Errorf("slam: nil map store")
 	}
 	if cfg.KeyframeSpacing <= 0 {
 		return nil, fmt.Errorf("slam: KeyframeSpacing %v must be positive", cfg.KeyframeSpacing)
@@ -117,11 +129,18 @@ func NewEngine(cfg Config, m *PriorMap) (*Engine, error) {
 	if cfg.TrackWindow <= 0 || cfg.RelocWindow < cfg.TrackWindow {
 		return nil, fmt.Errorf("slam: windows invalid (track %v, reloc %v)", cfg.TrackWindow, cfg.RelocWindow)
 	}
-	return &Engine{cfg: cfg, m: m}, nil
+	return &Engine{cfg: cfg, store: store}, nil
 }
 
-// Map returns the engine's prior map.
-func (e *Engine) Map() *PriorMap { return e.m }
+// Map returns the engine's prior map when its store is a monolithic
+// in-memory PriorMap, and nil otherwise (use Store for the general case).
+func (e *Engine) Map() *PriorMap {
+	pm, _ := e.store.(*PriorMap)
+	return pm
+}
+
+// Store returns the engine's prior-map store.
+func (e *Engine) Store() MapStore { return e.store }
 
 // Relocalizations reports how many frames required the wide-search path.
 func (e *Engine) Relocalizations() int { return e.relocalizations }
@@ -153,7 +172,7 @@ func (e *Engine) extract(frame *img.Gray) ([]Keypoint, []Descriptor) {
 // has no keyframe within KeyframeSpacing of it. Used to build prior maps
 // from ground-truth scenario runs — the offline "map provider" role.
 func (e *Engine) Survey(frame *img.Gray, pose scene.Pose) bool {
-	if kf, ok := e.m.NearestZ(pose.Z); ok {
+	if kf, ok := e.store.NearestZ(pose.Z); ok {
 		dz := kf.Pose.Z - pose.Z
 		if dz < 0 {
 			dz = -dz
@@ -163,7 +182,7 @@ func (e *Engine) Survey(frame *img.Gray, pose scene.Pose) bool {
 		}
 	}
 	kps, descs := e.extract(frame)
-	e.m.Add(pose, kps, descs)
+	e.store.Add(pose, kps, descs)
 	return true
 }
 
@@ -195,9 +214,9 @@ func (e *Engine) LocalizeTimed(frame *img.Gray) (Estimate, Timing) {
 	// Local mapping: extend the map when tracking confidently in
 	// unsurveyed territory (the paper's "map update" path).
 	if est.Tracked {
-		if kf, ok := e.m.NearestZ(est.Pose.Z); !ok ||
+		if kf, ok := e.store.NearestZ(est.Pose.Z); !ok ||
 			abs(kf.Pose.Z-est.Pose.Z) >= e.cfg.KeyframeSpacing {
-			e.m.Add(est.Pose, kps, descs)
+			e.store.Add(est.Pose, kps, descs)
 			e.mapUpdates++
 		}
 	}
@@ -223,6 +242,12 @@ func (e *Engine) LocalizeTimed(frame *img.Gray) (Estimate, Timing) {
 		}
 	}
 
+	// Warm the tile ahead in the travel direction on stores that page; a
+	// pure cache hint, so it cannot change any result.
+	if p, ok := e.store.(Prefetcher); ok && est.Tracked {
+		p.Advise(est.Pose.Z, e.velocity)
+	}
+
 	return est, Timing{FE: feDur, Other: time.Since(otherStart)}
 }
 
@@ -237,7 +262,7 @@ func (e *Engine) localizeFrom(kps []Keypoint, descs []Descriptor) Estimate {
 	if e.havePose && !e.lost {
 		// Score both anchors: the prior map (absolute) and the previous
 		// frame (visual odometry, as ORB-SLAM's tracking thread uses).
-		cands := e.m.Candidates(predicted.Z, e.cfg.TrackWindow)
+		cands := e.store.Candidates(predicted.Z, e.cfg.TrackWindow)
 		kf, kfInliers, kfOK := e.bestKeyframe(kps, descs, cands)
 		voInliers := 0
 		if len(e.prevDescs) > 0 {
@@ -260,15 +285,19 @@ func (e *Engine) localizeFrom(kps []Keypoint, descs []Descriptor) Estimate {
 		e.lost = true
 	}
 
-	// Relocalization: strictly wider search (the tail-latency path).
+	// Relocalization: strictly wider search (the tail-latency path). The
+	// whole-map case streams through the store's Scan, so a sharded store
+	// pages tiles through its cache instead of materializing the map.
 	e.relocalizations++
-	var cands []Keyframe
+	sc := scorer{e: e, kps: kps, descs: descs}
 	if e.cfg.RelocWindow >= 1e9 {
-		cands = e.m.All()
+		e.store.Scan(func(kf Keyframe) bool { sc.consider(kf); return true })
 	} else {
-		cands = e.m.Candidates(predicted.Z, e.cfg.RelocWindow)
+		for _, kf := range e.store.Candidates(predicted.Z, e.cfg.RelocWindow) {
+			sc.consider(kf)
+		}
 	}
-	if kf, matches, ok := e.bestKeyframe(kps, descs, cands); ok {
+	if kf, matches, ok := sc.result(e.cfg.MinMatches); ok {
 		pose := e.refinePose(kf, predicted)
 		e.commitPose(pose)
 		e.lost = false
@@ -282,23 +311,41 @@ func (e *Engine) localizeFrom(kps []Keypoint, descs []Descriptor) Estimate {
 	return Estimate{Pose: predicted, Tracked: false, Relocalized: true}
 }
 
+// scorer accumulates the best geometrically-verified candidate while
+// keyframes stream past. The first best wins ties, preserving the order
+// dependence of the old slice-based scan — what makes streamed (sharded)
+// relocalization bit-identical to the monolithic one.
+type scorer struct {
+	e         *Engine
+	kps       []Keypoint
+	descs     []Descriptor
+	bestScore int
+	best      Keyframe
+}
+
+func (s *scorer) consider(kf Keyframe) {
+	ms := MatchDescriptors(s.descs, kf.Descriptors, s.e.cfg.MatchMaxDist, s.e.cfg.MatchRatio)
+	if inl := GeometricInliers(s.kps, kf.Keypoints, ms, s.e.cfg.InlierTol); inl > s.bestScore {
+		s.bestScore = inl
+		s.best = kf
+	}
+}
+
+func (s *scorer) result(minMatches int) (Keyframe, int, bool) {
+	if s.bestScore < minMatches {
+		return Keyframe{}, s.bestScore, false
+	}
+	return s.best, s.bestScore, true
+}
+
 // bestKeyframe scores candidate keyframes by geometrically-verified match
 // count and returns the best one if it clears MinMatches.
 func (e *Engine) bestKeyframe(kps []Keypoint, descs []Descriptor, cands []Keyframe) (Keyframe, int, bool) {
-	bestScore := 0
-	var best Keyframe
+	sc := scorer{e: e, kps: kps, descs: descs}
 	for _, kf := range cands {
-		ms := MatchDescriptors(descs, kf.Descriptors, e.cfg.MatchMaxDist, e.cfg.MatchRatio)
-		inl := GeometricInliers(kps, kf.Keypoints, ms, e.cfg.InlierTol)
-		if inl > bestScore {
-			bestScore = inl
-			best = kf
-		}
+		sc.consider(kf)
 	}
-	if bestScore < e.cfg.MinMatches {
-		return Keyframe{}, bestScore, false
-	}
-	return best, bestScore, true
+	return sc.result(e.cfg.MinMatches)
 }
 
 // refinePose blends the matched keyframe's surveyed pose with the motion
@@ -342,16 +389,16 @@ func (e *Engine) commitPose(pose scene.Pose) {
 	e.havePose = true
 }
 
-// detectLoop scans keyframes at least LoopCloseMinGap away from pose and
+// detectLoop streams keyframes at least LoopCloseMinGap away from pose and
 // returns the best match with at least minScore verified inliers, if any —
 // a trajectory loop.
 func (e *Engine) detectLoop(kps []Keypoint, descs []Descriptor, pose scene.Pose, minScore int) (Keyframe, bool) {
 	bestScore := minScore - 1
 	var best Keyframe
 	found := false
-	for _, kf := range e.m.All() {
+	e.store.Scan(func(kf Keyframe) bool {
 		if abs(kf.Pose.Z-pose.Z) < e.cfg.LoopCloseMinGap {
-			continue
+			return true
 		}
 		ms := MatchDescriptors(descs, kf.Descriptors, e.cfg.MatchMaxDist, e.cfg.MatchRatio)
 		if inl := GeometricInliers(kps, kf.Keypoints, ms, e.cfg.InlierTol); inl > bestScore {
@@ -359,7 +406,8 @@ func (e *Engine) detectLoop(kps []Keypoint, descs []Descriptor, pose scene.Pose,
 			best = kf
 			found = true
 		}
-	}
+		return true
+	})
 	return best, found
 }
 

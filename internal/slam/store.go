@@ -1,0 +1,49 @@
+package slam
+
+import "adsim/internal/scene"
+
+// MapStore is the prior-map database interface the LOC engine reads and
+// extends. It abstracts where the map lives: PriorMap keeps it monolithic
+// in memory; ShardStore pages fixed-pitch longitudinal tiles from disk
+// through a byte-budgeted LRU cache — the paper's storage constraint
+// (~41 TB of prior maps for the US road network) means a production map can
+// never be fully resident, so every engine read has to work through an
+// interface that can page.
+//
+// Implementations must be safe for concurrent use (so several LOC replicas
+// can share one store) and must return snapshot keyframes: a retained
+// result is never shifted or overwritten by a later Add.
+type MapStore interface {
+	// Len reports the number of keyframes in the store.
+	Len() int
+	// Add inserts a keyframe observed at pose (the runtime map-update
+	// path) and returns its assigned ID.
+	Add(pose scene.Pose, kps []Keypoint, descs []Descriptor) int
+	// Candidates returns the keyframes within ±window meters of z, in
+	// ascending-Z order. The result is a snapshot the caller owns.
+	Candidates(z, window float64) []Keyframe
+	// NearestZ returns the keyframe closest to z, and false when empty.
+	NearestZ(z float64) (Keyframe, bool)
+	// Scan streams every keyframe in ascending-Z order to fn, stopping
+	// early when fn returns false. This is the relocalization path: a
+	// sharded store streams tiles through its cache instead of
+	// materializing the whole map.
+	Scan(fn func(Keyframe) bool)
+	// StorageBytes estimates the in-memory footprint of the store's
+	// currently resident keyframes.
+	StorageBytes() int64
+}
+
+// Prefetcher is implemented by stores that can warm their cache from a
+// motion-model hint. The engine calls Advise after every tracked frame so
+// the tile ahead in the travel direction is (usually) already resident when
+// the vehicle crosses into it.
+type Prefetcher interface {
+	Advise(z, velocity float64)
+}
+
+var (
+	_ MapStore   = (*PriorMap)(nil)
+	_ MapStore   = (*ShardStore)(nil)
+	_ Prefetcher = (*ShardStore)(nil)
+)
