@@ -2,8 +2,11 @@ GO ?= go
 
 # Coverage floor for the telemetry layer (percent of statements).
 TELEMETRY_COVER_FLOOR ?= 80
+# Coverage floor for the fault-injection substrate: it underpins the chaos
+# suite's determinism claims, so nearly every branch must be exercised.
+FAULTINJECT_COVER_FLOOR ?= 90
 
-.PHONY: build vet test race bench check cover fmt-check fuzz-smoke
+.PHONY: build vet test race bench check cover fmt-check fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -25,9 +28,21 @@ bench:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadPriorMap -fuzztime=10s -run='^$$' ./internal/slam
 
+# Chaos smoke: the deterministic fault-injection suite under the race
+# detector (Step/Runner equivalence, golden trace, degraded-deadline and
+# Stop-drain guarantees), then a short seeded end-to-end chaos run through
+# the CLI with deadline enforcement on.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos|TestGoldenChaosTrace|TestDegradedFrameMeetsFrameDeadline|TestRunnerStopDrainsDegradedInFlight' ./internal/pipeline
+	$(GO) test -race ./internal/faultinject
+	$(GO) run ./cmd/adpipe -frames 30 -dnn=false -width 384 -height 192 -survey 20 \
+		-deadline 100ms -fault 'DET:delay=60ms:every=5,LOC:delay=120ms:frames=10-12,SRC:drop:every=17'
+
 # The tier the concurrency work is held to: compile everything, vet, run
-# the full test suite under the race detector, then fuzz the map decoder.
-check: build vet race fuzz-smoke
+# the full test suite under the race detector (which includes the chaos
+# suite), fuzz the map decoder, then drive the chaos scenario end to end
+# through the CLI.
+check: build vet race fuzz-smoke chaos-smoke
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -35,14 +50,20 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
-# Coverage over the observability layer (telemetry, its stats backing, and
-# the constraint monitor), with an enforced floor on internal/telemetry.
+# Coverage over the observability and chaos layers (telemetry, its stats
+# backing, the constraint monitor and the fault injector), with enforced
+# floors on internal/telemetry and internal/faultinject.
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/telemetry/...,./internal/stats/...,./internal/constraint/... \
-		./internal/telemetry/... ./internal/stats/... ./internal/constraint/... ./internal/pipeline/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/telemetry/...,./internal/stats/...,./internal/constraint/...,./internal/faultinject/... \
+		./internal/telemetry/... ./internal/stats/... ./internal/constraint/... ./internal/faultinject/... ./internal/pipeline/...
 	$(GO) tool cover -func=cover.out | tail -1
 	@total="$$($(GO) tool cover -func=cover.out | grep 'internal/telemetry/' | \
 		awk '{ sub(/%/, "", $$3); sum += $$3; n++ } END { if (n) printf "%.1f", sum / n; else print 0 }')"; \
 	echo "internal/telemetry mean statement coverage: $$total% (floor $(TELEMETRY_COVER_FLOOR)%)"; \
 	awk "BEGIN { exit !($$total >= $(TELEMETRY_COVER_FLOOR)) }" || \
+		{ echo "coverage below floor"; exit 1; }
+	@total="$$($(GO) tool cover -func=cover.out | grep 'internal/faultinject/' | \
+		awk '{ sub(/%/, "", $$3); sum += $$3; n++ } END { if (n) printf "%.1f", sum / n; else print 0 }')"; \
+	echo "internal/faultinject mean statement coverage: $$total% (floor $(FAULTINJECT_COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$total >= $(FAULTINJECT_COVER_FLOOR)) }" || \
 		{ echo "coverage below floor"; exit 1; }

@@ -28,11 +28,13 @@ package adsim
 
 import (
 	"io"
+	"time"
 
 	"adsim/internal/accel"
 	"adsim/internal/constraint"
 	"adsim/internal/dnn"
 	"adsim/internal/experiment"
+	"adsim/internal/faultinject"
 	"adsim/internal/pipeline"
 	"adsim/internal/scene"
 	"adsim/internal/slam"
@@ -311,6 +313,52 @@ type TraceWriter = pipeline.TraceWriter
 
 // NewTraceRecord flattens one native FrameResult into a trace record.
 func NewTraceRecord(res FrameResult) TraceRecord { return pipeline.NewTraceRecord(res) }
+
+// DeadlinePolicy configures per-stage deadline budgets and degraded-mode
+// enforcement on the native pipeline (PipelineConfig.Deadline).
+type DeadlinePolicy = pipeline.DeadlinePolicy
+
+// DegradedMask records, bit per stage, which stages of a frame fell back
+// to a degraded mode after blowing their deadline budget.
+type DegradedMask = pipeline.DegradedMask
+
+// DefaultFrameBudget is the end-to-end frame deadline the default stage
+// budgets are split from: the paper's 100 ms latency constraint.
+const DefaultFrameBudget = pipeline.DefaultFrameBudget
+
+// DefaultStageBudgets splits a frame deadline across the pipeline stages
+// in proportion to their share of the paper's latency breakdown.
+func DefaultStageBudgets(frame time.Duration) [pipeline.NumStages]time.Duration {
+	return pipeline.DefaultStageBudgets(frame)
+}
+
+// FaultScenario is a reproducible chaos specification: a seed and a rule
+// list, evaluated by a FaultInjector.
+type FaultScenario = faultinject.Scenario
+
+// FaultRule is one fault source in a scenario: a target stage (or
+// FaultIOTarget), a trigger and an action.
+type FaultRule = faultinject.Rule
+
+// FaultInjector evaluates a fault scenario deterministically; wire
+// Injector.Stage into PipelineConfig.Inject and Injector.OpenFile into
+// ShardStoreOptions.Open.
+type FaultInjector = faultinject.Injector
+
+// FaultIOTarget is the FaultRule.Stage value selecting map-shard I/O.
+const FaultIOTarget = faultinject.IOTarget
+
+// ErrFaultInjected is the sentinel wrapped by every injected fault.
+var ErrFaultInjected = faultinject.ErrInjected
+
+// NewFaultInjector validates a scenario and returns its injector.
+func NewFaultInjector(sc FaultScenario) (*FaultInjector, error) { return faultinject.New(sc) }
+
+// ParseFaultScenario builds a scenario from the compact rule syntax the
+// adpipe -fault flag accepts (e.g. "DET:delay=30ms:every=5,IO:err:p=0.2").
+func ParseFaultScenario(spec string, seed int64) (FaultScenario, error) {
+	return faultinject.Parse(spec, seed)
+}
 
 // ExperimentOptions tune experiment execution.
 type ExperimentOptions = experiment.Options

@@ -7,12 +7,15 @@
 //	adpipe -scenario highway -frames 100 -dnn=false -v
 //	adpipe -scenario highway -frames 200 -inflight 4 -workers 8
 //	adpipe -scenario urban -frames 100 -inflight 3 -telemetry json
+//	adpipe -scenario urban -frames 200 -deadline 100ms
+//	adpipe -frames 200 -deadline 100ms -fault 'DET:delay=30ms:every=5,SRC:drop:every=50'
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"adsim"
@@ -35,6 +38,9 @@ func main() {
 		hist     = flag.Bool("hist", false, "print an end-to-end latency histogram")
 		trace    = flag.String("trace", "", "write a JSON-lines trace of every frame to this file")
 		telem    = flag.String("telemetry", "off", "telemetry summary format: json, csv or off; also enables the live constraint verdict")
+		deadline = flag.Duration("deadline", 0, "enforce per-stage deadline budgets split from this frame deadline; budget-blown stages fall back to degraded modes (0 disables)")
+		fault    = flag.String("fault", "", "seeded fault scenario, e.g. 'DET:delay=30ms:every=5,IO:err:p=0.2,SRC:drop:every=50'")
+		seed     = flag.Int64("fault-seed", 1, "seed for the fault scenario's probabilistic rules")
 	)
 	flag.Parse()
 
@@ -61,6 +67,27 @@ func main() {
 	cfg.SurveyFrames = *survey
 	cfg.Detect.RunDNN = *dnn
 	cfg.Track.RunDNN = *dnn
+
+	var reg *adsim.TelemetryRegistry
+	if *deadline > 0 {
+		reg = adsim.NewTelemetryRegistry(*frames)
+		cfg.Deadline = adsim.DeadlinePolicy{Enforce: true, FrameBudget: *deadline}
+		cfg.Metrics = reg
+	}
+	faulting := *fault != ""
+	if faulting {
+		sc, err := adsim.ParseFaultScenario(*fault, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(2)
+		}
+		inj, err := adsim.NewFaultInjector(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Inject = inj.Stage
+	}
 
 	var col *adsim.TelemetryCollector
 	var mon *adsim.ConstraintMonitor
@@ -98,6 +125,8 @@ func main() {
 	tra := adsim.NewDistribution(*frames)
 	loc := adsim.NewDistribution(*frames)
 	tracked := 0
+	degraded := 0
+	faulted := 0
 
 	wall := adsim.NewDistribution(*frames)
 
@@ -111,6 +140,9 @@ func main() {
 		if res.Pose.Tracked {
 			tracked++
 		}
+		if res.Degraded.Any() {
+			degraded++
+		}
 		if tw != nil {
 			if err := tw.Write(pipeline.NewTraceRecord(res)); err != nil {
 				fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
@@ -118,9 +150,21 @@ func main() {
 			}
 		}
 		if *verbose {
-			fmt.Printf("frame %3d: %2d det, %2d tracks, pose z=%7.1f (tracked=%v reloc=%v), plan=%v, e2e=%.1fms\n",
+			fmt.Printf("frame %3d: %2d det, %2d tracks, pose z=%7.1f (tracked=%v reloc=%v), plan=%v, e2e=%.1fms, degraded=%v\n",
 				i, len(res.Detections), len(res.Tracks), res.Pose.Pose.Z,
-				res.Pose.Tracked, res.Pose.Relocalized, res.Plan.Decision, ms(res.Timing.E2E))
+				res.Pose.Tracked, res.Pose.Relocalized, res.Plan.Decision, ms(res.Timing.E2E), res.Degraded)
+		}
+	}
+	// Under fault injection, dropped frames and hard stage faults are part
+	// of the scenario — count them and keep driving instead of exiting.
+	frameErr := func(i int, err error) {
+		if !faulting {
+			fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		faulted++
+		if *verbose {
+			fmt.Printf("frame %3d: FAULT %v\n", i, err)
 		}
 	}
 
@@ -135,8 +179,8 @@ func main() {
 		}
 		for res := range r.Run(*frames) {
 			if res.Err != nil {
-				fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", res.Frame.Index, res.Err)
-				os.Exit(1)
+				frameErr(res.Frame.Index, res.Err)
+				continue
 			}
 			wall.Add(ms(res.Wall))
 			record(res.Frame.Index, res.FrameResult)
@@ -145,11 +189,12 @@ func main() {
 		for i := 0; i < *frames; i++ {
 			res, err := p.Step()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", i, err)
-				os.Exit(1)
+				frameErr(i, err)
+				continue
 			}
 			record(i, res)
 		}
+		p.Drain() // wait out any late attempts abandoned by deadline misses
 	}
 	elapsed := time.Since(start)
 
@@ -166,6 +211,24 @@ func main() {
 	fmt.Printf("localized %d/%d frames; relocalizations=%d, loop closures=%d, map=%v\n",
 		tracked, *frames, p.Localizer().Relocalizations(),
 		p.Localizer().LoopClosures(), p.Localizer().Map())
+
+	if *deadline > 0 {
+		fmt.Printf("\ndeadline enforcement (frame budget %v):\n", *deadline)
+		fmt.Printf("  degraded frames  %d/%d\n", degraded, *frames)
+		if faulting {
+			fmt.Printf("  faulted frames   %d/%d (dropped or hard stage faults)\n", faulted, *frames)
+		}
+		fmt.Printf("  budget misses    %d total\n", reg.Counter("deadline/miss").Value())
+		for _, name := range reg.CounterNames() {
+			if strings.HasPrefix(name, "deadline/miss/") {
+				if v := reg.Counter(name).Value(); v > 0 {
+					fmt.Printf("    %-14s %d\n", strings.TrimPrefix(name, "deadline/miss/"), v)
+				}
+			}
+		}
+	} else if faulting {
+		fmt.Printf("faulted frames %d/%d (dropped or hard stage faults)\n", faulted, *frames)
+	}
 
 	if col != nil {
 		fmt.Printf("\nper-stage telemetry (queue wait vs execute):\n")

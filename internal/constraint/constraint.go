@@ -18,6 +18,7 @@ package constraint
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"adsim/internal/power"
@@ -162,7 +163,18 @@ func performanceVerdict(tailMs, fps float64, n int) Verdict {
 func predictabilityVerdict(tailMs, meanMs float64, n int) Verdict {
 	v := Verdict{Class: Predictability, Detail: "no latency distribution"}
 	if n > 0 {
-		blowup := tailMs / meanMs
+		// Guard the zero-mean corner (all-zero samples are possible on an
+		// empty or degenerate window): 0/0 would be NaN, which fails every
+		// comparison and poisons the detail string. A zero mean with a
+		// zero tail is perfectly flat (blowup 1); a zero mean with a
+		// positive tail is an unbounded blowup.
+		blowup := 1.0
+		switch {
+		case meanMs > 0:
+			blowup = tailMs / meanMs
+		case tailMs > 0:
+			blowup = math.Inf(1)
+		}
 		v.Passed = n >= MinTailSamples && blowup <= 10
 		v.Detail = fmt.Sprintf("n=%d (need ≥%d), tail/mean %.1fx (limit 10x)",
 			n, MinTailSamples, blowup)

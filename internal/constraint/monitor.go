@@ -42,8 +42,13 @@ type Monitor struct {
 	mu    sync.Mutex
 	w     *stats.Window
 	at    []time.Time // delivery times, ring parallel to w's occupancy
+	deg   []bool      // degraded flags, same ring
 	head  int
 	count int
+	// degInWindow counts true entries among the live ring slots; totalDeg
+	// is the lifetime degraded-frame count.
+	degInWindow int
+	totalDeg    int64
 }
 
 // NewMonitor returns a live monitor with the configured rolling window.
@@ -52,15 +57,30 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 	if n <= 0 {
 		n = DefaultMonitorWindow
 	}
-	return &Monitor{w: stats.NewWindow(n), at: make([]time.Time, n)}
+	return &Monitor{w: stats.NewWindow(n), at: make([]time.Time, n), deg: make([]bool, n)}
 }
 
 // Observe folds one delivered frame in: its wall latency (ms) and delivery
-// time. O(1) amortized.
+// time. O(1) amortized. Equivalent to ObserveDegraded with degraded=false.
 func (m *Monitor) Observe(wallMs float64, at time.Time) {
+	m.ObserveDegraded(wallMs, at, false)
+}
+
+// ObserveDegraded folds one delivered frame in, recording whether it was
+// delivered in a deadline-degraded mode (any stage fell back after blowing
+// its budget). O(1) amortized.
+func (m *Monitor) ObserveDegraded(wallMs float64, at time.Time, degraded bool) {
 	m.mu.Lock()
 	m.w.Add(wallMs)
+	if m.count == len(m.at) && m.deg[m.head] {
+		m.degInWindow-- // the slot being overwritten leaves the window
+	}
 	m.at[m.head] = at
+	m.deg[m.head] = degraded
+	if degraded {
+		m.degInWindow++
+		m.totalDeg++
+	}
 	m.head++
 	if m.head == len(m.at) {
 		m.head = 0
@@ -80,7 +100,7 @@ func (m *Monitor) FrameDone(f telemetry.FrameEnd) {
 	if at.IsZero() {
 		at = time.Now()
 	}
-	m.Observe(float64(f.Wall)/1e6, at)
+	m.ObserveDegraded(float64(f.Wall)/1e6, at, f.Degraded)
 }
 
 // LiveReport is a point-in-time verdict from the rolling window. Only the
@@ -99,6 +119,12 @@ type LiveReport struct {
 	// the lifetime frame count.
 	N     int
 	Total int64
+	// Degraded counts deadline-degraded frames in the window;
+	// DegradedRate is Degraded/N (0 on an empty window); TotalDegraded is
+	// the lifetime degraded count.
+	Degraded      int
+	DegradedRate  float64
+	TotalDegraded int64
 }
 
 // Pass reports whether both live classes passed.
@@ -115,6 +141,10 @@ func (r LiveReport) String() string {
 		}
 		fmt.Fprintf(&b, "%-14s %s  %s\n", v.Class, mark, v.Detail)
 	}
+	if r.Degraded > 0 {
+		fmt.Fprintf(&b, "degraded       %d/%d frames in window (%.1f%%)\n",
+			r.Degraded, r.N, 100*r.DegradedRate)
+	}
 	return b.String()
 }
 
@@ -123,10 +153,15 @@ func (m *Monitor) Snapshot() LiveReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := LiveReport{
-		TailMs: m.w.Quantile(TailQuantile),
-		MeanMs: m.w.Mean(),
-		N:      m.w.N(),
-		Total:  m.w.TotalN(),
+		TailMs:        m.w.Quantile(TailQuantile),
+		MeanMs:        m.w.Mean(),
+		N:             m.w.N(),
+		Total:         m.w.TotalN(),
+		Degraded:      m.degInWindow,
+		TotalDegraded: m.totalDeg,
+	}
+	if r.N > 0 {
+		r.DegradedRate = float64(r.Degraded) / float64(r.N)
 	}
 	r.FPS = m.fpsLocked()
 	r.Performance = performanceVerdict(r.TailMs, r.FPS, r.N)

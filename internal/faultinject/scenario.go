@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a scenario from a compact comma-separated rule list, the
+// format the adpipe -fault flag accepts:
+//
+//	DET:delay=30ms:every=5          delay DET 30ms on every 5th frame
+//	LOC:delay=80ms:frames=10-14     stall LOC on frames 10..14
+//	LOC:delay=60ms:every=7:burst=3  bursty stall: 3 consecutive frames each period
+//	SRC:drop:every=50               drop every 50th frame
+//	MOTPLAN:err:frames=9            hard-fail MOTPLAN on frame 9
+//	IO:err:p=0.2                    fail ~20% of map-shard loads
+//
+// Each rule is STAGE:action[:modifier...]. Actions are delay=<duration>,
+// err, and drop (an alias for err, conventionally used on SRC). Modifiers
+// are every=N, burst=N, p=0.x, and frames=A-B (inclusive; A alone pins one
+// frame, "A-" leaves the range open-ended).
+func Parse(spec string, seed int64) (Scenario, error) {
+	sc := Scenario{Seed: seed}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		r, err := parseRule(tok)
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Rules = append(sc.Rules, r)
+	}
+	if len(sc.Rules) == 0 {
+		return Scenario{}, fmt.Errorf("faultinject: empty scenario %q", spec)
+	}
+	return sc, nil
+}
+
+// MustParse is Parse that panics on a malformed spec — for tests and
+// compile-time-constant scenarios.
+func MustParse(spec string, seed int64) Scenario {
+	sc, err := Parse(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+func parseRule(tok string) (Rule, error) {
+	parts := strings.Split(tok, ":")
+	if len(parts) < 2 {
+		return Rule{}, fmt.Errorf("faultinject: rule %q needs STAGE:action", tok)
+	}
+	r := Rule{Stage: strings.ToUpper(strings.TrimSpace(parts[0]))}
+	for _, p := range parts[1:] {
+		key, val, hasVal := strings.Cut(strings.TrimSpace(p), "=")
+		var err error
+		switch key {
+		case "err", "drop":
+			if hasVal {
+				return Rule{}, fmt.Errorf("faultinject: rule %q: %s takes no value", tok, key)
+			}
+			r.Err = true
+		case "delay":
+			r.Delay, err = time.ParseDuration(val)
+		case "every":
+			r.Every, err = strconv.Atoi(val)
+		case "burst":
+			r.Burst, err = strconv.Atoi(val)
+		case "p":
+			r.P, err = strconv.ParseFloat(val, 64)
+		case "frames":
+			r.From, r.To, err = parseRange(val)
+		default:
+			return Rule{}, fmt.Errorf("faultinject: rule %q: unknown field %q", tok, key)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("faultinject: rule %q: bad %s: %v", tok, key, err)
+		}
+	}
+	return r, nil
+}
+
+// parseRange parses "A-B", "A-" (open-ended) or "A" (a single frame) into
+// the inclusive [From,To] convention where To == 0 means unbounded.
+func parseRange(s string) (from, to int, err error) {
+	lo, hi, ranged := strings.Cut(s, "-")
+	if from, err = strconv.Atoi(lo); err != nil {
+		return 0, 0, err
+	}
+	switch {
+	case !ranged:
+		to = from
+	case hi == "":
+		to = 0
+	default:
+		if to, err = strconv.Atoi(hi); err != nil {
+			return 0, 0, err
+		}
+	}
+	if ranged && hi != "" && to < from {
+		return 0, 0, fmt.Errorf("range %q is inverted", s)
+	}
+	return from, to, nil
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"strings"
+	"time"
+
+	"adsim/internal/telemetry"
+)
+
+// This file is the deadline-enforcement layer: per-stage time budgets
+// carved out of the paper's 100 ms frame deadline, enforced in the shared
+// execStage path, with a defined degraded mode per stage when a budget is
+// blown. The paper's predictability constraint (§3) is a tail bound — the
+// 99.99th-percentile frame must finish under the deadline — which means a
+// rare stage stall must not be allowed to ride the frame's critical path.
+// Enforcement turns a stall into a bounded wait plus a cheaper fallback:
+//
+//	DET  miss ⇒ TRA-only frame: no fresh detections; the tracker coasts
+//	            its tracked-object table on motion alone.
+//	LOC  miss ⇒ motion-model-only pose, flagged Stale (Estimate.Stale).
+//	TRA  miss ⇒ previous frame's track table, coasted by reuse.
+//	FUSION / MISPLAN / MOTPLAN / CONTROL miss ⇒ previous output held
+//	            (fused frame / guidance / plan / command).
+//
+// Which stages degraded is surfaced per frame as FrameResult.Degraded (a
+// DegradedMask) and counted in telemetry: deadline/miss, deadline/degraded,
+// deadline/miss/<stage>, and a deadline/stage_ms/<stage> distribution of
+// charged stage times.
+//
+// The abandoned attempt keeps running in the background on a private copy
+// of the frame's inputs, so every engine still observes every frame in
+// admission order (the determinism invariant survives enforcement); the
+// stage's next frame first drains that late attempt before touching the
+// engine again. See StageSpec.Reads/Writes in graph.go for the copy
+// discipline that makes the late attempt race-free.
+
+// DefaultFrameBudget is the paper's end-to-end latency constraint: frames
+// must complete within 100 ms.
+const DefaultFrameBudget = 100 * time.Millisecond
+
+// budgetShare is the default per-mille split of the frame budget across
+// stages, shaped by the paper's Figure 5/6 latency profile: the DNN-heavy
+// perception stages (DET, LOC, TRA) dominate, planning gets the next
+// largest share, and the cheap kernels (FUSION, MISPLAN, CONTROL) split
+// the rest. SRC (frame acquisition) is not budgeted — it models the
+// camera, not a computation the system can shed.
+var budgetShare = [NumStages]int{
+	StageSrc:     0,
+	StageDet:     350,
+	StageLoc:     250,
+	StageTra:     100,
+	StageFusion:  50,
+	StageMisplan: 50,
+	StageMotplan: 150,
+	StageControl: 50,
+}
+
+// DefaultStageBudgets splits a frame budget across the stages using the
+// default shares. frame <= 0 selects DefaultFrameBudget.
+func DefaultStageBudgets(frame time.Duration) [NumStages]time.Duration {
+	if frame <= 0 {
+		frame = DefaultFrameBudget
+	}
+	var out [NumStages]time.Duration
+	for id := range out {
+		out[id] = frame * time.Duration(budgetShare[id]) / 1000
+	}
+	return out
+}
+
+// DeadlinePolicy configures per-stage budget enforcement with degraded
+// modes. The zero value disables enforcement (the pipeline behaves exactly
+// as before).
+type DeadlinePolicy struct {
+	// Enforce turns budget enforcement on.
+	Enforce bool
+	// FrameBudget is the frame deadline the default stage budgets are
+	// carved from; 0 selects DefaultFrameBudget.
+	FrameBudget time.Duration
+	// Budgets overrides individual stage budgets. Zero entries are filled
+	// from DefaultStageBudgets(FrameBudget); a negative entry disables
+	// enforcement for that stage. SRC is never budgeted.
+	Budgets [NumStages]time.Duration
+	// Virtual switches enforcement to the deterministic chaos-testing
+	// clock: only injected delays (Config.Inject) are charged against
+	// budgets, the decision is computed without timers or sleeps, and a
+	// missed stage's attempt still runs to completion synchronously (its
+	// output discarded) so engine state evolves exactly as under
+	// wall-clock enforcement. Virtual runs are bitwise-reproducible
+	// across executors and machines.
+	Virtual bool
+}
+
+// resolve fills in the effective per-stage budgets.
+func (d DeadlinePolicy) resolve() [NumStages]time.Duration {
+	def := DefaultStageBudgets(d.FrameBudget)
+	var out [NumStages]time.Duration
+	if !d.Enforce {
+		return out
+	}
+	for id := range out {
+		switch b := d.Budgets[id]; {
+		case b > 0:
+			out[id] = b
+		case b == 0:
+			out[id] = def[id]
+		default:
+			out[id] = 0 // negative: enforcement off for this stage
+		}
+	}
+	out[StageSrc] = 0
+	return out
+}
+
+// DegradedMask records, per frame, which stages blew their budget and fell
+// back to their degraded mode — one bit per StageID.
+type DegradedMask uint16
+
+// Has reports whether the stage degraded on this frame.
+func (m DegradedMask) Has(id StageID) bool { return m&(1<<uint(id)) != 0 }
+
+// Any reports whether any stage degraded on this frame.
+func (m DegradedMask) Any() bool { return m != 0 }
+
+// String renders the degraded stages as "DET|LOC", or "-" for a clean
+// frame.
+func (m DegradedMask) String() string {
+	if m == 0 {
+		return "-"
+	}
+	var parts []string
+	for id := StageID(0); id < NumStages; id++ {
+		if m.Has(id) {
+			parts = append(parts, id.String())
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// deadlineMetrics are the pre-resolved telemetry handles the enforcement
+// path increments; resolving them once at construction keeps execStage off
+// the registry's name-lookup path.
+type deadlineMetrics struct {
+	miss      *telemetry.Counter
+	degraded  *telemetry.Counter
+	stageMiss [NumStages]*telemetry.Counter
+	stageMS   [NumStages]*telemetry.Dist
+}
+
+// newDeadlineMetrics resolves the deadline metric handles against a
+// registry: deadline/miss (stage budget misses), deadline/degraded
+// (frames delivered with a non-empty mask), deadline/miss/<stage>, and
+// the deadline/stage_ms/<stage> charged-time distributions.
+func newDeadlineMetrics(reg *telemetry.Registry) deadlineMetrics {
+	m := deadlineMetrics{
+		miss:     reg.Counter("deadline/miss"),
+		degraded: reg.Counter("deadline/degraded"),
+	}
+	for id := StageID(0); id < NumStages; id++ {
+		m.stageMiss[id] = reg.Counter("deadline/miss/" + id.String())
+		m.stageMS[id] = reg.Dist("deadline/stage_ms/" + id.String())
+	}
+	return m
+}

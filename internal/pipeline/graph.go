@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"adsim/internal/telemetry"
@@ -56,13 +57,38 @@ func (id StageID) String() string {
 }
 
 // StageSpec declares one stage: the engine behind it (its telemetry.Stage
-// adapter supplies the canonical name), the stages it depends on, and the
-// per-frame body.
+// adapter supplies the canonical name), the stages it depends on, the
+// per-frame body, and the deadline-layer adapters.
+//
+// The Reads/Writes pair is the copy discipline that lets a budget-blown
+// attempt keep running after the frame has moved on: Reads copies the
+// stage's dependency-produced inputs from the frame into a private attempt
+// state, Writes commits only this stage's own output fields back. Both
+// touch exclusively fields this stage reads or owns, so a late attempt
+// never races the concurrent same-frame stages (DET ∥ LOC ∥ MISPLAN under
+// the Runner) or the delivered frame.
 type StageSpec struct {
 	ID     StageID
 	Engine telemetry.Stage
 	Deps   []StageID
 	Run    func(*frameState) error
+
+	// Reads copies the stage's inputs (fields produced by its transitive
+	// dependencies, which are all complete when the stage starts) from src
+	// into dst. Required for every stage but SRC.
+	Reads func(dst, src *frameState)
+	// Writes commits the stage's own output fields from src (a completed
+	// attempt) into dst (the live frame). Required for every stage but SRC.
+	Writes func(dst, src *frameState)
+	// Fallback writes the stage's degraded-mode outputs into fs when its
+	// budget is blown: held previous outputs, a motion-model pose, or
+	// nothing (DET, whose degraded mode is the absence of detections).
+	// Required for every stage but SRC.
+	Fallback func(fs *frameState)
+	// Held, when set, records the stage's outputs after a successful
+	// execution as the hold state a later Fallback replays. Called from
+	// the stage's own execution context only, so it needs no locking.
+	Held func(fs *frameState)
 }
 
 // Graph is a validated declarative stage graph.
@@ -110,6 +136,9 @@ func (g *Graph) finalize() error {
 		}
 		if s.Engine == nil {
 			return fmt.Errorf("pipeline: stage %v has no engine", id)
+		}
+		if id != StageSrc && (s.Reads == nil || s.Writes == nil || s.Fallback == nil) {
+			return fmt.Errorf("pipeline: stage %v is missing deadline adapters (Reads/Writes/Fallback)", id)
 		}
 		if got, want := s.Engine.StageName(), id.String(); got != want {
 			return fmt.Errorf("pipeline: stage %v engine names itself %q", id, got)
@@ -191,6 +220,23 @@ type frameState struct {
 	// (the leg speed limit cap and stop-line ramp); <= 0 keeps the
 	// planner's configured target speed.
 	targetSpeed float64
+	// degraded accumulates the frame's DegradedMask bits. Atomic because
+	// concurrent same-frame stages (DET ∥ LOC) may both miss their budget;
+	// the executors seal it into res.Degraded at delivery.
+	degraded atomic.Uint32
+}
+
+// markDegraded sets the stage's bit in the frame's degraded mask.
+// A CAS loop rather than atomic.Or: the module targets go 1.22, which
+// predates Uint32.Or.
+func (fs *frameState) markDegraded(id StageID) {
+	bit := uint32(1) << uint(id)
+	for {
+		old := fs.degraded.Load()
+		if old&bit != 0 || fs.degraded.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
 }
 
 // err returns the frame's first error in stage order, if any.
@@ -205,9 +251,10 @@ func (fs *frameState) err() error {
 
 // execStage runs one stage of the graph for one frame. It is the single
 // stage executor both Step and Runner go through: upstream-failure
-// skipping, the test-only fault-injection hook, and queue/exec span
-// emission all live here. The caller must have ordered every dependency's
-// completion before this call.
+// skipping, fault injection, deadline enforcement with degraded fallback,
+// and queue/exec span emission all live here. The caller must have ordered
+// every dependency's completion before this call, and the executor
+// guarantees each stage sees frames strictly in admission order.
 func (p *Pipeline) execStage(spec StageSpec, fs *frameState) {
 	ready := fs.admitted
 	failed := false
@@ -220,27 +267,157 @@ func (p *Pipeline) execStage(spec StageSpec, fs *frameState) {
 		}
 	}
 	if !failed {
-		start := time.Now()
-		var err error
-		if p.inject != nil {
-			err = p.inject(spec.ID, fs.res.Frame.Index)
-		}
-		if err == nil {
-			err = spec.Run(fs)
-		}
-		if err != nil {
-			fs.errs[spec.ID] = err
-			failed = true
-		}
-		p.sink.Span(telemetry.Span{
-			Stage: spec.Engine.StageName(),
-			Frame: fs.res.Frame.Index,
-			Queue: start.Sub(ready),
-			Exec:  time.Since(start),
-		})
+		failed = p.runStage(spec, fs, ready)
 	}
 	fs.failed[spec.ID] = failed
 	fs.doneAt[spec.ID] = time.Now()
+}
+
+// runStage executes one stage body under the fault-injection and deadline
+// policies and reports whether the stage failed. Four paths:
+//
+//   - injected hard error: the stage fails (the frame delivers with Err);
+//   - enforcement off (or the stage unbudgeted): run the body, sleeping
+//     any injected delay first;
+//   - virtual enforcement: charge only the injected delay against the
+//     budget, decide miss without timers, and still run the body
+//     synchronously (output discarded on miss) so engine state evolves
+//     exactly as under wall-clock enforcement;
+//   - wall-clock enforcement: write the fallback, race the attempt (on a
+//     private copy of the inputs) against the budget timer, and on a miss
+//     abandon the attempt to the stage's pending slot — the stage's next
+//     frame drains it before touching the engine again.
+func (p *Pipeline) runStage(spec StageSpec, fs *frameState, ready time.Time) bool {
+	// A previous frame of this stage may have abandoned a late attempt;
+	// it must finish before the engine is touched again. Pending slots are
+	// only accessed from the stage's own execution context, so no lock.
+	p.drainStage(spec.ID)
+
+	start := time.Now()
+	frame := fs.res.Frame.Index
+	var err error
+	missed := false
+	charged := time.Duration(0) // extra virtual time charged to the stage
+
+	if spec.ID == StageSrc {
+		// SRC renders first so the injector's decision keys on the real
+		// frame index (the generator assigns it inside the body). SRC has
+		// no budget: an injected error is a dropped frame, an injected
+		// delay models a stalled camera.
+		err = spec.Run(fs)
+		frame = fs.res.Frame.Index
+		if err == nil && p.inject != nil {
+			delay, ierr := p.inject(spec.ID.String(), frame)
+			if delay > 0 {
+				if p.deadline.Virtual {
+					charged = delay
+				} else {
+					time.Sleep(delay)
+				}
+			}
+			err = ierr
+		}
+	} else {
+		var delay time.Duration
+		if p.inject != nil {
+			delay, err = p.inject(spec.ID.String(), frame)
+		}
+		budget := p.budgets[spec.ID]
+		switch {
+		case err != nil:
+			// Injected hard fault: fail the stage outright.
+		case budget <= 0:
+			// Unbudgeted (or enforcement off): delays ride the frame.
+			if delay > 0 {
+				if p.deadline.Virtual {
+					charged = delay
+				} else {
+					time.Sleep(delay)
+				}
+			}
+			err = spec.Run(fs)
+		case p.deadline.Virtual:
+			charged = delay
+			if delay > budget {
+				missed = true
+				spec.Fallback(fs)
+				att := &frameState{admitted: fs.admitted}
+				spec.Reads(att, fs)
+				spec.Run(att) // engine state advances as under wall mode; output discarded
+			} else {
+				err = spec.Run(fs)
+			}
+		default:
+			spec.Fallback(fs)
+			att := &frameState{admitted: fs.admitted}
+			spec.Reads(att, fs)
+			attDone := make(chan struct{})
+			var attErr error
+			go func() {
+				defer close(attDone)
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				attErr = spec.Run(att)
+			}()
+			timer := time.NewTimer(budget)
+			select {
+			case <-attDone:
+				timer.Stop()
+				if attErr != nil {
+					err = attErr
+				} else {
+					spec.Writes(fs, att)
+				}
+			case <-timer.C:
+				missed = true
+				p.pending[spec.ID] = attDone
+			}
+		}
+		if err == nil && !missed && spec.Held != nil {
+			spec.Held(fs)
+		}
+	}
+
+	if missed {
+		fs.markDegraded(spec.ID)
+		p.met.miss.Inc()
+		p.met.stageMiss[spec.ID].Inc()
+	}
+	if err != nil {
+		fs.errs[spec.ID] = err
+	}
+	if p.deadline.Enforce && spec.ID != StageSrc {
+		p.met.stageMS[spec.ID].Observe(float64(time.Since(start)+charged) / 1e6)
+	}
+	p.sink.Span(telemetry.Span{
+		Stage: spec.Engine.StageName(),
+		Frame: frame,
+		Queue: start.Sub(ready),
+		Exec:  time.Since(start) + charged,
+	})
+	return err != nil
+}
+
+// drainStage blocks until the stage's abandoned late attempt, if any, has
+// finished. Must be called from the stage's execution context (or with the
+// pipeline quiescent, as Drain does).
+func (p *Pipeline) drainStage(id StageID) {
+	if ch := p.pending[id]; ch != nil {
+		<-ch
+		p.pending[id] = nil
+	}
+}
+
+// sealFrame freezes the frame's degraded mask into the result at delivery
+// time and counts degraded frames. Called exactly once per frame, by the
+// delivering executor.
+func (p *Pipeline) sealFrame(fs *frameState) {
+	mask := DegradedMask(fs.degraded.Load())
+	fs.res.Degraded = mask
+	if mask.Any() {
+		p.met.degraded.Inc()
+	}
 }
 
 // runFrame executes the whole graph for one frame: one goroutine per

@@ -79,16 +79,19 @@ func TestGraphValidationRejectsBadTopologies(t *testing.T) {
 	fresh := func() Graph { return p.buildGraph() }
 
 	corruptions := map[string]func(*Graph){
-		"missing body":    func(g *Graph) { g.stages[StageTra].Run = nil },
-		"missing engine":  func(g *Graph) { g.stages[StageDet].Engine = nil },
-		"self loop":       func(g *Graph) { g.stages[StageTra].Deps = []StageID{StageTra} },
-		"unknown dep":     func(g *Graph) { g.stages[StageTra].Deps = []StageID{NumStages + 3} },
-		"duplicate dep":   func(g *Graph) { g.stages[StageFusion].Deps = []StageID{StageTra, StageTra} },
-		"second root":     func(g *Graph) { g.stages[StageTra].Deps = nil },
-		"second sink":     func(g *Graph) { g.stages[StageFusion].Deps = []StageID{StageLoc} }, // orphans TRA
-		"cycle":           func(g *Graph) { g.stages[StageDet].Deps = []StageID{StageSrc, StageControl} },
-		"wrong ID":        func(g *Graph) { g.stages[StageTra].ID = StageDet },
-		"terminal output": func(g *Graph) { g.stages[StageDet].Deps = []StageID{StageControl} },
+		"missing body":     func(g *Graph) { g.stages[StageTra].Run = nil },
+		"missing engine":   func(g *Graph) { g.stages[StageDet].Engine = nil },
+		"missing fallback": func(g *Graph) { g.stages[StageTra].Fallback = nil },
+		"missing reads":    func(g *Graph) { g.stages[StageLoc].Reads = nil },
+		"missing writes":   func(g *Graph) { g.stages[StageControl].Writes = nil },
+		"self loop":        func(g *Graph) { g.stages[StageTra].Deps = []StageID{StageTra} },
+		"unknown dep":      func(g *Graph) { g.stages[StageTra].Deps = []StageID{NumStages + 3} },
+		"duplicate dep":    func(g *Graph) { g.stages[StageFusion].Deps = []StageID{StageTra, StageTra} },
+		"second root":      func(g *Graph) { g.stages[StageTra].Deps = nil },
+		"second sink":      func(g *Graph) { g.stages[StageFusion].Deps = []StageID{StageLoc} }, // orphans TRA
+		"cycle":            func(g *Graph) { g.stages[StageDet].Deps = []StageID{StageSrc, StageControl} },
+		"wrong ID":         func(g *Graph) { g.stages[StageTra].ID = StageDet },
+		"terminal output":  func(g *Graph) { g.stages[StageDet].Deps = []StageID{StageControl} },
 	}
 	for name, corrupt := range corruptions {
 		g := fresh()
@@ -126,11 +129,11 @@ func TestRunnerErrPropagation(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			p.inject = func(id StageID, frame int) error {
-				if id == tc.stage && frame == 3 {
-					return fmt.Errorf("frame %d: %w", frame, errInjected)
+			p.inject = func(stage string, frame int) (time.Duration, error) {
+				if stage == tc.stage.String() && frame == 3 {
+					return 0, fmt.Errorf("frame %d: %w", frame, errInjected)
 				}
-				return nil
+				return 0, nil
 			}
 			r, err := NewRunner(p, RunnerOptions{InFlight: 4})
 			if err != nil {
@@ -177,11 +180,11 @@ func TestRunnerErrThenStopDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.inject = func(id StageID, frame int) error {
-		if id == StageMisplan {
-			return errInjected
+	p.inject = func(stage string, frame int) (time.Duration, error) {
+		if stage == StageMisplan.String() {
+			return 0, errInjected
 		}
-		return nil
+		return 0, nil
 	}
 	r, err := NewRunner(p, RunnerOptions{InFlight: 4})
 	if err != nil {
@@ -223,11 +226,11 @@ func TestStepErrPropagation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.inject = func(id StageID, frame int) error {
-		if id == StageMotplan && frame == 1 {
-			return errInjected
+	p.inject = func(stage string, frame int) (time.Duration, error) {
+		if stage == StageMotplan.String() && frame == 1 {
+			return 0, errInjected
 		}
-		return nil
+		return 0, nil
 	}
 	if _, err := p.Step(); err != nil {
 		t.Fatalf("frame 0: %v", err)

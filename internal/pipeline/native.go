@@ -48,9 +48,29 @@ type Config struct {
 	// provider role). 0 keeps the map empty (the localizer dead-reckons
 	// and relocalizes).
 	SurveyFrames int
+	// MapStore, when non-nil, backs the localizer with this prior-map
+	// store instead of a fresh in-memory PriorMap — the seam for the
+	// tiled shard store (and for fault-injected I/O in chaos tests).
+	MapStore slam.MapStore
 	// Telemetry receives every stage span and delivered frame from both
 	// executors. nil runs with the no-op sink.
 	Telemetry telemetry.Sink
+	// Deadline configures per-stage budget enforcement with degraded
+	// modes (see deadline.go). The zero value disables enforcement.
+	Deadline DeadlinePolicy
+	// Metrics receives the deadline counters and distributions
+	// (deadline/miss, deadline/degraded, deadline/miss/<stage>,
+	// deadline/stage_ms/<stage>). nil keeps them on a private registry.
+	Metrics *telemetry.Registry
+	// Inject, when non-nil, is consulted before every stage body with the
+	// canonical stage name and frame index; the returned delay is charged
+	// against the stage's budget (slept under wall-clock enforcement,
+	// virtual-charged under DeadlinePolicy.Virtual) and a returned error
+	// fails the stage. faultinject.Injector.Stage satisfies this
+	// signature. For SRC the injector is consulted after the frame is
+	// rendered, so the decision keys on the real frame index; an error at
+	// SRC models a dropped frame.
+	Inject func(stage string, frame int) (time.Duration, error)
 }
 
 // DefaultConfig returns a ready-to-run native configuration for a scenario
@@ -96,6 +116,10 @@ type FrameResult struct {
 	Guidance   mission.Guidance
 	Command    control.Command
 	Timing     StageTiming
+	// Degraded records which stages blew their deadline budget on this
+	// frame and delivered their degraded-mode output instead (zero when
+	// enforcement is off or the frame was clean).
+	Degraded DegradedMask
 }
 
 // Pipeline is the native end-to-end system. Step is not safe for concurrent
@@ -117,11 +141,36 @@ type Pipeline struct {
 	// g is the validated stage graph both executors are built from.
 	g Graph
 
-	// inject is a test-only fault hook: when set, it is consulted before
-	// every stage body and its error fails the stage as if the body had
-	// returned it. (The SRC stage is consulted before the frame index is
-	// assigned; inject on engine stages only.)
-	inject func(StageID, int) error
+	// inject is the fault-injection seam (Config.Inject): consulted in
+	// execStage before every stage body with the canonical stage name and
+	// frame index.
+	inject func(stage string, frame int) (time.Duration, error)
+
+	// deadline is the enforcement policy, budgets its resolved per-stage
+	// budgets (0 = unenforced), and met the pre-resolved metric handles.
+	deadline DeadlinePolicy
+	budgets  [NumStages]time.Duration
+	met      deadlineMetrics
+
+	// pending[s] is stage s's abandoned late attempt, if any: closed when
+	// the attempt finishes. Only the stage's own execution context (or a
+	// quiescent Drain) touches its slot, so no locking.
+	pending [NumStages]chan struct{}
+
+	// held is each stage's last good output, replayed by the degraded
+	// fallbacks. Each field is written only from its own stage's
+	// execution context.
+	held heldState
+}
+
+// heldState is the previous-output hold the degraded fallbacks replay.
+type heldState struct {
+	tracks      []*track.Track
+	fused       fusion.Frame
+	guidance    mission.Guidance
+	targetSpeed float64
+	plan        plan.ConformalResult
+	command     control.Command
 }
 
 // NewNative constructs the native pipeline, surveying the prior map first
@@ -139,7 +188,11 @@ func NewNative(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	loc, err := slam.NewEngine(cfg.SLAM, slam.NewPriorMap())
+	store := cfg.MapStore
+	if store == nil {
+		store = slam.NewPriorMap()
+	}
+	loc, err := slam.NewEngineStore(cfg.SLAM, store)
 	if err != nil {
 		return nil, err
 	}
@@ -155,11 +208,20 @@ func NewNative(cfg Config) (*Pipeline, error) {
 	if sink == nil {
 		sink = telemetry.Nop{}
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry(0)
+	}
 	p := &Pipeline{
 		cfg: cfg, gen: gen, sink: sink,
 		det: det, tra: tra, loc: loc, fuse: fuse,
 		mot: plan.NewPlanner(cfg.Plan), ctl: ctl,
+		inject:   cfg.Inject,
+		deadline: cfg.Deadline,
+		budgets:  cfg.Deadline.resolve(),
+		met:      newDeadlineMetrics(reg),
 	}
+	p.held.targetSpeed = cfg.Plan.TargetSpeed
 	p.g = p.buildGraph()
 	if err := p.g.finalize(); err != nil {
 		return nil, err
@@ -179,20 +241,146 @@ func NewNative(cfg Config) (*Pipeline, error) {
 }
 
 // buildGraph declares the Figure 1 stage graph over this pipeline's
-// engines. This is the only place the topology is written down.
+// engines. This is the only place the topology — and each stage's
+// input/output field ownership (the Reads/Writes copy discipline the
+// deadline layer depends on) — is written down.
 func (p *Pipeline) buildGraph() Graph {
 	var g Graph
-	add := func(id StageID, eng telemetry.Stage, deps []StageID, run func(*frameState) error) {
-		g.stages[id] = StageSpec{ID: id, Engine: eng, Deps: deps, Run: run}
+	g.stages[StageSrc] = StageSpec{
+		ID: StageSrc, Engine: p.gen, Run: p.runSrc,
 	}
-	add(StageSrc, p.gen, nil, p.runSrc)
-	add(StageDet, p.det, []StageID{StageSrc}, p.runDet)
-	add(StageLoc, p.loc, []StageID{StageSrc}, p.runLoc)
-	add(StageTra, p.tra, []StageID{StageDet}, p.runTra)
-	add(StageFusion, p.fuse, []StageID{StageTra, StageLoc}, p.runFusion)
-	add(StageMisplan, p.mis, []StageID{StageLoc}, p.runMisplan)
-	add(StageMotplan, p.mot, []StageID{StageFusion, StageMisplan}, p.runMotplan)
-	add(StageControl, p.ctl, []StageID{StageMotplan}, p.runControl)
+	g.stages[StageDet] = StageSpec{
+		ID: StageDet, Engine: p.det, Deps: []StageID{StageSrc}, Run: p.runDet,
+		Reads: func(dst, src *frameState) {
+			dst.res.Frame = src.res.Frame
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Detections = src.res.Detections
+			dst.res.Timing.Det = src.res.Timing.Det
+			dst.res.Timing.DetDNN = src.res.Timing.DetDNN
+		},
+		// DET miss ⇒ TRA-only frame: no fresh detections; the tracker
+		// coasts its table on motion alone. The zero-value fields already
+		// say exactly that.
+		Fallback: func(fs *frameState) {},
+	}
+	g.stages[StageLoc] = StageSpec{
+		ID: StageLoc, Engine: p.loc, Deps: []StageID{StageSrc}, Run: p.runLoc,
+		Reads: func(dst, src *frameState) {
+			dst.res.Frame = src.res.Frame
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Pose = src.res.Pose
+			dst.res.Timing.Loc = src.res.Timing.Loc
+			dst.res.Timing.LocFE = src.res.Timing.LocFE
+		},
+		// LOC miss ⇒ motion-model-only pose, flagged stale. PredictPose
+		// only reads engine state, which is quiescent here: the previous
+		// LOC frame is complete and any late attempt was drained.
+		Fallback: func(fs *frameState) {
+			fs.res.Pose = slam.Estimate{Pose: p.loc.PredictPose(), Stale: true}
+		},
+	}
+	g.stages[StageTra] = StageSpec{
+		ID: StageTra, Engine: p.tra, Deps: []StageID{StageDet}, Run: p.runTra,
+		Reads: func(dst, src *frameState) {
+			dst.res.Frame = src.res.Frame
+			dst.res.Detections = src.res.Detections
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Tracks = src.res.Tracks
+			dst.res.Timing.Tra = src.res.Timing.Tra
+			dst.res.Timing.TraDNN = src.res.Timing.TraDNN
+			dst.res.Timing.TraOther = src.res.Timing.TraOther
+		},
+		// TRA miss ⇒ previous frame's track table (a deep-copied snapshot,
+		// immune to the tracker's later mutation).
+		Fallback: func(fs *frameState) {
+			fs.res.Tracks = p.held.tracks
+		},
+		Held: func(fs *frameState) {
+			p.held.tracks = fs.res.Tracks
+		},
+	}
+	g.stages[StageFusion] = StageSpec{
+		ID: StageFusion, Engine: p.fuse, Deps: []StageID{StageTra, StageLoc}, Run: p.runFusion,
+		Reads: func(dst, src *frameState) {
+			dst.res.Tracks = src.res.Tracks
+			dst.res.Pose = src.res.Pose
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Fused = src.res.Fused
+			dst.res.Timing.Fusion = src.res.Timing.Fusion
+		},
+		Fallback: func(fs *frameState) {
+			fs.res.Fused = p.held.fused
+		},
+		Held: func(fs *frameState) {
+			p.held.fused = fs.res.Fused
+		},
+	}
+	g.stages[StageMisplan] = StageSpec{
+		ID: StageMisplan, Engine: p.mis, Deps: []StageID{StageLoc}, Run: p.runMisplan,
+		Reads: func(dst, src *frameState) {
+			dst.res.Pose = src.res.Pose
+			dst.res.Frame = src.res.Frame
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Guidance = src.res.Guidance
+			dst.res.Timing.MisPlan = src.res.Timing.MisPlan
+			dst.targetSpeed = src.targetSpeed
+		},
+		Fallback: func(fs *frameState) {
+			fs.res.Guidance = p.held.guidance
+			fs.targetSpeed = p.held.targetSpeed
+		},
+		Held: func(fs *frameState) {
+			p.held.guidance = fs.res.Guidance
+			p.held.targetSpeed = fs.targetSpeed
+		},
+	}
+	g.stages[StageMotplan] = StageSpec{
+		ID: StageMotplan, Engine: p.mot, Deps: []StageID{StageFusion, StageMisplan}, Run: p.runMotplan,
+		Reads: func(dst, src *frameState) {
+			dst.res.Fused = src.res.Fused
+			dst.res.Pose = src.res.Pose
+			dst.targetSpeed = src.targetSpeed
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Plan = src.res.Plan
+			dst.res.Timing.MotPlan = src.res.Timing.MotPlan
+		},
+		// MOTPLAN miss ⇒ previous-plan hold: the vehicle keeps following
+		// the last committed trajectory for one frame.
+		Fallback: func(fs *frameState) {
+			fs.res.Plan = p.held.plan
+		},
+		Held: func(fs *frameState) {
+			p.held.plan = fs.res.Plan
+		},
+	}
+	g.stages[StageControl] = StageSpec{
+		ID: StageControl, Engine: p.ctl, Deps: []StageID{StageMotplan}, Run: p.runControl,
+		Reads: func(dst, src *frameState) {
+			dst.res.Pose = src.res.Pose
+			dst.res.Plan = src.res.Plan
+			dst.res.Timing = src.res.Timing
+		},
+		Writes: func(dst, src *frameState) {
+			dst.res.Command = src.res.Command
+			dst.res.Timing.Control = src.res.Timing.Control
+			dst.res.Timing.E2E = src.res.Timing.E2E
+		},
+		// CONTROL miss ⇒ previous-command hold. The fallback still seals
+		// the frame's E2E timing — CONTROL is the terminal stage.
+		Fallback: func(fs *frameState) {
+			fs.res.Command = p.held.command
+			sealE2E(&fs.res.Timing)
+		},
+		Held: func(fs *frameState) {
+			p.held.command = fs.res.Command
+		},
+	}
 	return g
 }
 
@@ -216,13 +404,26 @@ func (p *Pipeline) Tracker() *track.Engine { return p.tra }
 func (p *Pipeline) Step() (FrameResult, error) {
 	fs := &frameState{admitted: time.Now()}
 	p.runFrame(fs)
+	p.sealFrame(fs)
 	err := fs.err()
 	p.sink.FrameDone(telemetry.FrameEnd{
-		Frame: fs.res.Frame.Index,
-		Wall:  time.Since(fs.admitted),
-		Err:   err != nil,
+		Frame:    fs.res.Frame.Index,
+		Wall:     time.Since(fs.admitted),
+		Err:      err != nil,
+		Degraded: fs.res.Degraded.Any(),
 	})
 	return fs.res, err
+}
+
+// Drain blocks until every abandoned late stage attempt has finished. Call
+// it when the pipeline is quiescent (after Step returns, or after a
+// Runner's result channel closes) and before inspecting engines directly —
+// under wall-clock deadline enforcement a budget-blown stage's attempt may
+// still be running in the background.
+func (p *Pipeline) Drain() {
+	for id := StageID(0); id < NumStages; id++ {
+		p.drainStage(id)
+	}
 }
 
 // runSrc renders the next scenario frame (the SRC stage).
@@ -366,13 +567,18 @@ func (p *Pipeline) runControl(fs *frameState) error {
 		Theta: fs.res.Pose.Pose.Theta, Speed: speed,
 	}, fs.res.Plan.Path)
 	fs.res.Timing.Control = time.Since(start)
+	sealE2E(&fs.res.Timing)
+	return nil
+}
 
-	// End-to-end per the dependency law.
-	tm := &fs.res.Timing
+// sealE2E computes the frame's end-to-end latency under the dependency
+// law: max(LOC, DET+TRA) + FUSION + MOTPLAN + CONTROL. Factored out so
+// CONTROL's degraded fallback seals timing the same way the real body
+// does.
+func sealE2E(tm *StageTiming) {
 	critical := tm.Det + tm.Tra
 	if tm.Loc > critical {
 		critical = tm.Loc
 	}
 	tm.E2E = critical + tm.Fusion + tm.MotPlan + tm.Control
-	return nil
 }

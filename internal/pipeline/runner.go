@@ -112,6 +112,7 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 	outputs[StageControl] = append(outputs[StageControl], deliver)
 
 	window := make(chan struct{}, n) // admission tokens: bounds frames in flight
+	var stages sync.WaitGroup        // every engine-stage goroutine, for shutdown
 
 	closeAll := func(chs []chan *frameState) {
 		for _, ch := range chs {
@@ -149,8 +150,23 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 		}
 		spec := g.stages[id]
 		ins, outs := inputs[id], outputs[id]
+		stages.Add(1)
 		go func() {
+			// Drain before close (LIFO defers): a budget-blown frame may
+			// have left a late attempt running against this stage's
+			// engine. Waiting for it before the downstream channels close
+			// keeps Stop's drain contract honest — once the result channel
+			// closes, no stage goroutine is still touching an engine, even
+			// if the last in-flight frame degraded. The Done fires last,
+			// after the drain: the delivery loop waits on the group, so
+			// closure of the result channel orders after every drain —
+			// including stages off the terminal close-propagation chain
+			// (a join stage exits on its FIRST dependency's closure, so
+			// e.g. LOC may still be draining when CONTROL has already
+			// closed the delivery channel).
+			defer stages.Done()
 			defer closeAll(outs)
+			defer r.p.drainStage(spec.ID)
 			for {
 				fs, ok := <-ins[0]
 				if !ok {
@@ -171,12 +187,14 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 	go func() {
 		defer close(r.results)
 		for fs := range deliver {
+			r.p.sealFrame(fs)
 			wall := time.Since(fs.admitted)
 			err := fs.err()
 			r.p.sink.FrameDone(telemetry.FrameEnd{
-				Frame: fs.res.Frame.Index,
-				Wall:  wall,
-				Err:   err != nil,
+				Frame:    fs.res.Frame.Index,
+				Wall:     wall,
+				Err:      err != nil,
+				Degraded: fs.res.Degraded.Any(),
 			})
 			r.results <- RunnerResult{
 				FrameResult: fs.res,
@@ -185,14 +203,21 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 			}
 			<-window // frame delivered: free its in-flight slot
 		}
+		// All frames are delivered, but stages off the terminal
+		// close-propagation chain may still be draining abandoned late
+		// attempts. The result-channel close is the caller's license to
+		// touch the pipeline again, so it must order after every drain.
+		stages.Wait()
 	}()
 	return r.results
 }
 
 // Stop ceases admitting new frames. Frames already in flight drain through
-// the stages and are delivered before the result channel closes, so no
-// admitted frame is ever lost. Safe to call multiple times and from any
-// goroutine, including while ranging over Run's channel.
+// the stages and are delivered in order before the result channel closes,
+// so no admitted frame is ever lost — including frames that degraded under
+// deadline enforcement, whose abandoned late attempts are also waited for
+// before the stage goroutines exit. Safe to call multiple times and from
+// any goroutine, including while ranging over Run's channel.
 func (r *Runner) Stop() {
 	r.stop.Do(func() { close(r.quit) })
 }

@@ -21,6 +21,9 @@ type TraceRecord struct {
 	Reloc      bool    `json:"relocalized"`
 	Decision   string  `json:"decision"`
 	Speed      float64 `json:"speed_mps"`
+	// Degraded lists the stages that blew their deadline budget this frame
+	// ("DET|LOC" style); empty for a clean frame.
+	Degraded string `json:"degraded,omitempty"`
 
 	DetMs     float64 `json:"det_ms"`
 	TraMs     float64 `json:"tra_ms"`
@@ -38,7 +41,12 @@ type TraceRecord struct {
 // NewTraceRecord flattens one FrameResult into a trace record.
 func NewTraceRecord(res FrameResult) TraceRecord {
 	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	degraded := ""
+	if res.Degraded.Any() {
+		degraded = res.Degraded.String()
+	}
 	return TraceRecord{
+		Degraded:   degraded,
 		Frame:      res.Frame.Index,
 		Time:       res.Frame.Time,
 		Detections: len(res.Detections),

@@ -3,6 +3,7 @@ package slam
 import (
 	"container/list"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +28,11 @@ type ShardStoreOptions struct {
 	// Prefetch enables the motion-model-directed background prefetcher:
 	// Advise warms the next tile in the travel direction off the read path.
 	Prefetch bool
+	// Open, when non-nil, replaces os.Open for reading shard files — the
+	// seam chaos tests inject I/O faults through
+	// (faultinject.Injector.OpenFile satisfies it). It receives the full
+	// shard path.
+	Open func(path string) (io.ReadCloser, error)
 }
 
 // ShardStore is the tiled on-disk prior-map store: a directory of ADM1
@@ -43,19 +49,20 @@ type ShardStore struct {
 	dir    string
 	idx    ShardIndex
 	budget int64
+	open   func(path string) (io.ReadCloser, error)
 
 	mu            sync.Mutex
 	resident      map[int]*residentTile // index-position → cache entry
 	lru           *list.List            // front = most recently used
 	residentBytes int64
-	err           error // first I/O error; sticky
+	err           error // first I/O error; kept as a sticky record for Err
 	closed        bool
 
 	overlay *PriorMap // runtime Adds; never written back to shards
 
-	hits, misses, prefetches, evictions *telemetry.Counter
-	residentGauge                       *telemetry.Gauge
-	loadMS                              *telemetry.Dist
+	hits, misses, prefetches, evictions, ioErrors *telemetry.Counter
+	residentGauge                                 *telemetry.Gauge
+	loadMS                                        *telemetry.Dist
 
 	prefetchCh chan int
 	prefetchWG sync.WaitGroup
@@ -78,10 +85,15 @@ func OpenShardStore(dir string, opts ShardStoreOptions) (*ShardStore, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry(0)
 	}
+	open := opts.Open
+	if open == nil {
+		open = func(path string) (io.ReadCloser, error) { return os.Open(path) }
+	}
 	s := &ShardStore{
 		dir:           dir,
 		idx:           *idx,
 		budget:        opts.CacheBudget,
+		open:          open,
 		resident:      make(map[int]*residentTile),
 		lru:           list.New(),
 		overlay:       &PriorMap{nextID: idx.MaxID},
@@ -89,6 +101,7 @@ func OpenShardStore(dir string, opts ShardStoreOptions) (*ShardStore, error) {
 		misses:        reg.Counter("mapstore/misses"),
 		prefetches:    reg.Counter("mapstore/prefetches"),
 		evictions:     reg.Counter("mapstore/evictions"),
+		ioErrors:      reg.Counter("mapstore/io_errors"),
 		residentGauge: reg.Gauge("mapstore/resident_bytes"),
 		loadMS:        reg.Dist("mapstore/load_ms"),
 	}
@@ -103,9 +116,11 @@ func OpenShardStore(dir string, opts ShardStoreOptions) (*ShardStore, error) {
 // Index returns a copy of the store's shard index.
 func (s *ShardStore) Index() ShardIndex { return s.idx }
 
-// Err returns the first I/O error the store has hit. After an error, reads
-// over the failed tiles degrade to whatever is resident plus the overlay;
-// callers that need hard guarantees should check Err after a replay.
+// Err returns the first I/O error the store has hit — a sticky record, not
+// a gate: load failures are transient (the read that hit the error
+// degrades to whatever is resident plus the overlay, and later accesses
+// retry the tile). Callers that need hard guarantees should check Err
+// after a replay; the mapstore/io_errors counter tallies every failure.
 func (s *ShardStore) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -157,9 +172,6 @@ func (s *ShardStore) getTileLocked(pos int, prefetch bool) []Keyframe {
 		s.lru.MoveToFront(rt.elem)
 		return rt.kfs
 	}
-	if s.err != nil {
-		return nil
-	}
 	if prefetch {
 		s.prefetches.Inc()
 	} else {
@@ -168,7 +180,14 @@ func (s *ShardStore) getTileLocked(pos int, prefetch bool) []Keyframe {
 	start := time.Now()
 	kfs, err := s.loadTile(pos)
 	if err != nil {
-		s.err = err
+		// Transient degradation, not a brick: record the first error (Err
+		// stays a sticky record), count it, and leave the tile loadable —
+		// the next access over this range retries, so a flaky disk costs
+		// coverage on the affected reads only.
+		if s.err == nil {
+			s.err = err
+		}
+		s.ioErrors.Inc()
 		return nil
 	}
 	s.loadMS.Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
@@ -189,7 +208,7 @@ func (s *ShardStore) getTileLocked(pos int, prefetch bool) []Keyframe {
 
 func (s *ShardStore) loadTile(pos int) ([]Keyframe, error) {
 	name := s.idx.Tiles[pos].File
-	f, err := os.Open(filepath.Join(s.dir, name))
+	f, err := s.open(filepath.Join(s.dir, name))
 	if err != nil {
 		return nil, fmt.Errorf("slam: opening shard %s: %w", name, err)
 	}
@@ -373,8 +392,11 @@ func (s *ShardStore) prefetchLoop() {
 // CacheStats is a point-in-time snapshot of the shard cache counters.
 type CacheStats struct {
 	Hits, Misses, Prefetches, Evictions int64
-	ResidentBytes                       int64
-	ResidentTiles                       int
+	// IOErrors counts failed tile loads (each one a degraded read that a
+	// later access retries).
+	IOErrors      int64
+	ResidentBytes int64
+	ResidentTiles int
 }
 
 // CacheStats snapshots the cache counters (also exported via the telemetry
@@ -387,6 +409,7 @@ func (s *ShardStore) CacheStats() CacheStats {
 		Misses:        s.misses.Value(),
 		Prefetches:    s.prefetches.Value(),
 		Evictions:     s.evictions.Value(),
+		IOErrors:      s.ioErrors.Value(),
 		ResidentBytes: s.residentBytes,
 		ResidentTiles: s.lru.Len(),
 	}

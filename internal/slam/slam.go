@@ -81,6 +81,10 @@ type Estimate struct {
 	// LoopClosed is true when the periodic loop-closing scan confirmed a
 	// revisit this frame.
 	LoopClosed bool
+	// Stale is true when this estimate never came from the localizer at
+	// all: the pipeline's deadline layer extrapolated it from the motion
+	// model (PredictPose) because LOC blew its budget this frame.
+	Stale bool
 }
 
 // Engine is the LOC engine. Not safe for concurrent use itself — but its
@@ -141,6 +145,18 @@ func (e *Engine) Map() *PriorMap {
 
 // Store returns the engine's prior-map store.
 func (e *Engine) Store() MapStore { return e.store }
+
+// PredictPose extrapolates the current pose one frame ahead with the
+// constant-motion model, without touching engine state — the same
+// prediction localizeFrom starts from. The pipeline's deadline layer uses
+// it as the degraded-mode (stale) pose when a Localize call exceeds its
+// budget; it must only be called while the engine is quiescent (no
+// Localize in flight).
+func (e *Engine) PredictPose() scene.Pose {
+	p := e.lastPose
+	p.Z += e.velocity
+	return p
+}
 
 // Relocalizations reports how many frames required the wide-search path.
 func (e *Engine) Relocalizations() int { return e.relocalizations }

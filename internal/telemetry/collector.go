@@ -16,11 +16,12 @@ import (
 type Collector struct {
 	reg *Registry
 
-	mu     sync.Mutex
-	order  []string        // stage names in first-seen order
-	seen   map[string]bool // guards order
-	frames int64
-	errs   int64
+	mu       sync.Mutex
+	order    []string        // stage names in first-seen order
+	seen     map[string]bool // guards order
+	frames   int64
+	errs     int64
+	degraded int64
 }
 
 // NewCollector returns a collector whose streaming distributions keep the
@@ -51,6 +52,9 @@ func (c *Collector) FrameDone(f FrameEnd) {
 	if f.Err {
 		c.errs++
 	}
+	if f.Degraded {
+		c.degraded++
+	}
 	c.mu.Unlock()
 	c.reg.Dist("frame.wall_ms").Observe(float64(f.Wall) * msPerNs)
 }
@@ -71,6 +75,14 @@ func (c *Collector) FrameErrs() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.errs
+}
+
+// FrameDegraded reports how many delivered frames carried a non-empty
+// deadline DegradedMask.
+func (c *Collector) FrameDegraded() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
 }
 
 // ExecSumMs returns the lifetime sum (ms) of a stage's execution time over
@@ -103,6 +115,7 @@ type StageSummary struct {
 type FrameSummary struct {
 	Frames     int64   `json:"frames"`
 	Errs       int64   `json:"errs"`
+	Degraded   int64   `json:"degraded"`
 	WallMeanMs float64 `json:"wall_mean_ms"`
 	WallP99Ms  float64 `json:"wall_p99_ms"`
 	WallP99p99 float64 `json:"wall_p9999_ms"`
@@ -120,7 +133,7 @@ type Summary struct {
 func (c *Collector) Summarize() Summary {
 	c.mu.Lock()
 	order := append([]string(nil), c.order...)
-	frames, errs := c.frames, c.errs
+	frames, errs, degraded := c.frames, c.errs, c.degraded
 	c.mu.Unlock()
 
 	var out Summary
@@ -143,6 +156,7 @@ func (c *Collector) Summarize() Summary {
 	out.Frame = FrameSummary{
 		Frames:     frames,
 		Errs:       errs,
+		Degraded:   degraded,
 		WallMeanMs: w.Mean,
 		WallP99Ms:  w.P99,
 		WallP99p99: w.P9999,
@@ -190,8 +204,8 @@ func (s Summary) String() string {
 			row.Stage, row.Frames, row.QueueMeanMs, row.QueueP99Ms,
 			row.ExecMeanMs, row.ExecP99Ms, row.ExecP9999Ms)
 	}
-	fmt.Fprintf(&b, "frame wall: mean=%.3fms p99=%.3fms p99.99=%.3fms max=%.3fms (%d frames, %d errs)\n",
+	fmt.Fprintf(&b, "frame wall: mean=%.3fms p99=%.3fms p99.99=%.3fms max=%.3fms (%d frames, %d errs, %d degraded)\n",
 		s.Frame.WallMeanMs, s.Frame.WallP99Ms, s.Frame.WallP99p99, s.Frame.WallMaxMs,
-		s.Frame.Frames, s.Frame.Errs)
+		s.Frame.Frames, s.Frame.Errs, s.Frame.Degraded)
 	return b.String()
 }

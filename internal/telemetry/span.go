@@ -53,6 +53,10 @@ type FrameEnd struct {
 	At time.Time
 	// Err reports whether the frame was delivered with a pipeline error.
 	Err bool
+	// Degraded reports whether any stage blew its deadline budget on this
+	// frame and delivered its degraded-mode output (pipeline
+	// DegradedMask non-zero).
+	Degraded bool
 }
 
 // Sink consumes telemetry. Implementations must be safe for concurrent use:
