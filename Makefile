@@ -6,7 +6,7 @@ TELEMETRY_COVER_FLOOR ?= 80
 # suite's determinism claims, so nearly every branch must be exercised.
 FAULTINJECT_COVER_FLOOR ?= 90
 
-.PHONY: build vet test race bench check cover fmt-check fuzz-smoke chaos-smoke
+.PHONY: build vet test race bench bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,40 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmark tier (ROADMAP item 5): the headline pipeline benchmarks plus
+# the kernel benches, parsed into the schema'd trajectory file
+# BENCH_$(BENCH_N).json with the measurement it is compared against
+# embedded alongside (see internal/benchjson). Takes a few minutes.
+BENCH_N ?= 1
+BENCH_BASELINE_NAME ?= BenchmarkRunner
+BENCH_BASELINE_NS ?= 26051823
+BENCH_BASELINE_FPS ?= 38.39
+BENCH_BASELINE_P9999 ?= 196.5
+BENCH_BASELINE_REF ?= pre-PR6 main@0e0c394, go test -bench Runner -benchtime 100x -count 3
+
 bench:
+	@rm -f bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkRunner$$' -benchtime 100x -count 3 . | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkDegradedPipeline$$' -benchtime 50x ./internal/pipeline | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkShardedReloc$$' ./internal/slam | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkExtractFeatures$$' ./internal/slam | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^(BenchmarkConv2D|BenchmarkConv2DIm2Col|BenchmarkFullyConnected(Int8)?|BenchmarkConv2DInt8|BenchmarkNetworkForwardScratch(Int8)?)$$' -benchmem ./internal/tensor ./internal/dnn | tee -a bench.out
+	$(GO) run ./cmd/adbenchjson -o BENCH_$(BENCH_N).json \
+		-baseline-name '$(BENCH_BASELINE_NAME)' -baseline-ns $(BENCH_BASELINE_NS) \
+		-baseline-metric 'frames/s=$(BENCH_BASELINE_FPS)' \
+		-baseline-metric 'p99.99-ms=$(BENCH_BASELINE_P9999)' \
+		-baseline-ref '$(BENCH_BASELINE_REF)' < bench.out
+
+# One-iteration sweep over every benchmark: catches bit-rotted benchmarks
+# without the cost of real measurement.
+bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Zero-allocation gates on the warm inference hot path (testing.AllocsPerRun
+# is unreliable under -race, so these run without it; `make race` still
+# executes the same tests for correctness).
+alloc-gate:
+	$(GO) test -run 'TestAlloc' -v ./internal/tensor ./internal/dnn ./internal/detect ./internal/track | grep -E '^(=== RUN|--- (FAIL|PASS)|FAIL|ok)'
 
 # Short fuzz smoke over the ADM1 prior-map decoder (go test -fuzz works on
 # one package at a time; -run '^$' skips the unit tests it already ran).
@@ -42,7 +74,7 @@ chaos-smoke:
 # the full test suite under the race detector (which includes the chaos
 # suite), fuzz the map decoder, then drive the chaos scenario end to end
 # through the CLI.
-check: build vet race fuzz-smoke chaos-smoke
+check: build vet race alloc-gate fuzz-smoke chaos-smoke
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

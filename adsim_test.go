@@ -58,7 +58,7 @@ func TestFacadeConstraints(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("experiments = %v", ids)
 	}
 	opts := DefaultExperimentOptions()

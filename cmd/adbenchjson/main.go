@@ -1,0 +1,90 @@
+// Command adbenchjson converts `go test -bench` output on stdin into the
+// repo's schema'd benchmark-trajectory format (BENCH_<n>.json; see
+// internal/benchjson). An optional baseline measurement — the pre-change
+// number the run is compared against — is embedded in the same file so the
+// speedup claim stays auditable.
+//
+// Usage:
+//
+//	go test -bench . ./... | adbenchjson -o BENCH_1.json \
+//	    -baseline-name BenchmarkRunner -baseline-ns 26051823 \
+//	    -baseline-metric 'frames/s=38.39' -baseline-ref 'pre-PR6 @0e0c394'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"adsim/internal/benchjson"
+)
+
+type metricFlags map[string]float64
+
+func (m metricFlags) String() string { return fmt.Sprint(map[string]float64(m)) }
+
+func (m metricFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want unit=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	m[k] = f
+	return nil
+}
+
+func main() {
+	var (
+		out         = flag.String("o", "", "output file (default stdout)")
+		baseName    = flag.String("baseline-name", "", "benchmark name the baseline refers to")
+		baseNs      = flag.Float64("baseline-ns", 0, "baseline ns/op")
+		baseRef     = flag.String("baseline-ref", "", "provenance of the baseline measurement")
+		baseMetrics = metricFlags{}
+	)
+	flag.Var(baseMetrics, "baseline-metric", "baseline metric as unit=value (repeatable)")
+	flag.Parse()
+
+	rep, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Created = time.Now().UTC().Format(time.RFC3339)
+	if *baseName != "" {
+		rep.SetBaseline(benchjson.Baseline{
+			Ref:     *baseRef,
+			Name:    *baseName,
+			NsPerOp: *baseNs,
+			Metrics: baseMetrics,
+		})
+	}
+	if err := rep.Validate(); err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.Encode(w); err != nil {
+		fatal(err)
+	}
+	if rep.SpeedupVsBaseline > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %.2fx vs baseline (%s)\n",
+			rep.Baseline.Name, rep.SpeedupVsBaseline, rep.Baseline.Ref)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adbenchjson:", err)
+	os.Exit(1)
+}

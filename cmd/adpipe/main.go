@@ -32,6 +32,7 @@ func main() {
 		height   = flag.Int("height", 256, "frame height")
 		survey   = flag.Int("survey", 60, "prior-map survey frames")
 		dnn      = flag.Bool("dnn", true, "execute the native DNNs (slower, full instrumentation)")
+		quant    = flag.Bool("quantized", false, "run the native DNNs through the int8 quantized inference path")
 		inflight = flag.Int("inflight", 1, "frames in flight: 1 runs sequentially, >1 pipelines frames through a concurrent Runner")
 		workers  = flag.Int("workers", 0, "goroutines per DNN conv/FC kernel (0 = number of CPUs)")
 		verbose  = flag.Bool("v", false, "print per-frame results")
@@ -67,6 +68,8 @@ func main() {
 	cfg.SurveyFrames = *survey
 	cfg.Detect.RunDNN = *dnn
 	cfg.Track.RunDNN = *dnn
+	cfg.Detect.Quantized = *quant
+	cfg.Track.Quantized = *quant
 
 	var reg *adsim.TelemetryRegistry
 	if *deadline > 0 {

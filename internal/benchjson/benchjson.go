@@ -1,0 +1,220 @@
+// Package benchjson parses `go test -bench` output into a schema'd report,
+// the storage format of the repo's benchmark trajectory (BENCH_<n>.json,
+// ROADMAP item 5). Committing one report per optimization PR — each
+// embedding the measurement it was compared against — keeps speed claims
+// reproducible instead of resetting every PR.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report format version.
+const Schema = "adsim-bench/v1"
+
+// Report is one benchmark run: environment header plus parsed benchmark
+// lines, optionally carrying the baseline measurement the run is compared
+// against.
+type Report struct {
+	Schema  string `json:"schema"`
+	Created string `json:"created,omitempty"` // RFC3339, stamped by the producer
+	Go      string `json:"go,omitempty"`
+	GOOS    string `json:"goos,omitempty"`
+	GOARCH  string `json:"goarch,omitempty"`
+	CPU     string `json:"cpu,omitempty"`
+
+	Benchmarks []Benchmark `json:"benchmarks"`
+
+	// Baseline is the pre-change measurement of Baseline.Name recorded in
+	// the same file, so the claimed speedup is auditable from this report
+	// alone.
+	Baseline *Baseline `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is mean ns/op of the baseline divided by mean
+	// ns/op of the matching benchmark in this run (>1 means faster now).
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // frames/s, p99.99-ms, B/op, ...
+}
+
+// Baseline is a prior measurement of one benchmark.
+type Baseline struct {
+	Ref     string             `json:"ref"` // where it came from (commit, file)
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` text output (one or more packages) and
+// returns the structured report. Repeated -count runs of one benchmark stay
+// separate entries; use MeanNsPerOp for the aggregate.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Schema: Schema}
+	sc := bufio.NewScanner(r)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %w", err)
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	return rep, nil
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkRunner-4  100  25865505 ns/op  38.66 frames/s  186.8 p99.99-ms
+func parseLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Benchmark{}, fmt.Errorf("malformed bench line %q", line)
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("ns/op in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
+	// Remaining fields come in (value, unit) pairs: custom ReportMetric
+	// units plus -benchmem's B/op and allocs/op.
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}
+
+// MeanNsPerOp averages ns/op over every entry named name (repeated -count
+// runs), returning 0 when absent.
+func (r *Report) MeanNsPerOp(name string) float64 {
+	var sum float64
+	n := 0
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			sum += b.NsPerOp
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanMetric averages metric unit over every entry named name, returning 0
+// when absent.
+func (r *Report) MeanMetric(name, unit string) float64 {
+	var sum float64
+	n := 0
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			if v, ok := b.Metrics[unit]; ok {
+				sum += v
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SetBaseline records the baseline and derives SpeedupVsBaseline from the
+// matching benchmark in this report (0 when the benchmark is absent).
+func (r *Report) SetBaseline(b Baseline) {
+	r.Baseline = &b
+	if m := r.MeanNsPerOp(b.Name); m > 0 && b.NsPerOp > 0 {
+		r.SpeedupVsBaseline = b.NsPerOp / m
+	} else {
+		r.SpeedupVsBaseline = 0
+	}
+}
+
+// Validate checks the structural invariants a committed BENCH_<n>.json must
+// satisfy.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("benchjson: schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmarks")
+	}
+	for _, b := range r.Benchmarks {
+		if b.Name == "" || !strings.HasPrefix(b.Name, "Benchmark") {
+			return fmt.Errorf("benchjson: bad benchmark name %q", b.Name)
+		}
+		if b.Iterations <= 0 || b.NsPerOp <= 0 {
+			return fmt.Errorf("benchjson: %s: non-positive iterations/ns_per_op", b.Name)
+		}
+	}
+	if r.Baseline != nil {
+		if r.Baseline.Name == "" || r.Baseline.NsPerOp <= 0 || r.Baseline.Ref == "" {
+			return fmt.Errorf("benchjson: incomplete baseline")
+		}
+	}
+	return nil
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Decode reads a report back and validates it.
+func Decode(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

@@ -1,0 +1,140 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: adsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunner-4   	     100	  13707749 ns/op	        72.94 frames/s	       102.9 p99.99-ms
+BenchmarkRunner-4   	     100	  13392765 ns/op	        74.67 frames/s	        82.79 p99.99-ms
+PASS
+ok  	adsim	5.0s
+goos: linux
+goarch: amd64
+pkg: adsim/internal/tensor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkConv2DInt8-4      	     142	   8212345 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	adsim/internal/tensor	2.1s
+`
+
+func TestParseSampleOutput(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Errorf("env: goos=%q goarch=%q", rep.GOOS, rep.GOARCH)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkRunner" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Pkg != "adsim" {
+		t.Errorf("pkg = %q", b.Pkg)
+	}
+	if b.Iterations != 100 || b.NsPerOp != 13707749 {
+		t.Errorf("iters/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if b.Metrics["frames/s"] != 72.94 || b.Metrics["p99.99-ms"] != 102.9 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	conv := rep.Benchmarks[2]
+	if conv.Pkg != "adsim/internal/tensor" {
+		t.Errorf("conv pkg = %q", conv.Pkg)
+	}
+	if conv.Metrics["allocs/op"] != 0 {
+		t.Errorf("benchmem metrics = %v", conv.Metrics)
+	}
+}
+
+func TestMeansAverageRepeatedRuns(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNs := (13707749.0 + 13392765.0) / 2
+	if got := rep.MeanNsPerOp("BenchmarkRunner"); got != wantNs {
+		t.Errorf("MeanNsPerOp = %v, want %v", got, wantNs)
+	}
+	wantFps := (72.94 + 74.67) / 2
+	if got := rep.MeanMetric("BenchmarkRunner", "frames/s"); got != wantFps {
+		t.Errorf("MeanMetric = %v, want %v", got, wantFps)
+	}
+	if got := rep.MeanNsPerOp("BenchmarkMissing"); got != 0 {
+		t.Errorf("missing benchmark mean = %v, want 0", got)
+	}
+}
+
+func TestSetBaselineDerivesSpeedup(t *testing.T) {
+	rep, _ := Parse(strings.NewReader(sampleOutput))
+	rep.SetBaseline(Baseline{Ref: "pre-change", Name: "BenchmarkRunner", NsPerOp: 26051823})
+	want := 26051823 / ((13707749.0 + 13392765.0) / 2)
+	if rep.SpeedupVsBaseline != want {
+		t.Errorf("speedup = %v, want %v", rep.SpeedupVsBaseline, want)
+	}
+	rep.SetBaseline(Baseline{Ref: "x", Name: "BenchmarkMissing", NsPerOp: 1})
+	if rep.SpeedupVsBaseline != 0 {
+		t.Errorf("speedup for absent benchmark = %v, want 0", rep.SpeedupVsBaseline)
+	}
+}
+
+func TestRoundTripEncodeDecode(t *testing.T) {
+	rep, _ := Parse(strings.NewReader(sampleOutput))
+	rep.Created = "2026-08-08T00:00:00Z"
+	rep.SetBaseline(Baseline{Ref: "seed", Name: "BenchmarkRunner", NsPerOp: 26051823,
+		Metrics: map[string]float64{"frames/s": 38.39}})
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Baseline == nil || back.Baseline.NsPerOp != 26051823 {
+		t.Fatal("round trip lost the baseline")
+	}
+	if back.SpeedupVsBaseline != rep.SpeedupVsBaseline {
+		t.Fatal("round trip lost the speedup")
+	}
+}
+
+func TestParseRejectsMalformedBenchLine(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX 12 fast\n"))
+	if err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestValidateRejectsBadReports(t *testing.T) {
+	cases := map[string]*Report{
+		"wrong schema": {Schema: "nope", Benchmarks: []Benchmark{{Name: "BenchmarkA", Iterations: 1, NsPerOp: 1}}},
+		"empty":        {Schema: Schema},
+		"bad name":     {Schema: Schema, Benchmarks: []Benchmark{{Name: "TestA", Iterations: 1, NsPerOp: 1}}},
+		"zero ns": {Schema: Schema,
+			Benchmarks: []Benchmark{{Name: "BenchmarkA", Iterations: 1, NsPerOp: 0}}},
+		"incomplete baseline": {Schema: Schema,
+			Benchmarks: []Benchmark{{Name: "BenchmarkA", Iterations: 1, NsPerOp: 1}},
+			Baseline:   &Baseline{Name: "BenchmarkA"}},
+	}
+	for name, rep := range cases {
+		if err := rep.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package detect
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"adsim/internal/dnn"
@@ -60,6 +61,11 @@ type Config struct {
 	// RunDNN controls whether the native network is executed. Experiments
 	// that only need functional boxes (e.g. planner tests) can disable it.
 	RunDNN bool
+	// Quantized runs the network through the int8 inference path instead
+	// of float32. Detection results are unaffected (boxes come from the
+	// functional path); only the computational profile changes. See the
+	// tolerance contract in internal/tensor/int8.go.
+	Quantized bool
 }
 
 // DefaultConfig returns the standard detector configuration.
@@ -73,13 +79,23 @@ func DefaultConfig() Config {
 	}
 }
 
-// Detector is the DET engine. It holds no per-call mutable state (timing is
-// returned, not stored), so Detect calls are safe for concurrent use; the
-// pipeline still owns one detector per camera stream, as the paper's system
-// replicates the computing engine per camera.
+// Detector is the DET engine. Per-call mutable state lives in pooled
+// scratch arenas (one per in-flight call), so Detect calls are safe for
+// concurrent use; the pipeline still owns one detector per camera stream,
+// as the paper's system replicates the computing engine per camera.
 type Detector struct {
-	cfg Config
-	net *dnn.Network
+	cfg     Config
+	net     *dnn.Network
+	scratch sync.Pool // of *detScratch
+}
+
+// detScratch is the per-call buffer set for the DNN sub-path: the resized
+// network input image, the normalized input tensor and the layer arena.
+// Pooling them makes the steady-state Detect call allocation-free.
+type detScratch struct {
+	s     dnn.Scratch
+	small img.Gray
+	input *tensor.T
 }
 
 // New constructs a detector.
@@ -124,13 +140,18 @@ func (d *Detector) Detect(frame *img.Gray) []Detection {
 func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
 	startOther := time.Now()
 
-	// Pre-processing: resize to network input and normalize.
-	var input *tensor.T
+	// Pre-processing: resize to network input and normalize, reusing a
+	// pooled scratch so the steady-state call allocates nothing.
+	var sc *detScratch
 	if d.cfg.RunDNN {
-		small := frame.Resize(d.cfg.InputSize, d.cfg.InputSize)
-		input = tensor.New(1, d.cfg.InputSize, d.cfg.InputSize)
-		for i, p := range small.Pix {
-			input.Data[i] = float32(p) / 255
+		sc, _ = d.scratch.Get().(*detScratch)
+		if sc == nil {
+			sc = &detScratch{input: tensor.New(1, d.cfg.InputSize, d.cfg.InputSize)}
+		}
+		sc.s.Quantized = d.cfg.Quantized
+		frame.ResizeInto(&sc.small, d.cfg.InputSize, d.cfg.InputSize)
+		for i, p := range sc.small.Pix {
+			sc.input.Data[i] = float32(p) / 255
 		}
 	}
 	preDur := time.Since(startOther)
@@ -139,8 +160,9 @@ func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
 	var dnnDur time.Duration
 	if d.cfg.RunDNN {
 		startDNN := time.Now()
-		_ = d.net.Forward(input)
+		_ = d.net.ForwardScratch(sc.input, &sc.s)
 		dnnDur = time.Since(startDNN)
+		d.scratch.Put(sc)
 	}
 
 	// Post-processing: proposal decode + confidence filter + NMS.

@@ -1,0 +1,57 @@
+package detect
+
+import (
+	"testing"
+
+	"adsim/internal/img"
+)
+
+// The DNN forward is executed for its latency profile; detections come from
+// the classical proposal path. Quantized execution must therefore change
+// timing only — results stay identical to the float path.
+func TestQuantizedDetectionsIdenticalToFloat(t *testing.T) {
+	f := frameWithBox(160, 120, img.RectWH(40, 30, 40, 33))
+
+	dFloat, _ := New(DefaultConfig())
+	qcfg := DefaultConfig()
+	qcfg.Quantized = true
+	dInt8, _ := New(qcfg)
+
+	for i := 0; i < 3; i++ {
+		want, _ := dFloat.DetectTimed(f)
+		got, _ := dInt8.DetectTimed(f)
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: %d detections quantized vs %d float", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("pass %d: det[%d] = %+v quantized vs %+v float", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// Alloc gate (run by `make alloc-gate`): the pooled scratch keeps the warm
+// DNN path's per-frame allocation overhead near the no-DNN floor. The
+// proposal/NMS path allocates its result slices either way, so gate the
+// delta rather than the absolute count.
+func TestAllocDetectSteadyState(t *testing.T) {
+	f := frameWithBox(160, 120, img.RectWH(40, 30, 40, 33))
+
+	base := DefaultConfig()
+	base.RunDNN = false
+	dBase, _ := New(base)
+	dDNN, _ := New(DefaultConfig())
+
+	dBase.Detect(f)
+	dDNN.Detect(f)
+	noDNN := testing.AllocsPerRun(10, func() { dBase.Detect(f) })
+	withDNN := testing.AllocsPerRun(10, func() { dDNN.Detect(f) })
+
+	// Budget: sync.Pool round-trip plus timing bookkeeping — not the dozens
+	// of per-layer tensor allocations the scratch arena replaced.
+	if delta := withDNN - noDNN; delta > 4 {
+		t.Errorf("DNN adds %.1f allocs/frame over the no-DNN floor (%.1f vs %.1f), want <= 4",
+			delta, withDNN, noDNN)
+	}
+}

@@ -126,6 +126,19 @@ type Layer interface {
 	CostAt(in Shape) Cost
 	// Forward runs inference. The input tensor is not modified.
 	Forward(in *tensor.T) *tensor.T
+	// ForwardScratch runs inference drawing the output (and any
+	// intermediates) from s; a warm call allocates nothing. The input
+	// tensor is not modified; the result may alias scratch memory. The
+	// float path is bitwise-identical to Forward.
+	ForwardScratch(in *tensor.T, s *Scratch) *tensor.T
+}
+
+// convParams holds one input-channel-count instantiation of a conv layer's
+// parameters. The quantized form is derived lazily from the float weights.
+type convParams struct {
+	w, b   []float32
+	qw     []int8    // per-channel symmetric int8 weights (lazy)
+	wScale []float32 // per-output-channel quantization scales
 }
 
 // Conv is a 2D convolution layer with optional activation.
@@ -133,11 +146,9 @@ type Conv struct {
 	OutC, K, Stride, Pad int
 	Act                  Activation
 
-	mu      sync.Mutex // guards the lazy weight initialization below
-	weights []float32  // lazily initialized per input channel count
-	bias    []float32
-	inC     int
-	seed    int64
+	mu    sync.Mutex          // guards the lazy weight initialization below
+	byInC map[int]*convParams // weights keyed by input channel count
+	seed  int64
 }
 
 // NewConv constructs a convolution layer. Weights are deterministically
@@ -176,36 +187,67 @@ func (c *Conv) CostAt(in Shape) Cost {
 	}
 }
 
-// params returns the layer's weights and bias for an input channel count,
-// initializing them on first use. The mutex makes lazy initialization safe
-// under concurrent Forward calls (the parallel tracker pool runs many
-// inferences through one shared network).
-func (c *Conv) params(inC int) (w, b []float32) {
+// params returns the parameter set for an input channel count, initializing
+// it on first use. The cache is keyed by inC, so a network shared across
+// two input shapes keeps both instantiations instead of re-seeding (and
+// silently swapping) weights every time the shape alternates. The mutex
+// makes lazy initialization safe under concurrent Forward calls (the
+// parallel tracker pool runs many inferences through one shared network).
+func (c *Conv) params(inC int) *convParams {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.weights == nil || c.inC != inC {
-		n := c.OutC * inC * c.K * c.K
-		rng := stats.NewRNG(c.seed)
-		// He-style scale keeps activations in range through deep stacks.
-		scale := 2.0 / float64(inC*c.K*c.K)
-		w := make([]float32, n)
-		for i := range w {
-			w[i] = float32(rng.Uniform(-scale, scale))
-		}
-		b := make([]float32, c.OutC)
-		for i := range b {
-			b[i] = float32(rng.Uniform(-0.01, 0.01))
-		}
-		c.weights, c.bias, c.inC = w, b, inC
+	if p, ok := c.byInC[inC]; ok {
+		return p
 	}
-	return c.weights, c.bias
+	n := c.OutC * inC * c.K * c.K
+	rng := stats.NewRNG(c.seed)
+	// He-style scale keeps activations in range through deep stacks.
+	scale := 2.0 / float64(inC*c.K*c.K)
+	w := make([]float32, n)
+	for i := range w {
+		w[i] = float32(rng.Uniform(-scale, scale))
+	}
+	b := make([]float32, c.OutC)
+	for i := range b {
+		b[i] = float32(rng.Uniform(-0.01, 0.01))
+	}
+	p := &convParams{w: w, b: b}
+	if c.byInC == nil {
+		c.byInC = make(map[int]*convParams)
+	}
+	c.byInC[inC] = p
+	return p
+}
+
+// qparams returns the int8 quantization of p's weights, deriving it on
+// first use.
+func (c *Conv) qparams(p *convParams) (qw []int8, wScale []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.qw == nil {
+		p.qw, p.wScale = tensor.QuantizePerChannel(p.w, c.OutC)
+	}
+	return p.qw, p.wScale
 }
 
 func (c *Conv) Forward(in *tensor.T) *tensor.T {
-	w, b := c.params(in.C)
+	p := c.params(in.C)
 	// The im2col lowering is ~4x faster than the direct loop at these
 	// shapes (property-tested equivalent in internal/tensor).
-	out := tensor.Conv2DIm2ColPar(in, w, b, c.OutC, c.K, c.Stride, c.Pad, Workers())
+	out := tensor.Conv2DIm2ColPar(in, p.w, p.b, c.OutC, c.K, c.Stride, c.Pad, Workers())
+	return c.Act.apply(out)
+}
+
+func (c *Conv) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	p := c.params(in.C)
+	dst := s.next(c.OutShape(Shape{C: in.C, H: in.H, W: in.W}))
+	var out *tensor.T
+	if s.Quantized {
+		qw, wScale := c.qparams(p)
+		out = tensor.Conv2DInt8(dst, in, qw, wScale, p.b, c.OutC, c.K, c.Stride, c.Pad, Workers(), s.Arena())
+	} else {
+		out = tensor.Conv2DIm2ColParInto(dst, in, p.w, p.b, c.OutC, c.K, c.Stride, c.Pad, Workers(), s.Arena())
+	}
 	return c.Act.apply(out)
 }
 
@@ -243,6 +285,11 @@ func (p *MaxPool) CostAt(in Shape) Cost {
 
 func (p *MaxPool) Forward(in *tensor.T) *tensor.T {
 	return tensor.MaxPool2D(in, p.K, p.Stride)
+}
+
+func (p *MaxPool) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	dst := s.next(p.OutShape(Shape{C: in.C, H: in.H, W: in.W}))
+	return tensor.MaxPool2DInto(dst, in, p.K, p.Stride)
 }
 
 // BatchNorm is an inference-time batch-normalization layer: the learned
@@ -288,13 +335,21 @@ func (bn *BatchNorm) params(c int) (a, b []float32) {
 }
 
 func (bn *BatchNorm) Forward(in *tensor.T) *tensor.T {
+	return bn.forwardInto(in.Clone(), in)
+}
+
+func (bn *BatchNorm) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	return bn.forwardInto(s.next(Shape{C: in.C, H: in.H, W: in.W}), in)
+}
+
+func (bn *BatchNorm) forwardInto(out, in *tensor.T) *tensor.T {
 	as, bs := bn.params(in.C)
-	out := in.Clone()
 	hw := in.H * in.W
 	for c := 0; c < in.C; c++ {
 		a, b := as[c], bs[c]
+		src := in.Data[c*hw : (c+1)*hw]
 		seg := out.Data[c*hw : (c+1)*hw]
-		for i, v := range seg {
+		for i, v := range src {
 			seg[i] = a*v + b
 		}
 	}
@@ -331,9 +386,19 @@ func (r *Reorg) CostAt(in Shape) Cost {
 }
 
 func (r *Reorg) Forward(in *tensor.T) *tensor.T {
-	s := r.Stride
 	outShape := r.OutShape(Shape{C: in.C, H: in.H, W: in.W})
-	out := tensor.New(outShape.C, outShape.H, outShape.W)
+	return r.forwardInto(tensor.New(outShape.C, outShape.H, outShape.W), in)
+}
+
+func (r *Reorg) ForwardScratch(in *tensor.T, sc *Scratch) *tensor.T {
+	return r.forwardInto(sc.next(r.OutShape(Shape{C: in.C, H: in.H, W: in.W})), in)
+}
+
+// forwardInto writes the space-to-depth permutation into out. Every input
+// element maps to exactly one output element (a bijection), so out is fully
+// written and needs no pre-clearing.
+func (r *Reorg) forwardInto(out, in *tensor.T) *tensor.T {
+	s := r.Stride
 	for c := 0; c < in.C; c++ {
 		for y := 0; y < in.H; y++ {
 			for x := 0; x < in.W; x++ {
@@ -351,11 +416,9 @@ type FC struct {
 	OutN int
 	Act  Activation
 
-	mu      sync.Mutex // guards the lazy weight initialization below
-	weights []float32
-	bias    []float32
-	inN     int
-	seed    int64
+	mu    sync.Mutex          // guards the lazy weight initialization below
+	byInN map[int]*convParams // weights keyed by input length
+	seed  int64
 }
 
 // NewFC constructs a fully connected layer with deterministic lazy weights.
@@ -380,29 +443,60 @@ func (f *FC) CostAt(in Shape) Cost {
 	}
 }
 
-// params returns the layer's weights and bias for an input length,
-// initializing them on first use (safe under concurrent Forward calls).
-func (f *FC) params(inN int) (w, b []float32) {
+// params returns the parameter set for an input length, initializing it on
+// first use. As with Conv, the cache is keyed by inN so alternating input
+// shapes keep both instantiations instead of re-seeding mid-run (safe under
+// concurrent Forward calls).
+func (f *FC) params(inN int) *convParams {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.weights == nil || f.inN != inN {
-		rng := stats.NewRNG(f.seed)
-		scale := 2.0 / float64(inN)
-		w := make([]float32, f.OutN*inN)
-		for i := range w {
-			w[i] = float32(rng.Uniform(-scale, scale))
-		}
-		b := make([]float32, f.OutN)
-		for i := range b {
-			b[i] = float32(rng.Uniform(-0.01, 0.01))
-		}
-		f.weights, f.bias, f.inN = w, b, inN
+	if p, ok := f.byInN[inN]; ok {
+		return p
 	}
-	return f.weights, f.bias
+	rng := stats.NewRNG(f.seed)
+	scale := 2.0 / float64(inN)
+	w := make([]float32, f.OutN*inN)
+	for i := range w {
+		w[i] = float32(rng.Uniform(-scale, scale))
+	}
+	b := make([]float32, f.OutN)
+	for i := range b {
+		b[i] = float32(rng.Uniform(-0.01, 0.01))
+	}
+	p := &convParams{w: w, b: b}
+	if f.byInN == nil {
+		f.byInN = make(map[int]*convParams)
+	}
+	f.byInN[inN] = p
+	return p
+}
+
+// qparams returns the int8 quantization of p's weights, deriving it on
+// first use.
+func (f *FC) qparams(p *convParams) (qw []int8, wScale []float32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p.qw == nil {
+		p.qw, p.wScale = tensor.QuantizePerChannel(p.w, f.OutN)
+	}
+	return p.qw, p.wScale
 }
 
 func (f *FC) Forward(in *tensor.T) *tensor.T {
-	w, b := f.params(in.Len())
-	out := tensor.FullyConnectedPar(in, w, b, f.OutN, Workers())
+	p := f.params(in.Len())
+	out := tensor.FullyConnectedPar(in, p.w, p.b, f.OutN, Workers())
+	return f.Act.apply(out)
+}
+
+func (f *FC) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	p := f.params(in.Len())
+	dst := s.next(Shape{C: f.OutN, H: 1, W: 1})
+	var out *tensor.T
+	if s.Quantized {
+		qw, wScale := f.qparams(p)
+		out = tensor.FullyConnectedInt8(dst, in, qw, wScale, p.b, f.OutN, Workers(), s.Arena())
+	} else {
+		out = tensor.FullyConnectedParInto(dst, in, p.w, p.b, f.OutN, Workers())
+	}
 	return f.Act.apply(out)
 }

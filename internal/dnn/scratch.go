@@ -1,0 +1,74 @@
+package dnn
+
+import (
+	"adsim/internal/tensor"
+)
+
+// Scratch is a per-worker inference arena. Passing one to
+// Network.ForwardScratch makes the whole feed-forward pass allocation-free
+// once warm: layer outputs ping-pong between two arena slots and the conv
+// kernels draw their im2col/quantization buffers from the same arena.
+//
+// Ownership rules (see DESIGN.md "Buffer ownership and reuse"):
+//
+//   - A Scratch is NOT safe for concurrent use; pool one per worker.
+//   - The tensor returned by ForwardScratch aliases arena memory and is
+//     valid only until the scratch is used again — copy out (or consume)
+//     what must survive, e.g. via Hold.
+//   - Hold slots are never touched by the layers, so held tensors survive
+//     any number of forward passes on the same scratch.
+//
+// Quantized selects the int8 inference path: convolutions and fully
+// connected layers run tensor.Conv2DInt8 / tensor.FullyConnectedInt8
+// against lazily cached per-channel quantized weights. Everything else
+// (pooling, batch norm, reorg, activations) runs in float32 on the
+// dequantized activations. The zero value is a ready-to-use float scratch.
+type Scratch struct {
+	// Quantized switches conv/FC layers to int8 kernels. Flip it only
+	// between forward passes, never mid-pass.
+	Quantized bool
+
+	arena tensor.Scratch
+	ping  int
+}
+
+// begin resets the ping-pong rotation for a new forward pass.
+func (s *Scratch) begin() { s.ping = 0 }
+
+// next returns the output slot for the upcoming layer and advances the
+// rotation. Slots 0 and 1 alternate, so a layer always reads its input from
+// one slot (or the caller's tensor) and writes the other.
+func (s *Scratch) next(sh Shape) *tensor.T {
+	t := s.arena.Buf(s.ping, sh.C, sh.H, sh.W)
+	s.ping ^= 1
+	return t
+}
+
+// Hold returns caller-owned slot i (i >= 0 maps to arena slots >= 2) shaped
+// c×h×w. The layers never write these slots, so callers use them to keep
+// values alive across forward passes on the same scratch — e.g. the
+// tracker's two-branch feature concat.
+func (s *Scratch) Hold(i, c, h, w int) *tensor.T {
+	if i < 0 {
+		panic("dnn: negative scratch hold slot")
+	}
+	return s.arena.Buf(2+i, c, h, w)
+}
+
+// Arena exposes the underlying tensor arena for callers that invoke tensor
+// kernels directly against the same backing store.
+func (s *Scratch) Arena() *tensor.Scratch { return &s.arena }
+
+// ForwardScratch runs inference drawing every intermediate and output
+// buffer from s; a warm (network, scratch) pair allocates nothing. The
+// float path is bitwise-identical to Forward. With s.Quantized set, conv/FC
+// layers run int8 (see the tolerance contract in internal/tensor/int8.go).
+// The returned tensor aliases scratch memory — see Scratch ownership rules.
+func (n *Network) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	s.begin()
+	out := in
+	for _, l := range n.Layers {
+		out = l.ForwardScratch(out, s)
+	}
+	return out
+}

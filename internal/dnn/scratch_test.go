@@ -1,0 +1,232 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adsim/internal/tensor"
+)
+
+func randInput(rng *rand.Rand, c, h, w int) *tensor.T {
+	in := tensor.New(c, h, w)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.NormFloat64())
+	}
+	return in
+}
+
+// ForwardScratch is the same arithmetic as Forward routed through the arena;
+// any divergence means a buffer was reused while still live.
+func TestForwardScratchBitwiseEqualForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nets := map[string]*Network{
+		"tiny-yolo":     TinyYOLO(32),
+		"tracker-tower": TinyTrackerTower(32),
+	}
+	for name, net := range nets {
+		in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+		want := net.Forward(in.Clone())
+		var s Scratch
+		for pass := 0; pass < 3; pass++ { // reused arena must stay stable
+			got := net.ForwardScratch(in.Clone(), &s)
+			if got.C != want.C || got.H != want.H || got.W != want.W {
+				t.Fatalf("%s: shape %v, want %v", name, got, want)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s pass %d: out[%d] = %v, want %v (bitwise)",
+						name, pass, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardScratchQuantizedWithinTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := TinyTrackerTower(32)
+	in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+	want := net.Forward(in.Clone())
+
+	var s Scratch
+	s.Quantized = true
+	got := net.ForwardScratch(in.Clone(), &s)
+
+	// Per-layer error compounds, so the end-to-end bound is loose; the
+	// per-kernel budget is property-tested in tensor/int8_test.go. Here we
+	// check the quantized network tracks the float one: same shape, outputs
+	// within a small fraction of the float activation range.
+	if got.Len() != want.Len() {
+		t.Fatalf("quantized output len %d, want %d", got.Len(), want.Len())
+	}
+	var rangeMax float64
+	for _, v := range want.Data {
+		if a := math.Abs(float64(v)); a > rangeMax {
+			rangeMax = a
+		}
+	}
+	tol := 0.05*rangeMax + 1e-3
+	for i := range want.Data {
+		if diff := math.Abs(float64(got.Data[i] - want.Data[i])); diff > tol {
+			t.Fatalf("out[%d]: quantized %v vs float %v, |diff| %v > %v (5%% of range)",
+				i, got.Data[i], want.Data[i], diff, tol)
+		}
+	}
+}
+
+// Satellite regression: Conv.params/FC.params used to re-seed (and therefore
+// silently replace) the weights whenever the same layer saw a different
+// input shape in between — each shape must get one stable parameter set.
+func TestParamsStableAcrossInterleavedShapes(t *testing.T) {
+	c := NewConv(4, 3, 1, 1, ReLU, 9)
+	p8 := c.params(8)
+	p16 := c.params(16)
+	if &p8.w[0] == &p16.w[0] {
+		t.Fatal("different input shapes share a weight buffer")
+	}
+	w0 := p8.w[0]
+	if again := c.params(8); again != p8 || again.w[0] != w0 {
+		t.Fatal("conv params re-seeded after an interleaved shape change")
+	}
+	if again := c.params(16); again != p16 {
+		t.Fatal("conv params(16) lost its entry")
+	}
+
+	f := NewFC(4, Linear, 9)
+	q8 := f.params(8)
+	q16 := f.params(16)
+	qw0 := q8.w[0]
+	if again := f.params(8); again != q8 || again.w[0] != qw0 {
+		t.Fatal("fc params re-seeded after an interleaved shape change")
+	}
+	if again := f.params(16); again != q16 {
+		t.Fatal("fc params(16) lost its entry")
+	}
+}
+
+// The forward pass itself must be stable when one network alternates
+// between two input sizes (the re-seeding bug made outputs change).
+func TestForwardStableAcrossInterleavedInputSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := MustNetwork("probe", Shape{C: 1, H: 16, W: 16},
+		NewConv(4, 3, 1, 1, ReLU, 9),
+		NewFC(8, Linear, 10),
+	)
+	small := randInput(rng, 1, 16, 16)
+	big := randInput(rng, 1, 24, 24)
+	want := net.Forward(small.Clone())
+	net.Forward(big.Clone()) // different FC input length in between
+	got := net.Forward(small.Clone())
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("out[%d] changed after an interleaved input size: %v vs %v",
+				i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// Concurrent forward passes with separate scratches must not interfere
+// (run under -race as part of `make race`).
+func TestForwardScratchConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := TinyTrackerTower(32)
+	in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+	want := net.Forward(in.Clone())
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s Scratch
+			for iter := 0; iter < 10; iter++ {
+				got := net.ForwardScratch(in.Clone(), &s)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						fail <- "concurrent ForwardScratch diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	if msg, ok := <-fail; ok {
+		t.Fatal(msg)
+	}
+}
+
+// Hold slots must survive a second forward pass through the same scratch —
+// the tracker's two-branch concat depends on it.
+func TestHoldSurvivesForwardPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := TinyTrackerTower(32)
+	in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+
+	var s Scratch
+	a := net.ForwardScratch(in.Clone(), &s)
+	held := s.Hold(0, a.Len(), 1, 1)
+	copy(held.Data, a.Data)
+	snapshot := append([]float32(nil), held.Data...)
+	net.ForwardScratch(in.Clone(), &s) // ping-pong slots get overwritten
+	for i, v := range snapshot {
+		if held.Data[i] != v {
+			t.Fatalf("hold slot clobbered by a later forward pass at [%d]", i)
+		}
+	}
+}
+
+// Alloc gate (run by `make alloc-gate`): a warm float or int8 forward pass
+// allocates nothing per frame.
+func TestAllocForwardScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := TinyYOLO(32)
+	in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+	for _, mode := range []struct {
+		name      string
+		quantized bool
+	}{{"float", false}, {"int8", true}} {
+		var s Scratch
+		s.Quantized = mode.quantized
+		net.ForwardScratch(in, &s) // warm: arena growth + lazy weight init
+		allocs := testing.AllocsPerRun(10, func() {
+			net.ForwardScratch(in, &s)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: warm ForwardScratch allocates %.1f/op, want 0", mode.name, allocs)
+		}
+	}
+}
+
+func BenchmarkNetworkForwardScratch(b *testing.B) {
+	net := TinyYOLO(64)
+	in := tensor.New(net.Input.C, net.Input.H, net.Input.W)
+	for i := range in.Data {
+		in.Data[i] = float32(i%255)/255 - 0.5
+	}
+	var s Scratch
+	net.ForwardScratch(in, &s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardScratch(in, &s)
+	}
+}
+
+func BenchmarkNetworkForwardScratchInt8(b *testing.B) {
+	net := TinyYOLO(64)
+	in := tensor.New(net.Input.C, net.Input.H, net.Input.W)
+	for i := range in.Data {
+		in.Data[i] = float32(i%255)/255 - 0.5
+	}
+	var s Scratch
+	s.Quantized = true
+	net.ForwardScratch(in, &s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardScratch(in, &s)
+	}
+}

@@ -18,7 +18,7 @@ func fastOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablate-cameras", "ablate-cooling", "ablate-noise", "ablate-objects", "ablate-reloc",
 		"accuracy", "energy", "fig10", "fig11", "fig12", "fig13", "fig2", "fig6", "fig7",
-		"headline", "platform-analysis", "roofline", "seeds", "storage", "table1", "table2", "table3"}
+		"headline", "platform-analysis", "quantized", "roofline", "seeds", "storage", "table1", "table2", "table3"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -599,6 +599,36 @@ func TestSeedsShape(t *testing.T) {
 	for _, row := range sd.Rows {
 		if row.Assignment == pipeline.Uniform(accel.ASIC) && row.SpreadPct > 1 {
 			t.Errorf("ASIC seed spread %.2f%% should be ~0", row.SpreadPct)
+		}
+	}
+}
+
+func TestQuantizedExperiment(t *testing.T) {
+	res, err := Run("quantized", fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := res.(QuantizedResult)
+	if !ok {
+		t.Fatalf("result type %T", res)
+	}
+	if len(q.Rows) != 2 {
+		t.Fatalf("rows = %d, want DET and TRA", len(q.Rows))
+	}
+	for _, row := range q.Rows {
+		if row.FloatMs <= 0 || row.Int8Ms <= 0 {
+			t.Errorf("%s: non-positive native timings %+v", row.Engine, row)
+		}
+		// The analytic model's ASIC must beat its CPU by orders of
+		// magnitude — that gap is the experiment's point of comparison.
+		if row.ASICMs <= 0 || row.CPUMs/row.ASICMs < 10 {
+			t.Errorf("%s: model gap %v/%v too small", row.Engine, row.CPUMs, row.ASICMs)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Engine", "DET", "TRA", "model-ASIC-ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
 		}
 	}
 }

@@ -66,108 +66,21 @@ func (g *Gray) Fill(v uint8) {
 // clipped rectangle is empty a 1×1 black image is returned, so callers (the
 // GOTURN crop path) never receive an unusable region.
 func (g *Gray) Crop(r Rect) *Gray {
-	c := r.Clip(0, 0, g.W, g.H)
-	if c.Empty() {
-		return NewGray(1, 1)
-	}
-	// Sub-pixel extents truncate to zero; clamp to one pixel so callers
-	// always receive a usable image.
-	w := int(c.W())
-	if w < 1 {
-		w = 1
-	}
-	h := int(c.H())
-	if h < 1 {
-		h = 1
-	}
-	out := NewGray(w, h)
-	x0, y0 := int(c.X0), int(c.Y0)
-	for y := 0; y < h; y++ {
-		src := (y0+y)*g.W + x0
-		copy(out.Pix[y*w:(y+1)*w], g.Pix[src:src+w])
-	}
-	return out
+	return g.CropInto(nil, r)
 }
 
 // Resize scales the image to w×h with bilinear interpolation. Used by the
 // DNN front-ends (YOLO/GOTURN resize the frame to the network input dims)
 // and by the Fig 13 resolution sweep.
 func (g *Gray) Resize(w, h int) *Gray {
-	if w <= 0 || h <= 0 {
-		panic(fmt.Sprintf("img: invalid resize to %dx%d", w, h))
-	}
-	out := NewGray(w, h)
-	if w == g.W && h == g.H {
-		copy(out.Pix, g.Pix)
-		return out
-	}
-	xRatio := float64(g.W) / float64(w)
-	yRatio := float64(g.H) / float64(h)
-	for y := 0; y < h; y++ {
-		sy := (float64(y) + 0.5) * yRatio
-		y0 := int(sy - 0.5)
-		fy := sy - 0.5 - float64(y0)
-		if y0 < 0 {
-			y0, fy = 0, 0
-		}
-		y1 := y0 + 1
-		if y1 >= g.H {
-			y1 = g.H - 1
-		}
-		for x := 0; x < w; x++ {
-			sx := (float64(x) + 0.5) * xRatio
-			x0 := int(sx - 0.5)
-			fx := sx - 0.5 - float64(x0)
-			if x0 < 0 {
-				x0, fx = 0, 0
-			}
-			x1 := x0 + 1
-			if x1 >= g.W {
-				x1 = g.W - 1
-			}
-			p00 := float64(g.Pix[y0*g.W+x0])
-			p01 := float64(g.Pix[y0*g.W+x1])
-			p10 := float64(g.Pix[y1*g.W+x0])
-			p11 := float64(g.Pix[y1*g.W+x1])
-			top := p00*(1-fx) + p01*fx
-			bot := p10*(1-fx) + p11*fx
-			out.Pix[y*w+x] = uint8(top*(1-fy) + bot*fy + 0.5)
-		}
-	}
-	return out
+	return g.ResizeInto(nil, w, h)
 }
 
 // BoxBlur returns the image smoothed with a (2r+1)² box filter, computed via
 // an integral image so cost is independent of r. The FAST detector in the
 // SLAM engine runs on a lightly smoothed image, as ORB does.
 func (g *Gray) BoxBlur(r int) *Gray {
-	if r <= 0 {
-		return g.Clone()
-	}
-	ii := NewIntegral(g)
-	out := NewGray(g.W, g.H)
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			x0, y0 := x-r, y-r
-			x1, y1 := x+r+1, y+r+1
-			if x0 < 0 {
-				x0 = 0
-			}
-			if y0 < 0 {
-				y0 = 0
-			}
-			if x1 > g.W {
-				x1 = g.W
-			}
-			if y1 > g.H {
-				y1 = g.H
-			}
-			sum := ii.Sum(x0, y0, x1, y1)
-			area := (x1 - x0) * (y1 - y0)
-			out.Pix[y*g.W+x] = uint8((sum + int64(area)/2) / int64(area))
-		}
-	}
-	return out
+	return g.BoxBlurInto(nil, nil, r)
 }
 
 // Integral is a summed-area table: Cum[y][x] holds the sum of all pixels in
@@ -179,15 +92,8 @@ type Integral struct {
 
 // NewIntegral computes the integral image of g.
 func NewIntegral(g *Gray) *Integral {
-	w1, h1 := g.W+1, g.H+1
-	ii := &Integral{W: g.W, H: g.H, Cum: make([]int64, w1*h1)}
-	for y := 1; y < h1; y++ {
-		var rowSum int64
-		for x := 1; x < w1; x++ {
-			rowSum += int64(g.Pix[(y-1)*g.W+(x-1)])
-			ii.Cum[y*w1+x] = ii.Cum[(y-1)*w1+x] + rowSum
-		}
-	}
+	ii := &Integral{}
+	ii.Reset(g)
 	return ii
 }
 

@@ -1,0 +1,159 @@
+package img
+
+import "fmt"
+
+// This file holds the destination-reuse variants of the allocating image
+// operations. Each XxxInto(dst, ...) writes into dst's backing store when it
+// is large enough, growing it otherwise, and returns dst; passing nil
+// allocates. Results are bitwise-identical to the allocating originals —
+// buffer reuse never changes pixel math. None of these accept dst aliasing
+// the source image.
+
+// grayInto returns dst reshaped to w×h, growing its pixel store as needed;
+// nil allocates a fresh image. Contents are unspecified — callers fully
+// overwrite the pixels.
+func grayInto(dst *Gray, w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("img: invalid dimensions %dx%d", w, h))
+	}
+	if dst == nil {
+		return NewGray(w, h)
+	}
+	n := w * h
+	if cap(dst.Pix) < n {
+		dst.Pix = make([]uint8, n)
+	}
+	dst.W, dst.H, dst.Pix = w, h, dst.Pix[:n]
+	return dst
+}
+
+// CropInto is Crop writing into dst (nil allocates).
+func (g *Gray) CropInto(dst *Gray, r Rect) *Gray {
+	c := r.Clip(0, 0, g.W, g.H)
+	if c.Empty() {
+		out := grayInto(dst, 1, 1)
+		out.Pix[0] = 0
+		return out
+	}
+	// Sub-pixel extents truncate to zero; clamp to one pixel so callers
+	// always receive a usable image.
+	w := int(c.W())
+	if w < 1 {
+		w = 1
+	}
+	h := int(c.H())
+	if h < 1 {
+		h = 1
+	}
+	out := grayInto(dst, w, h)
+	x0, y0 := int(c.X0), int(c.Y0)
+	for y := 0; y < h; y++ {
+		src := (y0+y)*g.W + x0
+		copy(out.Pix[y*w:(y+1)*w], g.Pix[src:src+w])
+	}
+	return out
+}
+
+// ResizeInto is Resize writing into dst (nil allocates).
+func (g *Gray) ResizeInto(dst *Gray, w, h int) *Gray {
+	out := grayInto(dst, w, h)
+	if w == g.W && h == g.H {
+		copy(out.Pix, g.Pix)
+		return out
+	}
+	xRatio := float64(g.W) / float64(w)
+	yRatio := float64(g.H) / float64(h)
+	for y := 0; y < h; y++ {
+		sy := (float64(y) + 0.5) * yRatio
+		y0 := int(sy - 0.5)
+		fy := sy - 0.5 - float64(y0)
+		if y0 < 0 {
+			y0, fy = 0, 0
+		}
+		y1 := y0 + 1
+		if y1 >= g.H {
+			y1 = g.H - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := (float64(x) + 0.5) * xRatio
+			x0 := int(sx - 0.5)
+			fx := sx - 0.5 - float64(x0)
+			if x0 < 0 {
+				x0, fx = 0, 0
+			}
+			x1 := x0 + 1
+			if x1 >= g.W {
+				x1 = g.W - 1
+			}
+			p00 := float64(g.Pix[y0*g.W+x0])
+			p01 := float64(g.Pix[y0*g.W+x1])
+			p10 := float64(g.Pix[y1*g.W+x0])
+			p11 := float64(g.Pix[y1*g.W+x1])
+			top := p00*(1-fx) + p01*fx
+			bot := p10*(1-fx) + p11*fx
+			out.Pix[y*w+x] = uint8(top*(1-fy) + bot*fy + 0.5)
+		}
+	}
+	return out
+}
+
+// Reset recomputes ii as the integral image of g, growing the cumulative
+// table as needed. The receiver must be non-nil; use NewIntegral for
+// one-shot computation.
+func (ii *Integral) Reset(g *Gray) {
+	w1, h1 := g.W+1, g.H+1
+	n := w1 * h1
+	if cap(ii.Cum) < n {
+		ii.Cum = make([]int64, n)
+	}
+	ii.W, ii.H, ii.Cum = g.W, g.H, ii.Cum[:n]
+	// Row 0 and column 0 are zero by construction; rewrite them explicitly
+	// since the buffer may hold a previous image's sums.
+	for x := 0; x < w1; x++ {
+		ii.Cum[x] = 0
+	}
+	for y := 1; y < h1; y++ {
+		ii.Cum[y*w1] = 0
+		var rowSum int64
+		for x := 1; x < w1; x++ {
+			rowSum += int64(g.Pix[(y-1)*g.W+(x-1)])
+			ii.Cum[y*w1+x] = ii.Cum[(y-1)*w1+x] + rowSum
+		}
+	}
+}
+
+// BoxBlurInto is BoxBlur writing into dst (nil allocates), reusing ii as the
+// integral-image workspace when non-nil.
+func (g *Gray) BoxBlurInto(dst *Gray, ii *Integral, r int) *Gray {
+	out := grayInto(dst, g.W, g.H)
+	if r <= 0 {
+		copy(out.Pix, g.Pix)
+		return out
+	}
+	if ii == nil {
+		ii = &Integral{}
+	}
+	ii.Reset(g)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			x0, y0 := x-r, y-r
+			x1, y1 := x+r+1, y+r+1
+			if x0 < 0 {
+				x0 = 0
+			}
+			if y0 < 0 {
+				y0 = 0
+			}
+			if x1 > g.W {
+				x1 = g.W
+			}
+			if y1 > g.H {
+				y1 = g.H
+			}
+			sum := ii.Sum(x0, y0, x1, y1)
+			area := (x1 - x0) * (y1 - y0)
+			out.Pix[y*g.W+x] = uint8((sum + int64(area)/2) / int64(area))
+		}
+	}
+	return out
+}

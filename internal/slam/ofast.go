@@ -60,6 +60,13 @@ func DefaultFASTConfig() FASTConfig {
 // 3×3 non-maximum suppression, each keypoint assigned an intensity-centroid
 // orientation. Keypoints are returned strongest first.
 func DetectFAST(im *img.Gray, cfg FASTConfig) []Keypoint {
+	return detectFAST(im, cfg, nil)
+}
+
+// detectFAST is DetectFAST with an optional reusable score buffer (the
+// returned keypoints are always freshly allocated — callers retain them
+// across frames, so they must not alias scratch memory).
+func detectFAST(im *img.Gray, cfg FASTConfig, scratch []int) []Keypoint {
 	if cfg.ContigMin <= 0 || cfg.ContigMin > 16 {
 		cfg.ContigMin = 9
 	}
@@ -67,13 +74,42 @@ func DetectFAST(im *img.Gray, cfg FASTConfig) []Keypoint {
 		cfg.Border = 4
 	}
 	w, h := im.W, im.H
-	scores := make([]int, w*h)
+	scores := scratch
+	if cap(scores) < w*h {
+		scores = make([]int, w*h)
+	} else {
+		scores = scores[:w*h]
+		for i := range scores {
+			scores[i] = 0
+		}
+	}
 
 	for y := cfg.Border; y < h-cfg.Border; y++ {
+		row := y * w
 		for x := cfg.Border; x < w-cfg.Border; x++ {
+			// Compass pre-test: any contiguous run of >= 9 among the 16
+			// circle positions must include one of {0,8} (top/bottom) AND
+			// one of {4,12} (right/left) — each pair is 8 apart, and 9
+			// consecutive positions always span one of each. Checking those
+			// four pixels first rejects the overwhelmingly common flat case
+			// with 4 loads instead of 16; it is a pure necessary condition,
+			// so surviving candidates produce bitwise-identical scores.
+			if cfg.ContigMin >= 9 {
+				c := int(im.Pix[row+x])
+				t := cfg.Threshold
+				d0 := int(im.Pix[row-3*w+x]) - c
+				d8 := int(im.Pix[row+3*w+x]) - c
+				d4 := int(im.Pix[row+x+3]) - c
+				d12 := int(im.Pix[row+x-3]) - c
+				bright := (d0 > t || d8 > t) && (d4 > t || d12 > t)
+				dark := (d0 < -t || d8 < -t) && (d4 < -t || d12 < -t)
+				if !bright && !dark {
+					continue
+				}
+			}
 			s := fastScore(im, x, y, cfg.Threshold, cfg.ContigMin)
 			if s > 0 {
-				scores[y*w+x] = s
+				scores[row+x] = s
 			}
 		}
 	}
@@ -156,20 +192,23 @@ func hasContigRun(mask uint32, n int) bool {
 	if mask == 0 {
 		return false
 	}
-	// Duplicate the 16-bit pattern to handle wraparound runs.
-	ext := mask | mask<<16
-	run := 0
-	for i := 0; i < 32; i++ {
-		if ext&(1<<uint(i)) != 0 {
-			run++
-			if run >= n {
-				return true
-			}
-		} else {
-			run = 0
+	// Duplicate the 16-bit pattern to handle wraparound runs, then collapse
+	// runs with the shift-and-AND doubling trick: after ANDing with the
+	// pattern shifted by k, a set bit proves a run of k+1 ending there.
+	// log(n) word ops replace the old 32-iteration bit scan.
+	ext := uint64(mask) | uint64(mask)<<16
+	remaining := n - 1
+	shift := 1
+	for remaining > 0 && ext != 0 {
+		s := shift
+		if s > remaining {
+			s = remaining
 		}
+		ext &= ext << uint(s)
+		remaining -= s
+		shift *= 2
 	}
-	return false
+	return ext != 0
 }
 
 // orientation computes the intensity-centroid angle atan2(m01, m10) over a

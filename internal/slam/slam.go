@@ -106,6 +106,8 @@ type Engine struct {
 	relocalizations int
 	loopClosures    int
 	mapUpdates      int
+
+	fe FEScratch // reusable FE-stage buffers (engine is single-goroutine)
 }
 
 // NewEngine builds a localization engine over a monolithic in-memory prior
@@ -167,11 +169,35 @@ func (e *Engine) LoopClosures() int { return e.loopClosures }
 // MapUpdates reports keyframes added by local mapping at runtime.
 func (e *Engine) MapUpdates() int { return e.mapUpdates }
 
+// FEScratch holds the FE stage's reusable working buffers: the smoothed
+// image, its integral-image workspace and the FAST score map. The returned
+// keypoints/descriptors never alias scratch memory (callers retain them
+// across frames); only transient intermediates are reused. Not safe for
+// concurrent use.
+type FEScratch struct {
+	smoothed img.Gray
+	integral img.Integral
+	scores   []int
+}
+
 // ExtractFeatures runs the FE stage (oFAST + rBRIEF) on a frame. Exposed so
 // survey runs and benchmarks exercise exactly the code the engine uses.
 func ExtractFeatures(frame *img.Gray, cfg FASTConfig) ([]Keypoint, []Descriptor) {
-	smoothed := frame.BoxBlur(1)
-	kps := DetectFAST(smoothed, cfg)
+	return ExtractFeaturesScratch(frame, cfg, nil)
+}
+
+// ExtractFeaturesScratch is ExtractFeatures drawing its intermediates from
+// s (nil uses a throwaway scratch). Results are bitwise-identical to
+// ExtractFeatures.
+func ExtractFeaturesScratch(frame *img.Gray, cfg FASTConfig, s *FEScratch) ([]Keypoint, []Descriptor) {
+	if s == nil {
+		s = &FEScratch{}
+	}
+	smoothed := frame.BoxBlurInto(&s.smoothed, &s.integral, 1)
+	if cap(s.scores) < smoothed.W*smoothed.H {
+		s.scores = make([]int, smoothed.W*smoothed.H)
+	}
+	kps := detectFAST(smoothed, cfg, s.scores)
 	descs := ComputeAll(smoothed, kps)
 	return kps, descs
 }
@@ -181,7 +207,7 @@ func (e *Engine) extract(frame *img.Gray) ([]Keypoint, []Descriptor) {
 	if e.cfg.Pyramid.Levels > 1 {
 		return ExtractFeaturesPyramid(frame, e.cfg.FAST, e.cfg.Pyramid)
 	}
-	return ExtractFeatures(frame, e.cfg.FAST)
+	return ExtractFeaturesScratch(frame, e.cfg.FAST, &e.fe)
 }
 
 // Survey adds a keyframe for a frame observed at a known pose if the map

@@ -2,6 +2,7 @@ package slam
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -115,7 +116,7 @@ func TestHasContigRun(t *testing.T) {
 }
 
 func TestOrientationDirection(t *testing.T) {
-	// Bright半 on the right: centroid points along +x, angle ~0.
+	// Bright half on the right: centroid points along +x, angle ~0.
 	f := img.NewGray(64, 64)
 	for y := 0; y < 64; y++ {
 		for x := 32; x < 64; x++ {
@@ -632,5 +633,85 @@ func TestLocalizationAcrossIllumination(t *testing.T) {
 	}
 	if tracked < 15 {
 		t.Errorf("localized only %d/20 frames under 0.8x illumination", tracked)
+	}
+}
+
+// Exhaustive check of the shift-and-AND run detector against a brute-force
+// circular scan, over every run length and 40k random masks plus the full
+// low-16-bit space for n=9 (the FAST-9 case).
+func TestHasContigRunAgainstBruteForce(t *testing.T) {
+	brute := func(mask uint32, n int) bool {
+		for start := 0; start < 16; start++ {
+			run := 0
+			for i := 0; i < 16; i++ {
+				if mask&(1<<uint((start+i)%16)) != 0 {
+					run++
+					if run >= n {
+						return true
+					}
+				} else {
+					break
+				}
+			}
+		}
+		return false
+	}
+	for mask := uint32(0); mask < 1<<16; mask++ {
+		if got, want := hasContigRun(mask, 9), brute(mask, 9); got != want {
+			t.Fatalf("hasContigRun(%#x, 9) = %v, want %v", mask, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40000; trial++ {
+		mask := uint32(rng.Intn(1 << 16))
+		n := 1 + rng.Intn(16)
+		if got, want := hasContigRun(mask, n), brute(mask, n); got != want {
+			t.Fatalf("hasContigRun(%#x, %d) = %v, want %v", mask, n, got, want)
+		}
+	}
+}
+
+// The compass pre-test rests on this fact: any run of >= 9 contiguous
+// circle points must contain at least one of the north/south axis points
+// {0, 8} AND at least one of the east/west points {4, 12}. Verify it over
+// the whole mask space so the fast rejection can never drop a corner.
+func TestCompassPretestIsNecessaryCondition(t *testing.T) {
+	for mask := uint32(0); mask < 1<<16; mask++ {
+		if !hasContigRun(mask, 9) {
+			continue
+		}
+		ns := mask&(1<<0) != 0 || mask&(1<<8) != 0
+		ew := mask&(1<<4) != 0 || mask&(1<<12) != 0
+		if !ns || !ew {
+			t.Fatalf("mask %#x has a 9-run but misses a compass axis (ns=%v ew=%v)", mask, ns, ew)
+		}
+	}
+}
+
+// ExtractFeaturesScratch is ExtractFeatures routed through a reusable
+// buffer set; results must be bitwise-identical, including across reuse.
+func TestExtractFeaturesScratchIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var s FEScratch
+	for trial := 0; trial < 3; trial++ {
+		f := img.NewGray(128, 96)
+		for i := range f.Pix {
+			f.Pix[i] = uint8(rng.Intn(256))
+		}
+		cfg := DefaultFASTConfig()
+		wantK, wantD := ExtractFeatures(f, cfg)
+		gotK, gotD := ExtractFeaturesScratch(f, cfg, &s)
+		if len(gotK) != len(wantK) || len(gotD) != len(wantD) {
+			t.Fatalf("trial %d: %d/%d features scratch vs %d/%d plain",
+				trial, len(gotK), len(gotD), len(wantK), len(wantD))
+		}
+		for i := range wantK {
+			if gotK[i] != wantK[i] {
+				t.Fatalf("trial %d: kp[%d] = %+v, want %+v", trial, i, gotK[i], wantK[i])
+			}
+			if gotD[i] != wantD[i] {
+				t.Fatalf("trial %d: desc[%d] differs", trial, i)
+			}
+		}
 	}
 }

@@ -16,7 +16,7 @@ import (
 type Distribution struct {
 	samples []float64
 	sorted  bool
-	sum     float64
+	sum     kahanSum
 }
 
 // NewDistribution returns an empty distribution with capacity for n samples.
@@ -28,7 +28,7 @@ func NewDistribution(n int) *Distribution {
 func (d *Distribution) Add(v float64) {
 	d.samples = append(d.samples, v)
 	d.sorted = false
-	d.sum += v
+	d.sum.fold(v)
 }
 
 // AddAll records every sample in vs.
@@ -46,7 +46,7 @@ func (d *Distribution) Mean() float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
-	return d.sum / float64(len(d.samples))
+	return d.sum.value() / float64(len(d.samples))
 }
 
 // Min returns the smallest sample, or 0 for an empty distribution.

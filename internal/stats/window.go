@@ -33,12 +33,34 @@ type Window struct {
 	buf      []float64 // ring storage, len == capacity
 	head     int       // next write position
 	count    int       // samples currently held (≤ capacity)
-	sum      float64   // sum of the samples currently held
+	sum      kahanSum  // compensated sum of the samples currently held
 	totalN   int64     // lifetime samples observed
 	totalSum float64   // lifetime sum
 	scratch  []float64 // sorted copy of the window, valid when !dirty
 	dirty    bool
 }
+
+// kahanSum is a Neumaier-compensated float64 accumulator: fold errors are
+// carried in a second term instead of being discarded, so long add (and
+// add/subtract) streams cannot drift arbitrarily far from the true sum.
+// Distribution and Window share it, which keeps their means bitwise-equal
+// over the same sample sequence.
+type kahanSum struct{ sum, comp float64 }
+
+// fold accumulates v (Neumaier's variant, which also handles |v| exceeding
+// |sum|).
+func (k *kahanSum) fold(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.comp += (k.sum - t) + v
+	} else {
+		k.comp += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// value returns the compensated total.
+func (k *kahanSum) value() float64 { return k.sum + k.comp }
 
 // NewWindow returns an empty window holding the most recent capacity
 // samples; capacity <= 0 selects DefaultWindowCap.
@@ -53,22 +75,37 @@ func NewWindow(capacity int) *Window {
 func (w *Window) Cap() int { return len(w.buf) }
 
 // Add folds one sample into the window, evicting the oldest sample once the
-// window is full. O(1).
+// window is full. Amortized O(1).
+//
+// The running sum is Neumaier-compensated and additionally recomputed from
+// the ring every time the write position wraps, so the add/subtract updates
+// across evictions cannot drift arbitrarily far from the true window sum
+// over long streams (each wrap resets accumulated error; compensation
+// bounds it in between).
 func (w *Window) Add(v float64) {
 	if w.count == len(w.buf) {
-		w.sum -= w.buf[w.head]
+		w.sum.fold(-w.buf[w.head])
 	} else {
 		w.count++
 	}
 	w.buf[w.head] = v
 	w.head++
+	w.sum.fold(v)
 	if w.head == len(w.buf) {
 		w.head = 0
+		w.recompute()
 	}
-	w.sum += v
 	w.totalN++
 	w.totalSum += v
 	w.dirty = true
+}
+
+// recompute re-derives the compensated sum from the ring contents alone.
+func (w *Window) recompute() {
+	w.sum = kahanSum{}
+	for _, v := range w.buf[:w.count] {
+		w.sum.fold(v)
+	}
 }
 
 // N reports the number of samples currently in the window.
@@ -86,7 +123,7 @@ func (w *Window) Mean() float64 {
 	if w.count == 0 {
 		return 0
 	}
-	return w.sum / float64(w.count)
+	return w.sum.value() / float64(w.count)
 }
 
 // TotalMean returns the lifetime mean over every sample ever folded in.

@@ -139,3 +139,46 @@ func BenchmarkWindowFoldAndQuery(b *testing.B) {
 		_ = w.P9999()
 	}
 }
+
+// Regression for the running-sum drift bug: the window sum used to be a
+// plain float64 updated by add/subtract on every eviction, so one huge
+// sample poisoned the mean long after it left the window (1e16 + 1 == 1e16
+// in float64, and the absorbed small samples stayed lost forever). The
+// compensated sum plus the recompute-on-wrap must recover exactly.
+func TestWindowMeanRecoversAfterHugeSample(t *testing.T) {
+	w := NewWindow(8)
+	w.Add(1e16)
+	for i := 0; i < 100; i++ {
+		w.Add(1.0)
+	}
+	if got := w.Mean(); got != 1.0 {
+		t.Fatalf("window mean %v after the huge sample left, want exactly 1.0", got)
+	}
+}
+
+// Long-stream drift: alternating large and small magnitudes for many times
+// the window capacity must keep the windowed mean glued to the true mean of
+// the current contents.
+func TestWindowLongStreamNoDrift(t *testing.T) {
+	w := NewWindow(64)
+	rng := NewRNG(99)
+	var all []float64
+	for i := 0; i < 64*200; i++ {
+		v := rng.Float64()
+		if i%3 == 0 {
+			v *= 1e12
+		}
+		w.Add(v)
+		all = append(all, v)
+	}
+	// Oracle: sum the last 64 samples directly.
+	var want float64
+	for _, v := range all[len(all)-64:] {
+		want += v
+	}
+	want /= float64(w.N())
+	got := w.Mean()
+	if math.Abs(got-want) > math.Abs(want)*1e-12 {
+		t.Fatalf("windowed mean drifted: %v, oracle %v", got, want)
+	}
+}

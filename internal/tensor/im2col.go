@@ -3,9 +3,13 @@ package tensor
 // Conv2DIm2Col computes the same convolution as Conv2D by lowering to an
 // explicit im2col matrix multiplication — the strategy Caffe/cuDNN-era
 // frameworks (the paper's software stack) use to turn convolutions into
-// GEMM. Semantics and results are identical to Conv2D; the memory/compute
-// trade-off differs: im2col materializes a (inC·k²) × (outH·outW) patch
-// matrix and then performs a dense multiply with better locality.
+// GEMM. Semantics match Conv2D; results agree to rounding tolerance (the
+// GEMM register-blocks four patch rows per pass, which reassociates the
+// float sum relative to Conv2D's tap order) and are bit-for-bit stable
+// across runs, worker counts and destination buffers. The memory/compute
+// trade-off differs from the direct loop: im2col materializes a
+// (inC·k²) × (outH·outW) patch matrix and then performs a dense multiply
+// with better locality.
 //
 // This is the single-threaded entry point; Conv2DIm2ColPar shards the same
 // kernel across goroutines with bitwise-identical results.

@@ -1,0 +1,302 @@
+// Int8 quantized inference kernels: the same im2col convolution and fully
+// connected layers as the float path, executed in 8-bit integer arithmetic
+// with per-output-channel symmetric weight scales and a dynamic per-tensor
+// input scale — the scheme EIE/Eyeriss-class inference ASICs (modelled in
+// internal/accel) and low-latency perception stacks use.
+//
+// Quantization contract:
+//
+//   - Weights: per output channel, q = round(w/s_oc), s_oc = maxabs(row)/127.
+//   - Inputs: per tensor per call (dynamic), q = round(x/s_in),
+//     s_in = maxabs(x)/127.
+//   - Accumulation: int32 (exact — products are ≤ 127², so sums stay exact
+//     up to ~130k MACs per output, far beyond any layer here).
+//   - Dequantization: y = acc·s_in·s_oc + bias, bias kept float32.
+//
+// Error budget: one rounding step of at most s/2 per operand, so the output
+// error is bounded by s_in·s_oc·(Σ|q_w|/2 + Σ|q_x|/2 + N/4) per element and
+// in practice lands well under 1% of the activation range for the network
+// shapes in the zoo (property-tested in int8_test.go; budget derivation in
+// DESIGN.md). Non-finite inputs are outside the contract: quantization
+// saturates them to ±127.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// maxAbs returns the largest absolute value in xs, treating NaN as 0 so a
+// corrupt activation cannot poison the scale of a whole tensor.
+func maxAbs(xs []float32) float32 {
+	var m float32
+	for _, v := range xs {
+		if v < 0 {
+			v = -v
+		}
+		if v > m { // NaN compares false, so NaN never becomes the max
+			m = v
+		}
+	}
+	return m
+}
+
+// quantizeInto writes round(x/scale) clamped to [-127,127] into dst.
+func quantizeInto(dst []int8, src []float32, scale float32) {
+	inv := float32(0)
+	if scale != 0 {
+		inv = 1 / scale
+	}
+	for i, v := range src {
+		q := math.Round(float64(v * inv))
+		switch {
+		case q > 127:
+			q = 127
+		case q < -127:
+			q = -127
+		case q != q: // NaN
+			q = 0
+		}
+		dst[i] = int8(q)
+	}
+}
+
+// QuantizeSymmetric quantizes src with one symmetric scale
+// (maxabs(src)/127) and returns the quantized values and the scale. A zero
+// tensor quantizes to zeros with scale 0.
+func QuantizeSymmetric(src []float32) ([]int8, float32) {
+	q := make([]int8, len(src))
+	scale := maxAbs(src) / 127
+	quantizeInto(q, src, scale)
+	return q, scale
+}
+
+// QuantizePerChannel quantizes the row-major matrix w ([rows][rowLen]) with
+// one symmetric scale per row — the per-output-channel weight quantization
+// the conv/FC int8 kernels consume. It panics if len(w) is not a multiple
+// of rows.
+func QuantizePerChannel(w []float32, rows int) ([]int8, []float32) {
+	if rows <= 0 || len(w)%rows != 0 {
+		panic(fmt.Sprintf("tensor: cannot split %d weights into %d channels", len(w), rows))
+	}
+	rowLen := len(w) / rows
+	q := make([]int8, len(w))
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*rowLen : (r+1)*rowLen]
+		scale := maxAbs(row) / 127
+		scales[r] = scale
+		quantizeInto(q[r*rowLen:(r+1)*rowLen], row, scale)
+	}
+	return q, scales
+}
+
+// lowerPatchesInt8 is the int8 im2col lowering: identical geometry to
+// lowerPatches, reading from the quantized input qin.
+func lowerPatchesInt8(patches []int8, qin []int8, inC, inH, inW, k, stride, pad, oh, ow, workers int) {
+	patchRows := inC * k * k
+	if workers <= 1 || patchRows <= 1 {
+		lowerPatchesInt8Range(patches, qin, inC, inH, inW, k, stride, pad, oh, ow, 0, patchRows)
+		return
+	}
+	shard(patchRows, workers, func(lo, hi int) {
+		lowerPatchesInt8Range(patches, qin, inC, inH, inW, k, stride, pad, oh, ow, lo, hi)
+	})
+}
+
+// lowerPatchesInt8Range writes int8 patch-matrix rows [lo,hi).
+func lowerPatchesInt8Range(patches []int8, qin []int8, inC, inH, inW, k, stride, pad, oh, ow, lo, hi int) {
+	cols := oh * ow
+	for row := lo; row < hi; row++ {
+		ic := row / (k * k)
+		rem := row % (k * k)
+		ky, kx := rem/k, rem%k
+		chanOff := ic * inH * inW
+		dst := patches[row*cols : (row+1)*cols]
+		col := 0
+		for oy := 0; oy < oh; oy++ {
+			iy := oy*stride - pad + ky
+			if iy < 0 || iy >= inH {
+				for ox := 0; ox < ow; ox++ {
+					dst[col] = 0
+					col++
+				}
+				continue
+			}
+			rowOff := chanOff + iy*inW
+			for ox := 0; ox < ow; ox++ {
+				ix := ox*stride - pad + kx
+				if ix >= 0 && ix < inW {
+					dst[col] = qin[rowOff+ix]
+				} else {
+					dst[col] = 0
+				}
+				col++
+			}
+		}
+	}
+}
+
+// macRows4 accumulates four weighted int8 rows into the int32 tile:
+// t[i] += Σ w_j·s_j[i]. A standalone function so the register allocator
+// works on a small body instead of the conv closure (which otherwise
+// spills the loop counter every iteration). Kept out of line: inlined
+// back into the closure it loses that benefit.
+//
+//go:noinline
+func macRows4(t []int32, s0, s1, s2, s3 []int8, w0, w1, w2, w3 int32) {
+	s1 = s1[:len(s0)]
+	s2 = s2[:len(s0)]
+	s3 = s3[:len(s0)]
+	t = t[:len(s0)]
+	for i, v0 := range s0 {
+		t[i] += w0*int32(v0) + w1*int32(s1[i]) + w2*int32(s2[i]) + w3*int32(s3[i])
+	}
+}
+
+// macRow accumulates one weighted int8 row into the int32 tile.
+//
+//go:noinline
+func macRow(t []int32, s []int8, w int32) {
+	t = t[:len(s)]
+	for i, v := range s {
+		t[i] += w * int32(v)
+	}
+}
+
+// Conv2DInt8 computes the quantized convolution of in: the input is
+// dynamically quantized to int8, multiplied against the pre-quantized
+// per-channel weights qw in int32 arithmetic, and dequantized into dst
+// (+bias, float32). qw/wScale come from QuantizePerChannel over the float
+// weights laid out [outC][inC·k·k]. dst nil allocates; s nil uses a
+// throwaway arena; a warm (dst, s) call allocates nothing.
+func Conv2DInt8(dst *T, in *T, qw []int8, wScale []float32, bias []float32, outC, k, stride, pad, workers int, s *Scratch) *T {
+	oh, ow := convShape(in, len(qw), outC, k, stride, pad)
+	if len(wScale) != outC {
+		panic(fmt.Sprintf("tensor: conv weight scales len %d, want %d", len(wScale), outC))
+	}
+	patchRows := in.C * k * k
+	cols := oh * ow
+	if int64(outC)*int64(patchRows)*int64(cols) < parMinMACs {
+		workers = 1
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	inScale := maxAbs(in.Data) / 127
+	qin := s.QIn(len(in.Data))
+	quantizeInto(qin, in.Data, inScale)
+	patches := s.QPatches(patchRows * cols)
+	lowerPatchesInt8(patches, qin, in.C, in.H, in.W, k, stride, pad, oh, ow, workers)
+
+	out := intoShape(dst, outC, oh, ow)
+	if workers <= 1 {
+		convInt8Range(out.Data, patches, qw, wScale, bias, inScale, patchRows, cols, 0, outC)
+	} else {
+		shard(outC, workers, func(lo, hi int) {
+			convInt8Range(out.Data, patches, qw, wScale, bias, inScale, patchRows, cols, lo, hi)
+		})
+	}
+	return out
+}
+
+// convInt8Range computes output channels [lo,hi) of the int8 GEMM.
+func convInt8Range(out []float32, patches, qw []int8, wScale, bias []float32, inScale float32, patchRows, cols, lo, hi int) {
+	// Tile the columns so the int32 accumulators stay in a small stack
+	// array: exact integer math, no heap accumulator buffer.
+	var acc [256]int32
+	for oc := lo; oc < hi; oc++ {
+		wRow := qw[oc*patchRows : (oc+1)*patchRows]
+		dq := inScale * wScale[oc]
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		dstRow := out[oc*cols : (oc+1)*cols]
+		for c0 := 0; c0 < cols; c0 += len(acc) {
+			c1 := c0 + len(acc)
+			if c1 > cols {
+				c1 = cols
+			}
+			n := c1 - c0
+			tile := acc[:n]
+			for i := range tile {
+				tile[i] = 0
+			}
+			r := 0
+			for ; r+4 <= patchRows; r += 4 {
+				macRows4(tile,
+					patches[r*cols+c0:r*cols+c1],
+					patches[(r+1)*cols+c0:(r+1)*cols+c1],
+					patches[(r+2)*cols+c0:(r+2)*cols+c1],
+					patches[(r+3)*cols+c0:(r+3)*cols+c1],
+					int32(wRow[r]), int32(wRow[r+1]), int32(wRow[r+2]), int32(wRow[r+3]))
+			}
+			for ; r < patchRows; r++ {
+				macRow(tile, patches[r*cols+c0:r*cols+c1], int32(wRow[r]))
+			}
+			d := dstRow[c0:c1]
+			for i, v := range tile[:len(d)] {
+				d[i] = float32(v)*dq + b
+			}
+		}
+	}
+}
+
+// FullyConnectedInt8 computes the quantized fully connected layer: input
+// dynamically quantized, int32 dot products against the per-output-row
+// quantized weights, dequantized + bias into dst. qw/wScale come from
+// QuantizePerChannel(w, outN). dst nil allocates; s nil uses a throwaway
+// arena.
+func FullyConnectedInt8(dst *T, in *T, qw []int8, wScale []float32, bias []float32, outN, workers int, s *Scratch) *T {
+	inN := in.Len()
+	if len(qw) != outN*inN {
+		panic(fmt.Sprintf("tensor: fc weights len %d, want %d", len(qw), outN*inN))
+	}
+	if len(wScale) != outN {
+		panic(fmt.Sprintf("tensor: fc weight scales len %d, want %d", len(wScale), outN))
+	}
+	if int64(outN)*int64(inN) < parMinMACs {
+		workers = 1
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	inScale := maxAbs(in.Data) / 127
+	qin := s.QIn(inN)
+	quantizeInto(qin, in.Data, inScale)
+
+	out := intoShape(dst, outN, 1, 1)
+	if workers <= 1 {
+		fcInt8Range(out.Data, qin, qw, wScale, bias, inScale, inN, 0, outN)
+	} else {
+		shard(outN, workers, func(lo, hi int) {
+			fcInt8Range(out.Data, qin, qw, wScale, bias, inScale, inN, lo, hi)
+		})
+	}
+	return out
+}
+
+// fcInt8Range computes output neurons [lo,hi) of the int8 FC layer.
+func fcInt8Range(out []float32, qin, qw []int8, wScale, bias []float32, inScale float32, inN, lo, hi int) {
+	for o := lo; o < hi; o++ {
+		row := qw[o*inN : (o+1)*inN]
+		var a0, a1, a2, a3 int32
+		i := 0
+		for ; i+4 <= inN; i += 4 {
+			a0 += int32(row[i]) * int32(qin[i])
+			a1 += int32(row[i+1]) * int32(qin[i+1])
+			a2 += int32(row[i+2]) * int32(qin[i+2])
+			a3 += int32(row[i+3]) * int32(qin[i+3])
+		}
+		acc := a0 + a1 + a2 + a3
+		for ; i < inN; i++ {
+			acc += int32(row[i]) * int32(qin[i])
+		}
+		sum := float32(acc) * (inScale * wScale[o])
+		if bias != nil {
+			sum += bias[o]
+		}
+		out[o] = sum
+	}
+}

@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeSymmetricRoundTrip(t *testing.T) {
+	src := []float32{-1, -0.5, 0, 0.25, 1}
+	q, scale := QuantizeSymmetric(src)
+	if scale == 0 {
+		t.Fatal("scale = 0 for non-zero tensor")
+	}
+	for i, want := range src {
+		got := float32(q[i]) * scale
+		if diff := math.Abs(float64(got - want)); diff > float64(scale)/2+1e-7 {
+			t.Errorf("q[%d]: dequant %v, want %v (off by %v > scale/2)", i, got, want, diff)
+		}
+	}
+	// The extreme value must hit the end of the int8 range exactly.
+	if q[4] != 127 || q[0] != -127 {
+		t.Errorf("extremes quantized to %d and %d, want 127 and -127", q[4], q[0])
+	}
+}
+
+func TestQuantizeSymmetricZeroTensor(t *testing.T) {
+	q, scale := QuantizeSymmetric(make([]float32, 8))
+	if scale != 0 {
+		t.Errorf("scale = %v, want 0", scale)
+	}
+	for i, v := range q {
+		if v != 0 {
+			t.Errorf("q[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestQuantizeNaNBecomesZero(t *testing.T) {
+	nan := float32(math.NaN())
+	q, scale := QuantizeSymmetric([]float32{1, nan, -1})
+	if scale == 0 {
+		t.Fatal("NaN poisoned the scale to 0")
+	}
+	if q[1] != 0 {
+		t.Errorf("NaN quantized to %d, want 0", q[1])
+	}
+	if q[0] != 127 || q[2] != -127 {
+		t.Errorf("finite values %d, %d — NaN corrupted the scale", q[0], q[2])
+	}
+}
+
+func TestQuantizePerChannelScalesIndependent(t *testing.T) {
+	// Two rows with very different magnitudes: per-channel scales keep the
+	// small row's resolution; one shared scale would crush it.
+	w := []float32{100, -50, 0.01, -0.005}
+	q, scales := QuantizePerChannel(w, 2)
+	if len(scales) != 2 {
+		t.Fatalf("got %d scales, want 2", len(scales))
+	}
+	if scales[0] == scales[1] {
+		t.Error("rows with different ranges got the same scale")
+	}
+	if q[2] != 127 {
+		t.Errorf("small row's max quantized to %d, want 127 (full resolution)", q[2])
+	}
+}
+
+func TestQuantizePerChannelPanicsOnRemainder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 5 weights over 2 rows")
+		}
+	}()
+	QuantizePerChannel(make([]float32, 5), 2)
+}
+
+// int8Tolerance bounds the quantized-vs-float output error for one output
+// element: one rounding step of at most scale/2 per operand plus the
+// product cross-term, summed over the reduction (see the package doc and
+// DESIGN.md). inMax/wMax are the max-abs of the input and of the weight
+// row, n the reduction length.
+func int8Tolerance(inMax, wMax float32, n int) float64 {
+	sIn := float64(inMax) / 127
+	sW := float64(wMax) / 127
+	// Σ|w_i|·s_in/2 + Σ|x_i|·s_w/2 + n·s_in·s_w/4, bounded by maxima.
+	return float64(n) * (float64(wMax)*sIn/2 + float64(inMax)*sW/2 + sIn*sW/4)
+}
+
+func TestConv2DInt8MatchesFloatProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		inC := 1 + rng.Intn(4)
+		hw := 4 + rng.Intn(13)
+		outC := 1 + rng.Intn(8)
+		k := 1 + 2*rng.Intn(2) // 1 or 3
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		if hw < k {
+			continue
+		}
+		in := New(inC, hw, hw)
+		for i := range in.Data {
+			in.Data[i] = float32(rng.NormFloat64())
+		}
+		w := make([]float32, outC*inC*k*k)
+		for i := range w {
+			w[i] = float32(rng.NormFloat64())
+		}
+		bias := make([]float32, outC)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
+
+		want := Conv2DIm2ColPar(in, w, bias, outC, k, stride, pad, 1)
+		qw, ws := QuantizePerChannel(w, outC)
+		got := Conv2DInt8(nil, in, qw, ws, bias, outC, k, stride, pad, 1, nil)
+
+		if got.C != want.C || got.H != want.H || got.W != want.W {
+			t.Fatalf("trial %d: shape %dx%dx%d, want %dx%dx%d",
+				trial, got.C, got.H, got.W, want.C, want.H, want.W)
+		}
+		inMax := maxAbs(in.Data)
+		cols := want.H * want.W
+		for oc := 0; oc < outC; oc++ {
+			wMax := maxAbs(w[oc*inC*k*k : (oc+1)*inC*k*k])
+			tol := int8Tolerance(inMax, wMax, inC*k*k)
+			for c := 0; c < cols; c++ {
+				i := oc*cols + c
+				if diff := math.Abs(float64(got.Data[i] - want.Data[i])); diff > tol {
+					t.Fatalf("trial %d (inC=%d hw=%d outC=%d k=%d): out[%d] int8 %v vs float %v, |diff| %v > budget %v",
+						trial, inC, hw, outC, k, i, got.Data[i], want.Data[i], diff, tol)
+				}
+			}
+		}
+	}
+}
+
+func TestFullyConnectedInt8MatchesFloatProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		inN := 1 + rng.Intn(256)
+		outN := 1 + rng.Intn(32)
+		in := New(inN, 1, 1)
+		for i := range in.Data {
+			in.Data[i] = float32(rng.NormFloat64())
+		}
+		w := make([]float32, outN*inN)
+		for i := range w {
+			w[i] = float32(rng.NormFloat64())
+		}
+		bias := make([]float32, outN)
+		for i := range bias {
+			bias[i] = float32(rng.NormFloat64())
+		}
+
+		want := FullyConnectedPar(in, w, bias, outN, 1)
+		qw, ws := QuantizePerChannel(w, outN)
+		got := FullyConnectedInt8(nil, in, qw, ws, bias, outN, 1, nil)
+
+		inMax := maxAbs(in.Data)
+		for o := 0; o < outN; o++ {
+			wMax := maxAbs(w[o*inN : (o+1)*inN])
+			tol := int8Tolerance(inMax, wMax, inN)
+			if diff := math.Abs(float64(got.Data[o] - want.Data[o])); diff > tol {
+				t.Fatalf("trial %d (inN=%d outN=%d): out[%d] int8 %v vs float %v, |diff| %v > budget %v",
+					trial, inN, outN, o, got.Data[o], want.Data[o], diff, tol)
+			}
+		}
+	}
+}
+
+func TestConv2DInt8ZeroInput(t *testing.T) {
+	// A zero input tensor has scale 0; the whole output must collapse to the
+	// bias, not NaN from a 0/0.
+	in := New(2, 5, 5)
+	w := make([]float32, 3*2*3*3)
+	for i := range w {
+		w[i] = 1
+	}
+	bias := []float32{1, 2, 3}
+	qw, ws := QuantizePerChannel(w, 3)
+	out := Conv2DInt8(nil, in, qw, ws, bias, 3, 3, 1, 1, 1, nil)
+	cols := out.H * out.W
+	for oc := 0; oc < 3; oc++ {
+		for c := 0; c < cols; c++ {
+			if got := out.Data[oc*cols+c]; got != bias[oc] {
+				t.Fatalf("out[%d][%d] = %v, want bias %v", oc, c, got, bias[oc])
+			}
+		}
+	}
+}
+
+func TestConv2DInt8DeterministicAcrossWorkersAndDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := New(3, 16, 16)
+	for i := range in.Data {
+		in.Data[i] = float32(rng.NormFloat64())
+	}
+	w := make([]float32, 8*3*3*3)
+	for i := range w {
+		w[i] = float32(rng.NormFloat64())
+	}
+	qw, ws := QuantizePerChannel(w, 8)
+	ref := Conv2DInt8(nil, in, qw, ws, nil, 8, 3, 1, 1, 1, nil)
+	for _, workers := range []int{2, 4} {
+		s := &Scratch{}
+		dst := New(8, 16, 16)
+		got := Conv2DInt8(dst, in, qw, ws, nil, 8, 3, 1, 1, workers, s)
+		for i := range ref.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v (int math must be exact)",
+					workers, i, got.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func BenchmarkConv2DInt8(b *testing.B) {
+	in := New(16, 64, 64)
+	for i := range in.Data {
+		in.Data[i] = float32(i%255)/255 - 0.5
+	}
+	w := make([]float32, 32*16*3*3)
+	for i := range w {
+		w[i] = float32(i%17)/17 - 0.5
+	}
+	bias := make([]float32, 32)
+	qw, ws := QuantizePerChannel(w, 32)
+	s := &Scratch{}
+	dst := New(32, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DInt8(dst, in, qw, ws, bias, 32, 3, 1, 1, 1, s)
+	}
+}
+
+func BenchmarkFullyConnectedInt8(b *testing.B) {
+	in := New(4096, 1, 1)
+	for i := range in.Data {
+		in.Data[i] = float32(i%255)/255 - 0.5
+	}
+	w := make([]float32, 256*4096)
+	for i := range w {
+		w[i] = float32(i%17)/17 - 0.5
+	}
+	bias := make([]float32, 256)
+	qw, ws := QuantizePerChannel(w, 256)
+	s := &Scratch{}
+	dst := New(256, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FullyConnectedInt8(dst, in, qw, ws, bias, 256, 1, s)
+	}
+}

@@ -42,91 +42,183 @@ func shard(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// convShape validates conv arguments and returns the output spatial dims.
+func convShape(in *T, wLen, outC, k, stride, pad int) (oh, ow int) {
+	if stride <= 0 || k <= 0 {
+		panic(fmt.Sprintf("tensor: invalid conv k=%d stride=%d", k, stride))
+	}
+	if wLen != outC*in.C*k*k {
+		panic(fmt.Sprintf("tensor: conv weights len %d, want %d", wLen, outC*in.C*k*k))
+	}
+	oh = (in.H+2*pad-k)/stride + 1
+	ow = (in.W+2*pad-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d non-positive", oh, ow))
+	}
+	return oh, ow
+}
+
+// intoShape returns dst reshaped to c×h×w, allocating a fresh tensor when
+// dst is nil. dst's backing array must already hold c·h·w elements; the
+// scratch Buf slots guarantee that.
+func intoShape(dst *T, c, h, w int) *T {
+	if dst == nil {
+		return New(c, h, w)
+	}
+	if len(dst.Data) != c*h*w {
+		panic(fmt.Sprintf("tensor: dst holds %d elements, want %dx%dx%d", len(dst.Data), c, h, w))
+	}
+	dst.C, dst.H, dst.W = c, h, w
+	return dst
+}
+
+// lowerPatches writes the im2col patch matrix for in into patches: rows are
+// (ic, ky, kx) weight positions, columns are output pixels. Every element is
+// written — out-of-bounds (padding) taps get explicit zeros — so the buffer
+// needs no pre-clearing and reuse across frames is safe.
+// The kernels below split each loop body into a top-level ...Range function
+// plus a thin dispatcher: when workers <= 1 the range function is called
+// directly, so no closure is materialized and a warm serial call performs
+// zero heap allocations (gated by TestAlloc*). The parallel branch builds
+// the closure that shard's goroutines need — a couple of transient
+// allocations, amortized by the fan-out they pay for.
+func lowerPatches(patches []float32, in *T, k, stride, pad, oh, ow, workers int) {
+	patchRows := in.C * k * k
+	if workers <= 1 || patchRows <= 1 {
+		lowerPatchesRange(patches, in, k, stride, pad, oh, ow, 0, patchRows)
+		return
+	}
+	shard(patchRows, workers, func(lo, hi int) {
+		lowerPatchesRange(patches, in, k, stride, pad, oh, ow, lo, hi)
+	})
+}
+
+// lowerPatchesRange writes patch-matrix rows [lo,hi).
+func lowerPatchesRange(patches []float32, in *T, k, stride, pad, oh, ow, lo, hi int) {
+	cols := oh * ow
+	for row := lo; row < hi; row++ {
+		ic := row / (k * k)
+		rem := row % (k * k)
+		ky, kx := rem/k, rem%k
+		chanOff := ic * in.H * in.W
+		dst := patches[row*cols : (row+1)*cols]
+		col := 0
+		for oy := 0; oy < oh; oy++ {
+			iy := oy*stride - pad + ky
+			if iy < 0 || iy >= in.H {
+				for ox := 0; ox < ow; ox++ {
+					dst[col] = 0
+					col++
+				}
+				continue
+			}
+			rowOff := chanOff + iy*in.W
+			for ox := 0; ox < ow; ox++ {
+				ix := ox*stride - pad + kx
+				if ix >= 0 && ix < in.W {
+					dst[col] = in.Data[rowOff+ix]
+				} else {
+					dst[col] = 0
+				}
+				col++
+			}
+		}
+	}
+}
+
 // Conv2DIm2ColPar is Conv2DIm2Col with the patch lowering sharded across
 // weight-position rows and the GEMM sharded across output channels, spread
 // over up to workers goroutines. Every output element is produced by exactly
 // one goroutine with the same inner-loop order as the serial kernel, so the
 // result is bitwise-identical to Conv2DIm2Col for any worker count.
 func Conv2DIm2ColPar(in *T, w []float32, bias []float32, outC, k, stride, pad, workers int) *T {
-	if stride <= 0 || k <= 0 {
-		panic(fmt.Sprintf("tensor: invalid conv k=%d stride=%d", k, stride))
-	}
-	if len(w) != outC*in.C*k*k {
-		panic(fmt.Sprintf("tensor: conv weights len %d, want %d", len(w), outC*in.C*k*k))
-	}
-	oh := (in.H+2*pad-k)/stride + 1
-	ow := (in.W+2*pad-k)/stride + 1
-	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: conv output %dx%d non-positive", oh, ow))
-	}
+	return Conv2DIm2ColParInto(nil, in, w, bias, outC, k, stride, pad, workers, nil)
+}
 
+// Conv2DIm2ColParInto is Conv2DIm2ColPar writing into dst with every
+// intermediate buffer drawn from s, so a warm call allocates nothing. dst
+// nil allocates the output; s nil uses a throwaway arena. dst must not
+// alias in. Results are bitwise-identical to Conv2DIm2ColPar for any
+// (dst, s) combination: buffer reuse never changes arithmetic.
+//
+// The GEMM accumulates four patch rows per pass (register blocking). That
+// reassociates the floating-point sum relative to the direct Conv2D loop,
+// so equivalence with Conv2D is to rounding tolerance, not bitwise; the
+// blocking itself is fixed, so results never vary run to run or with the
+// worker count. Zero weights still multiply into the sum (no sparsity
+// skip), so non-finite inputs propagate exactly as in Conv2D: 0·NaN = NaN.
+func Conv2DIm2ColParInto(dst *T, in *T, w []float32, bias []float32, outC, k, stride, pad, workers int, s *Scratch) *T {
+	oh, ow := convShape(in, len(w), outC, k, stride, pad)
 	patchRows := in.C * k * k
 	cols := oh * ow
 	if int64(outC)*int64(patchRows)*int64(cols) < parMinMACs {
 		workers = 1
 	}
-
-	// Lower the input into the patch matrix: rows are (ic, ky, kx) weight
-	// positions, columns are output pixels. Each row is written by exactly
-	// one goroutine.
-	patches := make([]float32, patchRows*cols)
-	shard(patchRows, workers, func(lo, hi int) {
-		for row := lo; row < hi; row++ {
-			ic := row / (k * k)
-			rem := row % (k * k)
-			ky, kx := rem/k, rem%k
-			chanOff := ic * in.H * in.W
-			dst := patches[row*cols : (row+1)*cols]
-			col := 0
-			for oy := 0; oy < oh; oy++ {
-				iy := oy*stride - pad + ky
-				if iy < 0 || iy >= in.H {
-					col += ow // whole row of zeros
-					continue
-				}
-				rowOff := chanOff + iy*in.W
-				for ox := 0; ox < ow; ox++ {
-					ix := ox*stride - pad + kx
-					if ix >= 0 && ix < in.W {
-						dst[col] = in.Data[rowOff+ix]
-					}
-					col++
-				}
-			}
-		}
-	})
+	if s == nil {
+		s = &Scratch{}
+	}
+	patches := s.Patches(patchRows * cols)
+	lowerPatches(patches, in, k, stride, pad, oh, ow, workers)
 
 	// GEMM: out[oc][col] = Σ_r w[oc][r] · patches[r][col] (+ bias). Each
 	// output channel is written by exactly one goroutine.
-	out := New(outC, oh, ow)
-	shard(outC, workers, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			dst := out.Data[oc*cols : (oc+1)*cols]
-			if bias != nil {
-				b := bias[oc]
-				for i := range dst {
-					dst[i] = b
-				}
-			}
-			wRow := w[oc*patchRows : (oc+1)*patchRows]
-			for r, wv := range wRow {
-				if wv == 0 {
-					continue
-				}
-				src := patches[r*cols : (r+1)*cols]
-				for i, pv := range src {
-					dst[i] += wv * pv
-				}
-			}
-		}
-	})
+	out := intoShape(dst, outC, oh, ow)
+	if workers <= 1 {
+		convGemmRange(out.Data, patches, w, bias, patchRows, cols, 0, outC)
+	} else {
+		shard(outC, workers, func(lo, hi int) {
+			convGemmRange(out.Data, patches, w, bias, patchRows, cols, lo, hi)
+		})
+	}
 	return out
 }
 
+// convGemmRange computes output channels [lo,hi) of the im2col GEMM.
+func convGemmRange(out, patches, w, bias []float32, patchRows, cols, lo, hi int) {
+	for oc := lo; oc < hi; oc++ {
+		acc := out[oc*cols : (oc+1)*cols]
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		for i := range acc {
+			acc[i] = b
+		}
+		wRow := w[oc*patchRows : (oc+1)*patchRows]
+		r := 0
+		for ; r+4 <= patchRows; r += 4 {
+			w0, w1, w2, w3 := wRow[r], wRow[r+1], wRow[r+2], wRow[r+3]
+			s0 := patches[r*cols : (r+1)*cols]
+			s1 := patches[(r+1)*cols : (r+2)*cols]
+			s2 := patches[(r+2)*cols : (r+3)*cols]
+			s3 := patches[(r+3)*cols : (r+4)*cols]
+			for i, v0 := range s0 {
+				acc[i] += w0*v0 + w1*s1[i] + w2*s2[i] + w3*s3[i]
+			}
+		}
+		for ; r < patchRows; r++ {
+			wv := wRow[r]
+			src := patches[r*cols : (r+1)*cols]
+			for i, pv := range src {
+				acc[i] += wv * pv
+			}
+		}
+	}
+}
+
 // FullyConnectedPar is FullyConnected with the output neurons sharded over
-// up to workers goroutines. Each neuron's dot product runs in the serial
-// kernel's order, so the result is bitwise-identical for any worker count.
+// up to workers goroutines. Each neuron's dot product runs in a fixed
+// four-accumulator order, so the result is bitwise-identical for any worker
+// count.
 func FullyConnectedPar(in *T, w []float32, bias []float32, outN, workers int) *T {
+	return FullyConnectedParInto(nil, in, w, bias, outN, workers)
+}
+
+// FullyConnectedParInto is FullyConnectedPar writing into dst (nil
+// allocates). Each dot product runs four interleaved accumulator chains
+// (fixed reassociation, identical for every worker count and destination),
+// which roughly doubles single-core throughput on the FC heads.
+func FullyConnectedParInto(dst *T, in *T, w []float32, bias []float32, outN, workers int) *T {
 	inN := in.Len()
 	if len(w) != outN*inN {
 		panic(fmt.Sprintf("tensor: fc weights len %d, want %d", len(w), outN*inN))
@@ -134,19 +226,36 @@ func FullyConnectedPar(in *T, w []float32, bias []float32, outN, workers int) *T
 	if int64(outN)*int64(inN) < parMinMACs {
 		workers = 1
 	}
-	out := NewVec(outN)
-	shard(outN, workers, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			var sum float32
-			if bias != nil {
-				sum = bias[o]
-			}
-			row := w[o*inN : (o+1)*inN]
-			for i, v := range in.Data {
-				sum += row[i] * v
-			}
-			out.Data[o] = sum
-		}
-	})
+	out := intoShape(dst, outN, 1, 1)
+	if workers <= 1 {
+		fcRange(out.Data, in.Data, w, bias, inN, 0, outN)
+	} else {
+		shard(outN, workers, func(lo, hi int) {
+			fcRange(out.Data, in.Data, w, bias, inN, lo, hi)
+		})
+	}
 	return out
+}
+
+// fcRange computes output neurons [lo,hi) of the fully connected layer.
+func fcRange(out, x, w, bias []float32, inN, lo, hi int) {
+	for o := lo; o < hi; o++ {
+		row := w[o*inN : (o+1)*inN]
+		var s0, s1, s2, s3 float32
+		i := 0
+		for ; i+4 <= inN; i += 4 {
+			s0 += row[i] * x[i]
+			s1 += row[i+1] * x[i+1]
+			s2 += row[i+2] * x[i+2]
+			s3 += row[i+3] * x[i+3]
+		}
+		sum := s0 + s1 + s2 + s3
+		for ; i < inN; i++ {
+			sum += row[i] * x[i]
+		}
+		if bias != nil {
+			sum += bias[o]
+		}
+		out[o] = sum
+	}
 }

@@ -117,6 +117,12 @@ func Conv2D(in *T, w []float32, bias []float32, outC, k, stride, pad int) *T {
 
 // MaxPool2D computes max pooling with a k×k window and the given stride.
 func MaxPool2D(in *T, k, stride int) *T {
+	return MaxPool2DInto(nil, in, k, stride)
+}
+
+// MaxPool2DInto is MaxPool2D writing into dst (nil allocates). dst must not
+// alias in. Results are bitwise-identical to MaxPool2D.
+func MaxPool2DInto(dst *T, in *T, k, stride int) *T {
 	if k <= 0 || stride <= 0 {
 		panic(fmt.Sprintf("tensor: invalid pool k=%d stride=%d", k, stride))
 	}
@@ -125,7 +131,7 @@ func MaxPool2D(in *T, k, stride int) *T {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: pool output %dx%d non-positive", oh, ow))
 	}
-	out := New(in.C, oh, ow)
+	out := intoShape(dst, in.C, oh, ow)
 	for c := 0; c < in.C; c++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {

@@ -1,0 +1,79 @@
+package track
+
+import (
+	"testing"
+
+	"adsim/internal/img"
+)
+
+// Tracking state comes from template matching and the Kalman filter; the
+// DNN tower/head pair is executed for its latency profile. Quantized
+// execution must leave the track tables bitwise-identical.
+func TestQuantizedTracksIdenticalToFloat(t *testing.T) {
+	type snap struct {
+		ID     int
+		Box    img.Rect
+		VX, VY float64
+		Age    int
+		Misses int
+	}
+	run := func(quantized bool) [][]snap {
+		cfg := DefaultConfig()
+		cfg.Quantized = quantized
+		e, _ := New(cfg)
+		var tables [][]snap
+		for i := 0; i < 8; i++ {
+			f := movingSquareFrame(40+2*i, 40)
+			var dets []Detection
+			if i == 0 {
+				dets = []Detection{{Box: img.RectWH(40, 40, 24, 24)}}
+			}
+			tracks, _ := e.Step(f, dets)
+			row := make([]snap, 0, len(tracks))
+			for _, tr := range tracks {
+				row = append(row, snap{tr.ID, tr.Box, tr.VX, tr.VY, tr.Age, tr.Misses})
+			}
+			tables = append(tables, row)
+		}
+		return tables
+	}
+
+	want := run(false)
+	got := run(true)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("frame %d: %d tracks quantized vs %d float", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("frame %d: track[%d] = %+v quantized vs %+v float",
+					i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// Alloc gate (run by `make alloc-gate`): the warm single-track DNN step
+// must stay within a small budget over the no-DNN floor (pool round-trip
+// plus bookkeeping), not the per-layer tensor churn the arena replaced.
+func TestAllocTrackSteadyState(t *testing.T) {
+	step := func(e *Engine) {
+		e.Step(movingSquareFrame(44, 40), nil)
+	}
+	mk := func(dnn bool) *Engine {
+		cfg := DefaultConfig()
+		cfg.RunDNN = dnn
+		e, _ := New(cfg)
+		e.Step(movingSquareFrame(40, 40), []Detection{{Box: img.RectWH(40, 40, 24, 24)}})
+		step(e) // warm pool + template buffers
+		return e
+	}
+	eBase := mk(false)
+	eDNN := mk(true)
+	noDNN := testing.AllocsPerRun(10, func() { step(eBase) })
+	withDNN := testing.AllocsPerRun(10, func() { step(eDNN) })
+	if delta := withDNN - noDNN; delta > 6 {
+		t.Errorf("DNN adds %.1f allocs/step over the no-DNN floor (%.1f vs %.1f), want <= 6",
+			delta, withDNN, noDNN)
+	}
+}

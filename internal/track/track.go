@@ -70,6 +70,10 @@ type Config struct {
 	// RunDNN controls whether the native network executes per tracked
 	// object.
 	RunDNN bool
+	// Quantized runs the network through the int8 inference path instead
+	// of float32. Track results are unaffected (boxes come from template
+	// matching); only the computational profile changes.
+	Quantized bool
 }
 
 // DefaultConfig returns the standard tracking configuration.
@@ -95,6 +99,22 @@ type Engine struct {
 
 	tracks    []*Track
 	prevFrame *img.Gray
+	scratch   sync.Pool // of *trackScratch, one per concurrent propagate
+}
+
+// trackScratch is the per-propagate buffer set: crop/resize images, the
+// network input tensor and the layer arena. Each concurrent tracker
+// goroutine takes its own from the pool, so the steady-state propagate is
+// allocation-free.
+type trackScratch struct {
+	s      dnn.Scratch
+	target img.Gray // previous-frame target crop
+	search img.Gray // current-frame search-region crop
+	tSmall img.Gray // target at template resolution
+	sSmall img.Gray // search at template resolution
+	tmpl   img.Gray // scaled template candidates
+	net    img.Gray // network-input resolution staging
+	input  *tensor.T
 }
 
 // New constructs a tracking engine.
@@ -267,25 +287,35 @@ func (e *Engine) propagate(tr *Track, frame *img.Gray) (dnnDur, otherDur time.Du
 		return 0, 0
 	}
 	startOther := time.Now()
+	sc, _ := e.scratch.Get().(*trackScratch)
+	if sc == nil {
+		sc = &trackScratch{input: tensor.New(1, 32, 32)}
+	}
+	defer e.scratch.Put(sc)
+	sc.s.Quantized = e.cfg.Quantized
+
 	// Crop previous target and current search region (GOTURN geometry).
-	target := e.prevFrame.Crop(tr.Box)
-	search := frame.Crop(tr.Box.Scale(e.cfg.SearchScale))
+	target := e.prevFrame.CropInto(&sc.target, tr.Box)
+	search := frame.CropInto(&sc.search, tr.Box.Scale(e.cfg.SearchScale))
 
 	ts := e.cfg.TemplateSize
 	ss := int(float64(ts) * e.cfg.SearchScale)
-	targetSmall := target.Resize(ts, ts)
-	searchSmall := search.Resize(ss, ss)
+	targetSmall := target.ResizeInto(&sc.tSmall, ts, ts)
+	searchSmall := search.ResizeInto(&sc.sSmall, ss, ss)
 	otherDur += time.Since(startOther)
 
-	// Computational path: two-branch network + FC head.
+	// Computational path: two-branch network + FC head. The two tower
+	// passes share one arena, so branch A's features are copied into a held
+	// concat slot before branch B's pass reuses the ping-pong buffers.
 	if e.cfg.RunDNN {
 		startDNN := time.Now()
-		a := e.tower.Forward(toTensor(targetSmall.Resize(32, 32)))
-		b := e.tower.Forward(toTensor(searchSmall.Resize(32, 32)))
-		concat := tensor.NewVec(a.Len() + b.Len())
-		copy(concat.Data, a.Data)
-		copy(concat.Data[a.Len():], b.Data)
-		_ = e.head.Forward(concat)
+		a := e.tower.ForwardScratch(toTensorInto(sc.input, targetSmall.ResizeInto(&sc.net, 32, 32)), &sc.s)
+		n := a.Len()
+		concat := sc.s.Hold(0, 2*n, 1, 1)
+		copy(concat.Data[:n], a.Data)
+		b := e.tower.ForwardScratch(toTensorInto(sc.input, searchSmall.ResizeInto(&sc.net, 32, 32)), &sc.s)
+		copy(concat.Data[n:], b.Data)
+		_ = e.head.ForwardScratch(concat, &sc.s)
 		dnnDur = time.Since(startDNN)
 	}
 
@@ -303,7 +333,7 @@ func (e *Engine) propagate(tr *Track, frame *img.Gray) (dnnDur, otherDur time.Du
 		}
 		tmpl := targetSmall
 		if sts != ts {
-			tmpl = target.Resize(sts, sts)
+			tmpl = target.ResizeInto(&sc.tmpl, sts, sts)
 		}
 		nominal := (ss - sts) / 2 // offset corresponding to zero motion
 		dx, dy, sad := matchTemplate(searchSmall, tmpl, nominal, nominal)
@@ -375,8 +405,9 @@ func matchTemplate(search, tmpl *img.Gray, nx, ny int) (dx, dy int, best int64) 
 	return dx, dy, bestSAD
 }
 
-func toTensor(g *img.Gray) *tensor.T {
-	t := tensor.New(1, g.H, g.W)
+// toTensorInto normalizes g's pixels into t, which must already have
+// g.W×g.H elements.
+func toTensorInto(t *tensor.T, g *img.Gray) *tensor.T {
 	for i, p := range g.Pix {
 		t.Data[i] = float32(p) / 255
 	}
