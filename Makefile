@@ -6,7 +6,7 @@ TELEMETRY_COVER_FLOOR ?= 80
 # suite's determinism claims, so nearly every branch must be exercised.
 FAULTINJECT_COVER_FLOOR ?= 90
 
-.PHONY: build vet test race bench bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke
+.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -24,25 +24,47 @@ race:
 # the kernel benches, parsed into the schema'd trajectory file
 # BENCH_$(BENCH_N).json with the measurement it is compared against
 # embedded alongside (see internal/benchjson). Takes a few minutes.
-BENCH_N ?= 1
+BENCH_N ?= 2
 BENCH_BASELINE_NAME ?= BenchmarkRunner
-BENCH_BASELINE_NS ?= 26051823
-BENCH_BASELINE_FPS ?= 38.39
-BENCH_BASELINE_P9999 ?= 196.5
-BENCH_BASELINE_REF ?= pre-PR6 main@0e0c394, go test -bench Runner -benchtime 100x -count 3
+BENCH_BASELINE_NS ?= 15657601
+BENCH_BASELINE_FPS ?= 63.87
+BENCH_BASELINE_P9999 ?= 143.2
+BENCH_BASELINE_REF ?= PR6 main@70f6efa, BENCH_1.json BenchmarkRunner mean
+
+# The newest committed trajectory file other than the one being (re)written:
+# bench prints deltas against it, bench-gate fails on its regressions.
+BENCH_PREV = $$(ls BENCH_*.json 2>/dev/null | grep -v "^BENCH_$(BENCH_N)\.json$$" | sort -t_ -k2 -n | tail -1)
 
 bench:
 	@rm -f bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkRunner$$' -benchtime 100x -count 3 . | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkFleet$$' -benchtime 50x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkDegradedPipeline$$' -benchtime 50x ./internal/pipeline | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkShardedReloc$$' ./internal/slam | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkExtractFeatures$$' ./internal/slam | tee -a bench.out
-	$(GO) test -run '^$$' -bench '^(BenchmarkConv2D|BenchmarkConv2DIm2Col|BenchmarkFullyConnected(Int8)?|BenchmarkConv2DInt8|BenchmarkNetworkForwardScratch(Int8)?)$$' -benchmem ./internal/tensor ./internal/dnn | tee -a bench.out
-	$(GO) run ./cmd/adbenchjson -o BENCH_$(BENCH_N).json \
+	$(GO) test -run '^$$' -bench '^(BenchmarkConv2D|BenchmarkConv2DIm2Col|BenchmarkFullyConnected(Int8)?|BenchmarkConv2DInt8|BenchmarkNetworkForwardScratch(Int8)?)$$' -benchmem -count 3 ./internal/tensor ./internal/dnn | tee -a bench.out
+	@prev="$(BENCH_PREV)"; \
+	$(GO) run ./cmd/adbenchjson -o BENCH_$(BENCH_N).json $${prev:+-prev "$$prev"} \
 		-baseline-name '$(BENCH_BASELINE_NAME)' -baseline-ns $(BENCH_BASELINE_NS) \
 		-baseline-metric 'frames/s=$(BENCH_BASELINE_FPS)' \
 		-baseline-metric 'p99.99-ms=$(BENCH_BASELINE_P9999)' \
 		-baseline-ref '$(BENCH_BASELINE_REF)' < bench.out
+
+# Regression gate (ROADMAP item 5): compare the newest committed trajectory
+# file against its predecessor and fail on large unexplained ns/op
+# regressions. Accepted slowdowns are waived with a recorded reason:
+#   make bench-gate BENCH_EXPLAIN="-explain 'BenchmarkX=now validates checksums'"
+BENCH_GATE_THRESHOLD ?= 1.5
+BENCH_EXPLAIN ?=
+bench-gate:
+	@files="$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n)"; \
+	new="$$(echo "$$files" | tail -1)"; \
+	prev="$$(echo "$$files" | tail -2 | head -1)"; \
+	if [ -z "$$new" ] || [ "$$new" = "$$prev" ]; then \
+		echo "bench-gate: fewer than two BENCH_*.json files, nothing to compare"; exit 0; \
+	fi; \
+	$(GO) run ./cmd/adbenchjson -in "$$new" -prev "$$prev" -gate \
+		-gate-threshold $(BENCH_GATE_THRESHOLD) $(BENCH_EXPLAIN)
 
 # One-iteration sweep over every benchmark: catches bit-rotted benchmarks
 # without the cost of real measurement.
@@ -70,11 +92,21 @@ chaos-smoke:
 	$(GO) run ./cmd/adpipe -frames 30 -dnn=false -width 384 -height 192 -survey 20 \
 		-deadline 100ms -fault 'DET:delay=60ms:every=5,LOC:delay=120ms:frames=10-12,SRC:drop:every=17'
 
+# Fleet smoke: the fleet/solo bitwise-parity and cross-stream isolation
+# suites under the race detector (small N), then a short end-to-end fleet
+# run through the CLI — shared batching executor, shared map store, one
+# faulted vehicle.
+fleet-smoke:
+	$(GO) test -race -run 'TestFleet|TestAdviseVehicle' ./internal/pipeline ./internal/slam
+	$(GO) run ./cmd/adfleet -vehicles 3 -frames 20 -dnn=false -width 384 -height 192 -survey 20 \
+		-deadline 100ms -fault 'DET:delay=60ms:every=5' -fault-vehicle 1
+
 # The tier the concurrency work is held to: compile everything, vet, run
 # the full test suite under the race detector (which includes the chaos
-# suite), fuzz the map decoder, then drive the chaos scenario end to end
-# through the CLI.
-check: build vet race alloc-gate fuzz-smoke chaos-smoke
+# suite), fuzz the map decoder, drive the chaos and fleet scenarios end to
+# end through the CLIs, then hold the committed benchmark trajectory to the
+# regression gate.
+check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke bench-gate
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

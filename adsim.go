@@ -154,12 +154,52 @@ func NewRunner(p *Pipeline, opts RunnerOptions) (*Runner, error) {
 	return pipeline.NewRunner(p, opts)
 }
 
-// SetDNNWorkers overrides how many goroutines the native conv/FC kernels
-// shard their output across. 0 restores the default (runtime.NumCPU).
-// The kernels are bitwise-deterministic for any worker count.
+// Fleet drives N vehicle pipelines concurrently with DET/TRA inference
+// multiplexed through one shared batching executor and, optionally, one
+// shared prior-map store. Per-vehicle results are bitwise-identical to solo
+// runs of the same seeds.
+type Fleet = pipeline.Fleet
+
+// FleetConfig parameterizes a Fleet.
+type FleetConfig = pipeline.FleetConfig
+
+// FleetReport is the fleet-level scorecard of one Fleet.Run.
+type FleetReport = pipeline.FleetReport
+
+// VehicleScore is one vehicle's scorecard within a FleetReport.
+type VehicleScore = pipeline.VehicleScore
+
+// NewFleet builds a fleet of vehicle pipelines; nothing executes until Run.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return pipeline.NewFleet(cfg) }
+
+// DNNExecutor is an instance-scoped inference executor: it owns its kernel
+// worker count and (optionally) the cross-stream batching seam that gathers
+// concurrent same-shape forward calls into one batched GEMM.
+type DNNExecutor = dnn.Executor
+
+// NewDNNExecutor returns an unbatched executor whose kernels shard across
+// workers goroutines (0 = runtime.NumCPU). Results are bitwise-identical
+// for any worker count.
+func NewDNNExecutor(workers int) *DNNExecutor { return dnn.NewExecutor(workers) }
+
+// NewBatchDNNExecutor is NewDNNExecutor with cross-stream batching enabled:
+// overlapping same-shape forward calls (e.g. from a fleet's DET engines)
+// execute as one batched GEMM, bitwise-identical to unbatched runs.
+func NewBatchDNNExecutor(workers int) *DNNExecutor { return dnn.NewBatchExecutor(workers) }
+
+// SetDNNWorkers overrides how many goroutines the process-default
+// executor's conv/FC kernels shard across. 0 restores the default
+// (runtime.NumCPU). The kernels are bitwise-deterministic for any worker
+// count.
+//
+// Deprecated: worker state is executor-scoped now — construct a
+// DNNExecutor and wire it through DetectConfig/TrackConfig (or
+// FleetConfig.Executor) instead of mutating the process default.
 func SetDNNWorkers(n int) { dnn.SetWorkers(n) }
 
-// DNNWorkers reports the current kernel worker count.
+// DNNWorkers reports the process-default executor's kernel worker count.
+//
+// Deprecated: ask the DNNExecutor you constructed instead.
 func DNNWorkers() int { return dnn.Workers() }
 
 // Distribution accumulates latency samples and answers quantile queries.

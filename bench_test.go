@@ -10,11 +10,14 @@ package adsim
 // `cmd/adbench` runs the full-size versions.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"adsim/internal/accel"
 	"adsim/internal/pipeline"
 	"adsim/internal/scene"
+	"adsim/internal/slam"
 )
 
 // benchOpts sizes experiments for benchmarking iterations.
@@ -109,6 +112,59 @@ func BenchmarkRunner(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 	b.ReportMetric(wall.P9999(), "p99.99-ms")
+}
+
+// BenchmarkFleet measures vehicle-stream consolidation: four full native
+// pipelines (DNNs on) multiplexed onto one shared batching executor and one
+// shared prior-map store, swept over core counts via GOMAXPROCS. The
+// vehicles/s metric is the consolidation headroom — how many real-time
+// vehicle streams (at the scenario frame rate) one machine of that width
+// sustains; compare it across the cores= sub-benchmarks for the scaling
+// curve. b.N is frames PER VEHICLE, so total work per iteration is 4x.
+func BenchmarkFleet(b *testing.B) {
+	const vehicles = 4
+	cfg := DefaultPipelineConfig(Highway)
+	cfg.Scene.Width, cfg.Scene.Height = 512, 256
+	cfg.SurveyFrames = 0 // all vehicles share the base surveyed below
+
+	base := slam.NewPriorMap()
+	eng, err := slam.NewEngine(cfg.SLAM, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := scene.New(cfg.Scene)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f := gen.Step()
+		eng.Survey(f.Image, f.EgoPose)
+	}
+
+	for _, cores := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(cores)
+			defer runtime.GOMAXPROCS(prev)
+			f, err := NewFleet(FleetConfig{
+				Vehicles:  vehicles,
+				Config:    cfg,
+				InFlight:  4,
+				SharedMap: base,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			rep := f.Run(b.N, func(v int, res RunnerResult) {
+				if res.Err != nil {
+					b.Error(res.Err)
+				}
+			})
+			b.ReportMetric(rep.VehiclesPerSec, "vehicles/s")
+			b.ReportMetric(rep.FramesPerSec, "frames/s")
+			b.ReportMetric(rep.Fleet.TailMs, "p99.99-ms")
+		})
+	}
 }
 
 // BenchmarkTelemetryOverhead quantifies the cost of full instrumentation:

@@ -4,11 +4,19 @@
 // number the run is compared against — is embedded in the same file so the
 // speedup claim stays auditable.
 //
+// It is also the repo's regression gate: -prev loads an earlier trajectory
+// file and prints per-benchmark deltas, and -gate fails the run when a
+// shared benchmark's ns/op regressed beyond -gate-threshold without an
+// -explain waiver.
+//
 // Usage:
 //
 //	go test -bench . ./... | adbenchjson -o BENCH_1.json \
 //	    -baseline-name BenchmarkRunner -baseline-ns 26051823 \
 //	    -baseline-metric 'frames/s=38.39' -baseline-ref 'pre-PR6 @0e0c394'
+//	go test -bench . | adbenchjson -o BENCH_2.json -prev BENCH_1.json
+//	adbenchjson -in BENCH_2.json -prev BENCH_1.json -gate \
+//	    -explain 'BenchmarkRunner=now shares the executor with the fleet'
 package main
 
 import (
@@ -39,49 +47,121 @@ func (m metricFlags) Set(s string) error {
 	return nil
 }
 
+type explainFlags map[string]string
+
+func (m explainFlags) String() string { return fmt.Sprint(map[string]string(m)) }
+
+func (m explainFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" || v == "" {
+		return fmt.Errorf("want BenchmarkName=reason, got %q", s)
+	}
+	m[k] = v
+	return nil
+}
+
 func main() {
 	var (
-		out         = flag.String("o", "", "output file (default stdout)")
+		out         = flag.String("o", "", "output file (default stdout; '-in' mode defaults to none)")
+		in          = flag.String("in", "", "load an existing report file instead of parsing stdin")
+		prev        = flag.String("prev", "", "earlier trajectory file to print per-benchmark deltas against")
+		gate        = flag.Bool("gate", false, "with -prev: exit 1 on unexplained ns/op regressions beyond -gate-threshold")
+		gateThresh  = flag.Float64("gate-threshold", 1.5, "new/old ns/op ratio above which a shared benchmark counts as regressed")
 		baseName    = flag.String("baseline-name", "", "benchmark name the baseline refers to")
 		baseNs      = flag.Float64("baseline-ns", 0, "baseline ns/op")
 		baseRef     = flag.String("baseline-ref", "", "provenance of the baseline measurement")
 		baseMetrics = metricFlags{}
+		explained   = explainFlags{}
 	)
 	flag.Var(baseMetrics, "baseline-metric", "baseline metric as unit=value (repeatable)")
+	flag.Var(explained, "explain", "waive one benchmark's regression as BenchmarkName=reason (repeatable)")
 	flag.Parse()
 
-	rep, err := benchjson.Parse(os.Stdin)
-	if err != nil {
-		fatal(err)
-	}
-	rep.Created = time.Now().UTC().Format(time.RFC3339)
-	if *baseName != "" {
-		rep.SetBaseline(benchjson.Baseline{
-			Ref:     *baseRef,
-			Name:    *baseName,
-			NsPerOp: *baseNs,
-			Metrics: baseMetrics,
-		})
-	}
-	if err := rep.Validate(); err != nil {
-		fatal(err)
-	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	var rep *benchjson.Report
+	var err error
+	if *in != "" {
+		rep, err = decodeFile(*in)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+	} else {
+		rep, err = benchjson.Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Created = time.Now().UTC().Format(time.RFC3339)
+		if *baseName != "" {
+			rep.SetBaseline(benchjson.Baseline{
+				Ref:     *baseRef,
+				Name:    *baseName,
+				NsPerOp: *baseNs,
+				Metrics: baseMetrics,
+			})
+		}
+		if err := rep.Validate(); err != nil {
+			fatal(err)
+		}
 	}
-	if err := rep.Encode(w); err != nil {
-		fatal(err)
+	if *out != "" || *in == "" {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.Encode(w); err != nil {
+			fatal(err)
+		}
 	}
 	if rep.SpeedupVsBaseline > 0 {
 		fmt.Fprintf(os.Stderr, "%s: %.2fx vs baseline (%s)\n",
 			rep.Baseline.Name, rep.SpeedupVsBaseline, rep.Baseline.Ref)
 	}
+	if *prev == "" {
+		if *gate {
+			fatal(fmt.Errorf("-gate needs -prev"))
+		}
+		return
+	}
+
+	prevRep, err := decodeFile(*prev)
+	if err != nil {
+		fatal(err)
+	}
+	deltas := benchjson.Compare(prevRep, rep)
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "no shared benchmarks with %s\n", *prev)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "deltas vs %s:\n", *prev)
+	for _, d := range deltas {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	regs := benchjson.Regressions(deltas, *gateThresh, explained)
+	for _, d := range deltas {
+		if why, ok := explained[d.Name]; ok && d.Ratio > *gateThresh {
+			fmt.Fprintf(os.Stderr, "  %s: regression waived: %s\n", d.Name, why)
+		}
+	}
+	if *gate && len(regs) > 0 {
+		for _, d := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s (threshold %.2fx; waive with -explain '%s=reason')\n",
+				d, *gateThresh, d.Name)
+		}
+		os.Exit(1)
+	}
+}
+
+func decodeFile(path string) (*benchjson.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchjson.Decode(f)
 }
 
 func fatal(err error) {

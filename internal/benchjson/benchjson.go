@@ -200,6 +200,105 @@ func (r *Report) Validate() error {
 	return nil
 }
 
+// Delta is one benchmark's change between two reports, matched by name and
+// aggregated over repeated -count runs.
+type Delta struct {
+	Name       string
+	OldNsPerOp float64
+	NewNsPerOp float64
+	// Ratio is new/old mean ns/op: > 1 is slower now, < 1 faster.
+	Ratio float64
+	// Metrics maps each unit present in both reports to its {old, new}
+	// means (frames/s, p99.99-ms, vehicles/s, B/op, ...).
+	Metrics map[string][2]float64
+}
+
+// Compare matches cur's benchmarks against prev by name and returns one
+// delta per benchmark present in both, in cur's order. Benchmarks that
+// appear on only one side are skipped — the gate judges shared coverage,
+// not suite growth.
+func Compare(prev, cur *Report) []Delta {
+	var deltas []Delta
+	seen := make(map[string]bool)
+	for _, b := range cur.Benchmarks {
+		if seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		old := prev.MeanNsPerOp(b.Name)
+		if old <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:       b.Name,
+			OldNsPerOp: old,
+			NewNsPerOp: cur.MeanNsPerOp(b.Name),
+		}
+		d.Ratio = d.NewNsPerOp / old
+		for unit := range b.Metrics {
+			ov, nv := prev.MeanMetric(b.Name, unit), cur.MeanMetric(b.Name, unit)
+			if ov != 0 || nv != 0 {
+				if prevHasMetric(prev, b.Name, unit) {
+					if d.Metrics == nil {
+						d.Metrics = make(map[string][2]float64)
+					}
+					d.Metrics[unit] = [2]float64{ov, nv}
+				}
+			}
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+func prevHasMetric(r *Report, name, unit string) bool {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			if _, ok := b.Metrics[unit]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the delta as one human-readable line.
+func (d Delta) String() string {
+	verdict := "slower"
+	if d.Ratio <= 1 {
+		verdict = "faster"
+	}
+	return fmt.Sprintf("%-40s %10s -> %-10s %.2fx %s",
+		d.Name, fmtNs(d.OldNsPerOp), fmtNs(d.NewNsPerOp), d.Ratio, verdict)
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// Regressions returns the deltas whose ns/op ratio exceeds threshold and
+// whose name has no entry in explained — the set that should fail a
+// regression gate. explained maps a benchmark name to the reason its
+// slowdown is accepted (e.g. "BenchmarkX=now also validates checksums").
+func Regressions(deltas []Delta, threshold float64, explained map[string]string) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Ratio > threshold {
+			if _, ok := explained[d.Name]; !ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
 // Encode writes the report as indented JSON.
 func (r *Report) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -114,6 +114,60 @@ func TestRoundTripEncodeDecode(t *testing.T) {
 	}
 }
 
+func TestCompareMatchesByNameAndAverages(t *testing.T) {
+	prev := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkRunner", Iterations: 100, NsPerOp: 20e6,
+			Metrics: map[string]float64{"frames/s": 50}},
+		{Name: "BenchmarkRunner", Iterations: 100, NsPerOp: 30e6,
+			Metrics: map[string]float64{"frames/s": 40}},
+		{Name: "BenchmarkRetired", Iterations: 1, NsPerOp: 1},
+	}}
+	cur := &Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkRunner", Iterations: 100, NsPerOp: 50e6,
+			Metrics: map[string]float64{"frames/s": 20, "p99.99-ms": 90}},
+		{Name: "BenchmarkFleet/cores=1", Iterations: 10, NsPerOp: 60e6,
+			Metrics: map[string]float64{"vehicles/s": 7}},
+	}}
+	deltas := Compare(prev, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1 (only the shared benchmark): %v", len(deltas), deltas)
+	}
+	d := deltas[0]
+	if d.Name != "BenchmarkRunner" || d.OldNsPerOp != 25e6 || d.NewNsPerOp != 50e6 {
+		t.Errorf("delta = %+v", d)
+	}
+	if d.Ratio != 2 {
+		t.Errorf("ratio = %v, want 2", d.Ratio)
+	}
+	if got := d.Metrics["frames/s"]; got != [2]float64{45, 20} {
+		t.Errorf("frames/s delta = %v, want {45 20}", got)
+	}
+	if _, ok := d.Metrics["p99.99-ms"]; ok {
+		t.Error("metric absent from prev must not appear in the delta")
+	}
+	if s := d.String(); !strings.Contains(s, "2.00x slower") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRegressionsThresholdAndExplained(t *testing.T) {
+	deltas := []Delta{
+		{Name: "BenchmarkFast", Ratio: 0.8},
+		{Name: "BenchmarkNoisy", Ratio: 1.4},
+		{Name: "BenchmarkSlow", Ratio: 2.0},
+		{Name: "BenchmarkWaived", Ratio: 3.0},
+	}
+	regs := Regressions(deltas, 1.5, map[string]string{
+		"BenchmarkWaived": "now does twice the work by design",
+	})
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSlow" {
+		t.Fatalf("regressions = %v, want only BenchmarkSlow", regs)
+	}
+	if got := Regressions(deltas, 1.5, nil); len(got) != 2 {
+		t.Fatalf("without waivers got %d regressions, want 2", len(got))
+	}
+}
+
 func TestParseRejectsMalformedBenchLine(t *testing.T) {
 	_, err := Parse(strings.NewReader("BenchmarkX 12 fast\n"))
 	if err == nil {

@@ -66,6 +66,10 @@ type Config struct {
 	// functional path); only the computational profile changes. See the
 	// tolerance contract in internal/tensor/int8.go.
 	Quantized bool
+	// Executor runs the network's forward passes. nil uses dnn.Default().
+	// A fleet shares one batching executor across many detectors so
+	// concurrent same-shape calls gather into one batched GEMM.
+	Executor *dnn.Executor
 }
 
 // DefaultConfig returns the standard detector configuration.
@@ -86,6 +90,7 @@ func DefaultConfig() Config {
 type Detector struct {
 	cfg     Config
 	net     *dnn.Network
+	exec    *dnn.Executor
 	scratch sync.Pool // of *detScratch
 }
 
@@ -109,7 +114,10 @@ func New(cfg Config) (*Detector, error) {
 	if cfg.NMSThreshold <= 0 || cfg.NMSThreshold > 1 {
 		return nil, fmt.Errorf("detect: NMSThreshold %v out of (0,1]", cfg.NMSThreshold)
 	}
-	d := &Detector{cfg: cfg}
+	d := &Detector{cfg: cfg, exec: cfg.Executor}
+	if d.exec == nil {
+		d.exec = dnn.Default()
+	}
 	if cfg.RunDNN {
 		d.net = dnn.TinyYOLO(cfg.InputSize)
 	}
@@ -160,7 +168,7 @@ func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
 	var dnnDur time.Duration
 	if d.cfg.RunDNN {
 		startDNN := time.Now()
-		_ = d.net.ForwardScratch(sc.input, &sc.s)
+		_ = d.exec.Forward(d.net, sc.input, &sc.s)
 		dnnDur = time.Since(startDNN)
 		d.scratch.Put(sc)
 	}

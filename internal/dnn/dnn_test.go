@@ -317,7 +317,9 @@ func TestShapeString(t *testing.T) {
 // TestForwardConcurrentAndWorkerInvariant checks the two guarantees the
 // parallel tracker pool and pipelined runner rely on: concurrent Forward
 // calls through one shared network are safe (lazy weight init is guarded),
-// and the result is bitwise-identical for any kernel worker count.
+// and the result is bitwise-identical for any kernel worker count. Worker
+// counts are instance-scoped executors now — no global mutation, no
+// test-order sensitivity.
 func TestForwardConcurrentAndWorkerInvariant(t *testing.T) {
 	build := func() *Network {
 		return MustNetwork("t", Shape{C: 1, H: 16, W: 16},
@@ -332,11 +334,9 @@ func TestForwardConcurrentAndWorkerInvariant(t *testing.T) {
 		in.Data[i] = float32(i%7) / 7
 	}
 
-	defer SetWorkers(0)
-	SetWorkers(1)
-	ref := build().Forward(in)
+	ref := NewExecutor(1).Forward(build(), in, nil)
 
-	SetWorkers(4)
+	exec := NewExecutor(4)
 	net := build() // fresh net: weights lazily initialized under contention
 	const goroutines = 8
 	outs := make([]*tensor.T, goroutines)
@@ -345,7 +345,7 @@ func TestForwardConcurrentAndWorkerInvariant(t *testing.T) {
 	for g := 0; g < goroutines; g++ {
 		go func(g int) {
 			defer wg.Done()
-			outs[g] = net.Forward(in)
+			outs[g] = exec.Forward(net, in, nil)
 		}(g)
 	}
 	wg.Wait()
@@ -362,14 +362,22 @@ func TestForwardConcurrentAndWorkerInvariant(t *testing.T) {
 	}
 }
 
-func TestSetWorkersClampsAndRestores(t *testing.T) {
-	defer SetWorkers(0)
-	SetWorkers(3)
-	if Workers() != 3 {
-		t.Errorf("Workers = %d, want 3", Workers())
+// Executor worker counts are private to each instance: configuring one
+// executor never perturbs another (the property the old package-global
+// SetWorkers could not give).
+func TestExecutorWorkersInstanceScoped(t *testing.T) {
+	a, b := NewExecutor(3), NewExecutor(0)
+	if a.Workers() != 3 {
+		t.Errorf("a.Workers = %d, want 3", a.Workers())
 	}
-	SetWorkers(-5)
-	if Workers() != runtime.NumCPU() {
-		t.Errorf("Workers = %d, want NumCPU after reset", Workers())
+	if b.Workers() != runtime.NumCPU() {
+		t.Errorf("b.Workers = %d, want NumCPU default", b.Workers())
+	}
+	a.SetWorkers(-5)
+	if a.Workers() != runtime.NumCPU() {
+		t.Errorf("a.Workers = %d, want NumCPU after reset", a.Workers())
+	}
+	if Default().Workers() != runtime.NumCPU() {
+		t.Errorf("Default().Workers = %d perturbed by instance executors", Default().Workers())
 	}
 }

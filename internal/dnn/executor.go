@@ -1,0 +1,349 @@
+package dnn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"adsim/internal/tensor"
+)
+
+// Executor is an instance-scoped inference executor: it owns the kernel
+// worker count, a pool of per-worker Scratch arenas, and (optionally) the
+// cross-stream batching seam that gathers concurrent same-shape forward
+// calls — from many vehicles' DET/TRA engines — into one batched GEMM.
+//
+// Worker state used to be a package global (SetWorkers); it is per-Executor
+// now, so independent pipelines sharing a process cannot perturb each
+// other's kernel configuration. Results are bitwise-identical for any
+// worker count and whether or not batching groups a call with others (see
+// internal/tensor/batch.go for the kernel-level contract).
+//
+// All methods are safe for concurrent use.
+type Executor struct {
+	// workers is the kernel fan-out; 0 means runtime.NumCPU().
+	workers atomic.Int32
+	// batch enables the gather seam below.
+	batch bool
+
+	// Gather state: concurrent Forward calls enqueue requests; the first
+	// arrival becomes the leader and drains the queue batch by batch
+	// (grouping same network/shape/quantization runs), while followers
+	// block on their request's done channel. No timers are involved —
+	// batches form exactly when calls overlap, so an idle stream never
+	// waits on a window.
+	mu      sync.Mutex
+	queue   []*fwdReq
+	leading bool
+	take    []*fwdReq // leader-only staging for the current batch
+
+	reqPool     sync.Pool // *fwdReq, done channel pre-allocated
+	bufsPool    sync.Pool // *batchBufs
+	scratchPool sync.Pool // *Scratch per-worker arenas
+}
+
+// fwdReq is one gathered forward call.
+type fwdReq struct {
+	net  *Network
+	in   *tensor.T
+	s    *Scratch
+	out  *tensor.T
+	done chan struct{}
+}
+
+// batchBufs holds one batch execution's slice staging and the shared patch
+// arena, pooled so a warm batched forward allocates nothing.
+type batchBufs struct {
+	cur   []*tensor.T
+	nxt   []*tensor.T
+	scs   []*Scratch
+	arena tensor.Scratch
+}
+
+// NewExecutor builds an executor whose kernels fan out across workers
+// goroutines (<= 0 means runtime.NumCPU()). Calls run inline, unbatched —
+// the right mode for a single stream.
+func NewExecutor(workers int) *Executor {
+	e := &Executor{}
+	e.SetWorkers(workers)
+	return e
+}
+
+// NewBatchExecutor is NewExecutor with the cross-stream batching seam
+// enabled: concurrent Forward calls on the same network, input shape and
+// quantization mode are executed as one batched GEMM. Outputs stay
+// bitwise-identical to unbatched runs.
+func NewBatchExecutor(workers int) *Executor {
+	e := NewExecutor(workers)
+	e.batch = true
+	return e
+}
+
+// Batching reports whether the cross-stream gather seam is enabled.
+func (e *Executor) Batching() bool { return e.batch }
+
+// Workers reports the kernel worker count.
+func (e *Executor) Workers() int {
+	if n := e.workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers changes the kernel worker count for subsequent calls; n <= 0
+// restores the runtime.NumCPU() default. Sharding never changes results.
+func (e *Executor) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workers.Store(int32(n))
+}
+
+// AcquireScratch returns a pooled per-worker inference arena; pair with
+// ReleaseScratch. The scratch comes back with Quantized cleared.
+func (e *Executor) AcquireScratch() *Scratch {
+	if s, _ := e.scratchPool.Get().(*Scratch); s != nil {
+		s.Quantized = false
+		return s
+	}
+	return &Scratch{}
+}
+
+// ReleaseScratch returns a scratch to the executor's pool.
+func (e *Executor) ReleaseScratch(s *Scratch) { e.scratchPool.Put(s) }
+
+// Forward runs one inference through n. With a non-nil scratch the output
+// aliases scratch memory exactly as Network.ForwardScratch; with s == nil a
+// pooled arena is used and a caller-owned copy is returned. On a batching
+// executor the call may be grouped with concurrent same-shape calls; the
+// result is bitwise-identical either way.
+func (e *Executor) Forward(n *Network, in *tensor.T, s *Scratch) *tensor.T {
+	if s == nil {
+		sc := e.AcquireScratch()
+		out := e.forwardOne(n, in, sc).Clone()
+		e.ReleaseScratch(sc)
+		return out
+	}
+	if !e.batch {
+		return e.forwardOne(n, in, s)
+	}
+	return e.forwardGather(n, in, s)
+}
+
+// ForwardBatch synchronously runs one batched inference: ins[i] forwards
+// through n drawing from scs[i], and the outputs (aliasing each scratch's
+// ping-pong slot, as in ForwardScratch) are appended to outs and returned.
+// Pass a reused outs buffer to keep a warm call allocation-free. All inputs
+// must share one shape and all scratches one Quantized mode.
+func (e *Executor) ForwardBatch(n *Network, ins []*tensor.T, scs []*Scratch, outs []*tensor.T) []*tensor.T {
+	if len(ins) == 0 || len(scs) != len(ins) {
+		panic(fmt.Sprintf("dnn: batch of %d inputs, %d scratches", len(ins), len(scs)))
+	}
+	for i := 1; i < len(ins); i++ {
+		if !sameBatchKey(ins[i], scs[i], ins[0], scs[0]) {
+			panic(fmt.Sprintf("dnn: batch sample %d (shape %dx%dx%d quant=%v) does not match sample 0",
+				i, ins[i].C, ins[i].H, ins[i].W, scs[i].Quantized))
+		}
+	}
+	outs = append(outs[:0], ins...)
+	bb := e.acquireBufs(len(ins))
+	e.runBatch(n, outs, scs, bb.nxt[:len(ins)], &bb.arena)
+	e.bufsPool.Put(bb)
+	return outs
+}
+
+// sameBatchKey reports whether two forward calls can share one batch.
+func sameBatchKey(in *tensor.T, s *Scratch, in0 *tensor.T, s0 *Scratch) bool {
+	return in.C == in0.C && in.H == in0.H && in.W == in0.W && s.Quantized == s0.Quantized
+}
+
+func (e *Executor) acquireBufs(n int) *batchBufs {
+	bb, _ := e.bufsPool.Get().(*batchBufs)
+	if bb == nil {
+		bb = &batchBufs{}
+	}
+	for len(bb.nxt) < n {
+		bb.nxt = append(bb.nxt, nil)
+	}
+	return bb
+}
+
+// forwardOne is the unbatched layer loop, conv/FC kernels sharded across
+// this executor's workers. Bitwise-identical to Network.ForwardScratch.
+func (e *Executor) forwardOne(n *Network, in *tensor.T, s *Scratch) *tensor.T {
+	w := e.Workers()
+	s.begin()
+	out := in
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *Conv:
+			out = l.forward(out, s, w)
+		case *FC:
+			out = l.forward(out, s, w)
+		default:
+			out = l.ForwardScratch(out, s)
+		}
+	}
+	return out
+}
+
+// runBatch advances every sample through n one layer at a time: conv and FC
+// float layers run the batched kernels; everything else (pooling, batch
+// norm, reorg, int8 layers) runs per sample through the exact solo path.
+// cur is mutated in place to the per-sample outputs. Each scratch sees the
+// same begin/next sequence as a solo ForwardScratch, so outputs land in the
+// same ping-pong slots.
+func (e *Executor) runBatch(n *Network, cur []*tensor.T, scs []*Scratch, nxt []*tensor.T, arena *tensor.Scratch) {
+	w := e.Workers()
+	quant := scs[0].Quantized
+	for i := range scs {
+		scs[i].begin()
+	}
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *Conv:
+			if quant {
+				for i := range cur {
+					cur[i] = l.forward(cur[i], scs[i], w)
+				}
+				continue
+			}
+			p := l.params(cur[0].C)
+			sh := l.OutShape(Shape{C: cur[0].C, H: cur[0].H, W: cur[0].W})
+			for i := range cur {
+				nxt[i] = scs[i].next(sh)
+			}
+			tensor.Conv2DIm2ColBatchInto(nxt, cur, p.w, p.b, l.OutC, l.K, l.Stride, l.Pad, w, arena)
+			for i := range cur {
+				cur[i] = l.Act.apply(nxt[i])
+			}
+		case *FC:
+			if quant {
+				for i := range cur {
+					cur[i] = l.forward(cur[i], scs[i], w)
+				}
+				continue
+			}
+			p := l.params(cur[0].Len())
+			for i := range cur {
+				nxt[i] = scs[i].next(Shape{C: l.OutN, H: 1, W: 1})
+			}
+			tensor.FullyConnectedBatchInto(nxt, cur, p.w, p.b, l.OutN, w)
+			for i := range cur {
+				cur[i] = l.Act.apply(nxt[i])
+			}
+		default:
+			for i := range cur {
+				cur[i] = l.ForwardScratch(cur[i], scs[i])
+			}
+		}
+	}
+}
+
+// forwardGather enqueues the call and either follows (blocks until a leader
+// delivers the result) or leads: drain the queue, batching maximal
+// same-key groups, until it is empty. Requests, buffers and the done
+// channels are pooled, so a warm gathered call allocates nothing beyond
+// the goroutine synchronization itself.
+func (e *Executor) forwardGather(n *Network, in *tensor.T, s *Scratch) *tensor.T {
+	req, _ := e.reqPool.Get().(*fwdReq)
+	if req == nil {
+		req = &fwdReq{done: make(chan struct{}, 1)}
+	}
+	req.net, req.in, req.s = n, in, s
+
+	e.mu.Lock()
+	e.queue = append(e.queue, req)
+	if e.leading {
+		e.mu.Unlock()
+		<-req.done
+		out := req.out
+		req.net, req.in, req.s, req.out = nil, nil, nil, nil
+		e.reqPool.Put(req)
+		return out
+	}
+	e.leading = true
+	e.mu.Unlock()
+
+	var out *tensor.T
+	for {
+		e.mu.Lock()
+		if len(e.queue) == 0 {
+			e.leading = false
+			e.mu.Unlock()
+			break
+		}
+		// Take every queued request compatible with the head; the filter
+		// writes lag the reads, so compacting in place is safe.
+		head := e.queue[0]
+		take := e.take[:0]
+		rest := e.queue[:0]
+		for _, r := range e.queue {
+			if r.net == head.net && sameBatchKey(r.in, r.s, head.in, head.s) {
+				take = append(take, r)
+			} else {
+				rest = append(rest, r)
+			}
+		}
+		e.queue = rest
+		e.take = take
+		e.mu.Unlock()
+
+		e.runReqs(take)
+		for _, r := range take {
+			if r == req {
+				out = r.out
+				continue
+			}
+			r.done <- struct{}{}
+		}
+	}
+	// The leader's own request was in the queue throughout, so it is
+	// always served before the queue drains.
+	req.net, req.in, req.s, req.out = nil, nil, nil, nil
+	e.reqPool.Put(req)
+	return out
+}
+
+// runReqs executes one gathered batch and stores each request's output.
+func (e *Executor) runReqs(reqs []*fwdReq) {
+	if len(reqs) == 1 {
+		reqs[0].out = e.forwardOne(reqs[0].net, reqs[0].in, reqs[0].s)
+		return
+	}
+	bb := e.acquireBufs(len(reqs))
+	bb.cur = bb.cur[:0]
+	bb.scs = bb.scs[:0]
+	for _, r := range reqs {
+		bb.cur = append(bb.cur, r.in)
+		bb.scs = append(bb.scs, r.s)
+	}
+	e.runBatch(reqs[0].net, bb.cur, bb.scs, bb.nxt[:len(reqs)], &bb.arena)
+	for i, r := range reqs {
+		r.out = bb.cur[i]
+	}
+	e.bufsPool.Put(bb)
+}
+
+// defaultExecutor backs the deprecated package-level shims and every code
+// path that predates instance-scoped executors (Layer.Forward,
+// Network.ForwardScratch with no executor in sight).
+var defaultExecutor = NewExecutor(0)
+
+// Default returns the process-wide default executor, used when no explicit
+// Executor is configured.
+func Default() *Executor { return defaultExecutor }
+
+// Workers reports the default executor's kernel worker count.
+//
+// Deprecated: worker state is instance-scoped — construct an Executor and
+// ask it. This shim remains for flags and the facade.
+func Workers() int { return defaultExecutor.Workers() }
+
+// SetWorkers sets the default executor's kernel worker count; n <= 0
+// restores the runtime.NumCPU() default.
+//
+// Deprecated: worker state is instance-scoped — construct an Executor via
+// NewExecutor(n) instead of mutating the process default.
+func SetWorkers(n int) { defaultExecutor.SetWorkers(n) }

@@ -12,38 +12,11 @@ package dnn
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"adsim/internal/stats"
 	"adsim/internal/tensor"
 )
-
-// workerOverride holds the configured kernel worker count; 0 means "use
-// runtime.NumCPU()".
-var workerOverride atomic.Int32
-
-// Workers reports the number of goroutines the conv/FC kernels shard their
-// row loops across. The default is runtime.NumCPU().
-func Workers() int {
-	if n := workerOverride.Load(); n > 0 {
-		return int(n)
-	}
-	return runtime.NumCPU()
-}
-
-// SetWorkers sets the kernel worker count for all subsequent Forward calls.
-// n <= 0 restores the runtime.NumCPU() default. Sharding never changes
-// results: every output element is computed by exactly one goroutine with
-// the serial kernel's arithmetic order, so inference is bitwise-identical
-// for any worker count.
-func SetWorkers(n int) {
-	if n < 0 {
-		n = 0
-	}
-	workerOverride.Store(int32(n))
-}
 
 // Shape is a CHW tensor shape used for static shape/cost inference.
 type Shape struct {
@@ -239,14 +212,20 @@ func (c *Conv) Forward(in *tensor.T) *tensor.T {
 }
 
 func (c *Conv) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	return c.forward(in, s, Workers())
+}
+
+// forward is ForwardScratch with an explicit kernel worker count — the
+// executor-scoped entry point (results are worker-count invariant).
+func (c *Conv) forward(in *tensor.T, s *Scratch, workers int) *tensor.T {
 	p := c.params(in.C)
 	dst := s.next(c.OutShape(Shape{C: in.C, H: in.H, W: in.W}))
 	var out *tensor.T
 	if s.Quantized {
 		qw, wScale := c.qparams(p)
-		out = tensor.Conv2DInt8(dst, in, qw, wScale, p.b, c.OutC, c.K, c.Stride, c.Pad, Workers(), s.Arena())
+		out = tensor.Conv2DInt8(dst, in, qw, wScale, p.b, c.OutC, c.K, c.Stride, c.Pad, workers, s.Arena())
 	} else {
-		out = tensor.Conv2DIm2ColParInto(dst, in, p.w, p.b, c.OutC, c.K, c.Stride, c.Pad, Workers(), s.Arena())
+		out = tensor.Conv2DIm2ColParInto(dst, in, p.w, p.b, c.OutC, c.K, c.Stride, c.Pad, workers, s.Arena())
 	}
 	return c.Act.apply(out)
 }
@@ -489,14 +468,20 @@ func (f *FC) Forward(in *tensor.T) *tensor.T {
 }
 
 func (f *FC) ForwardScratch(in *tensor.T, s *Scratch) *tensor.T {
+	return f.forward(in, s, Workers())
+}
+
+// forward is ForwardScratch with an explicit kernel worker count — the
+// executor-scoped entry point (results are worker-count invariant).
+func (f *FC) forward(in *tensor.T, s *Scratch, workers int) *tensor.T {
 	p := f.params(in.Len())
 	dst := s.next(Shape{C: f.OutN, H: 1, W: 1})
 	var out *tensor.T
 	if s.Quantized {
 		qw, wScale := f.qparams(p)
-		out = tensor.FullyConnectedInt8(dst, in, qw, wScale, p.b, f.OutN, Workers(), s.Arena())
+		out = tensor.FullyConnectedInt8(dst, in, qw, wScale, p.b, f.OutN, workers, s.Arena())
 	} else {
-		out = tensor.FullyConnectedParInto(dst, in, p.w, p.b, f.OutN, Workers())
+		out = tensor.FullyConnectedParInto(dst, in, p.w, p.b, f.OutN, workers)
 	}
 	return f.Act.apply(out)
 }

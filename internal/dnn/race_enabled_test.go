@@ -1,0 +1,8 @@
+//go:build race
+
+package dnn
+
+// raceEnabled reports whether the race detector instruments this build.
+// AllocsPerRun gates are unreliable under it (instrumentation defeats
+// sync.Pool caching); `make alloc-gate` runs them uninstrumented.
+const raceEnabled = true

@@ -1,0 +1,256 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"adsim/internal/constraint"
+	"adsim/internal/dnn"
+	"adsim/internal/slam"
+	"adsim/internal/telemetry"
+)
+
+// FleetConfig parameterizes a Fleet: N independent vehicle streams
+// multiplexed onto shared compute and storage resources.
+type FleetConfig struct {
+	// Vehicles is the number of independent streams (≥ 1).
+	Vehicles int
+	// Config is the per-vehicle pipeline template; Seeds, Executor,
+	// SharedMap and the override maps below specialize it per vehicle.
+	Config Config
+	// Seeds[i] seeds vehicle i's scenario. Empty derives seeds from the
+	// template (Config.Scene.Seed + i); otherwise len must equal Vehicles.
+	Seeds []int64
+	// InFlight is each vehicle Runner's pipelining window; 0 selects
+	// DefaultInFlight.
+	InFlight int
+	// Executor is the inference executor shared by every vehicle's DET and
+	// TRA engines — the cross-stream batching seam. nil constructs a
+	// batching executor sized to the machine (dnn.NewBatchExecutor(0)).
+	// Vehicles whose template already names an engine executor keep it.
+	Executor *dnn.Executor
+	// SharedMap, when non-nil, is the prior-map store all vehicles share;
+	// each vehicle localizes through a private slam.VehicleStore view, so
+	// runtime map updates never cross streams. nil gives each vehicle its
+	// own store per the template (Config.MapStore or a fresh PriorMap).
+	SharedMap slam.MapStore
+	// Deadlines overrides the template deadline policy for specific
+	// vehicles (key = vehicle index).
+	Deadlines map[int]DeadlinePolicy
+	// Injects overrides the template fault injector for specific vehicles
+	// (key = vehicle index). A faulted vehicle must not perturb the others.
+	Injects map[int]func(stage string, frame int) (time.Duration, error)
+	// MonitorWindow sizes the per-vehicle and fleet-level constraint
+	// monitors; 0 selects constraint.DefaultMonitorWindow.
+	MonitorWindow int
+	// Metrics, when non-nil, receives the fleet gauges
+	// (fleet/vehicles_per_sec, fleet/frames_per_sec) after a run.
+	Metrics *telemetry.Registry
+}
+
+// Fleet drives N vehicle pipelines concurrently, one pipelined Runner per
+// vehicle, with DET/TRA inference multiplexed through one shared (typically
+// batching) dnn.Executor and, optionally, one shared prior-map store. Each
+// vehicle's delivered results are bitwise-identical to the same seed run
+// solo (see TestFleetMatchesSoloRunners) — sharing changes the schedule and
+// the cost, never the outputs.
+type Fleet struct {
+	cfg      FleetConfig
+	exec     *dnn.Executor
+	fleetMon *constraint.Monitor
+	vehicles []*fleetVehicle
+}
+
+// fleetVehicle is one stream: its pipeline, runner and private monitor.
+type fleetVehicle struct {
+	id   int
+	seed int64
+	p    *Pipeline
+	r    *Runner
+	mon  *constraint.Monitor
+}
+
+// NewFleet builds the N vehicle pipelines (surveying per the template) and
+// their runners. Nothing executes until Run.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Vehicles < 1 {
+		return nil, fmt.Errorf("pipeline: fleet of %d vehicles", cfg.Vehicles)
+	}
+	if len(cfg.Seeds) != 0 && len(cfg.Seeds) != cfg.Vehicles {
+		return nil, fmt.Errorf("pipeline: %d seeds for %d vehicles", len(cfg.Seeds), cfg.Vehicles)
+	}
+	exec := cfg.Executor
+	if exec == nil {
+		exec = dnn.NewBatchExecutor(0)
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		exec:     exec,
+		fleetMon: constraint.NewMonitor(constraint.MonitorConfig{Window: cfg.MonitorWindow}),
+	}
+	for i := 0; i < cfg.Vehicles; i++ {
+		vcfg := cfg.Config
+		vcfg.Scene.Seed = cfg.Config.Scene.Seed + int64(i)
+		if len(cfg.Seeds) > 0 {
+			vcfg.Scene.Seed = cfg.Seeds[i]
+		}
+		if vcfg.Detect.Executor == nil {
+			vcfg.Detect.Executor = exec
+		}
+		if vcfg.Track.Executor == nil {
+			vcfg.Track.Executor = exec
+		}
+		if cfg.SharedMap != nil {
+			vcfg.MapStore = slam.NewVehicleStore(i, cfg.SharedMap)
+		}
+		if dl, ok := cfg.Deadlines[i]; ok {
+			vcfg.Deadline = dl
+		}
+		if inj, ok := cfg.Injects[i]; ok {
+			vcfg.Inject = inj
+		}
+		mon := constraint.NewMonitor(constraint.MonitorConfig{Window: cfg.MonitorWindow})
+		sinks := []telemetry.Sink{mon, f.fleetMon}
+		if vcfg.Telemetry != nil {
+			sinks = append(sinks, vcfg.Telemetry)
+		}
+		vcfg.Telemetry = telemetry.Multi(sinks...)
+
+		p, err := NewNative(vcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: fleet vehicle %d: %w", i, err)
+		}
+		r, err := NewRunner(p, RunnerOptions{InFlight: cfg.InFlight})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: fleet vehicle %d: %w", i, err)
+		}
+		f.vehicles = append(f.vehicles, &fleetVehicle{
+			id: i, seed: vcfg.Scene.Seed, p: p, r: r, mon: mon,
+		})
+	}
+	return f, nil
+}
+
+// Executor returns the shared inference executor the fleet multiplexes
+// DET/TRA forward passes through.
+func (f *Fleet) Executor() *dnn.Executor { return f.exec }
+
+// Vehicle returns vehicle i's pipeline (for inspection after Run returns;
+// touching it mid-run races with the stage goroutines).
+func (f *Fleet) Vehicle(i int) *Pipeline { return f.vehicles[i].p }
+
+// Stop ceases admitting frames on every vehicle; in-flight frames drain and
+// Run returns after all vehicles deliver what was admitted.
+func (f *Fleet) Stop() {
+	for _, v := range f.vehicles {
+		v.r.Stop()
+	}
+}
+
+// Run drives every vehicle for frames frames concurrently and blocks until
+// all streams complete, returning the fleet scorecard. onResult, when
+// non-nil, receives every delivered frame — in order within a vehicle, but
+// concurrently across vehicles (it must be safe for concurrent use).
+func (f *Fleet) Run(frames int, onResult func(vehicle int, res RunnerResult)) FleetReport {
+	start := time.Now()
+	var wg sync.WaitGroup
+	delivered := make([]int, len(f.vehicles))
+	errCount := make([]int, len(f.vehicles))
+	for _, v := range f.vehicles {
+		wg.Add(1)
+		go func(v *fleetVehicle) {
+			defer wg.Done()
+			for res := range v.r.Run(frames) {
+				delivered[v.id]++
+				if res.Err != nil {
+					errCount[v.id]++
+				}
+				if onResult != nil {
+					onResult(v.id, res)
+				}
+			}
+			v.p.Drain()
+		}(v)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := FleetReport{
+		Vehicles: len(f.vehicles),
+		Wall:     wall,
+		Fleet:    f.fleetMon.Snapshot(),
+	}
+	for i, v := range f.vehicles {
+		rep.Frames += delivered[i]
+		rep.PerVehicle = append(rep.PerVehicle, VehicleScore{
+			Vehicle: v.id,
+			Seed:    v.seed,
+			Frames:  delivered[i],
+			Errs:    errCount[i],
+			Report:  v.mon.Snapshot(),
+		})
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		rep.FramesPerSec = float64(rep.Frames) / secs
+	}
+	if fps := f.cfg.Config.Scene.FPS; fps > 0 {
+		rep.VehiclesPerSec = rep.FramesPerSec / fps
+	}
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.Gauge("fleet/vehicles_per_sec").Set(rep.VehiclesPerSec)
+		f.cfg.Metrics.Gauge("fleet/frames_per_sec").Set(rep.FramesPerSec)
+	}
+	return rep
+}
+
+// FleetReport is the fleet-level scorecard of one Run: the aggregate
+// constraint verdict over every vehicle's delivered frames, the sustained
+// throughput, and one scorecard per vehicle.
+type FleetReport struct {
+	Vehicles int
+	// Frames is the total delivered across all vehicles.
+	Frames int
+	Wall   time.Duration
+	// FramesPerSec is the fleet's aggregate delivery rate.
+	FramesPerSec float64
+	// VehiclesPerSec is FramesPerSec normalized by the scenario frame rate:
+	// how many real-time vehicle streams this machine sustains — the
+	// consolidation headroom number the fleet benchmark scales over cores.
+	VehiclesPerSec float64
+	// Fleet is the constraint verdict over ALL vehicles' frames — its
+	// TailMs is the fleet-level P99.99 frame latency.
+	Fleet      constraint.LiveReport
+	PerVehicle []VehicleScore
+}
+
+// VehicleScore is one vehicle's scorecard.
+type VehicleScore struct {
+	Vehicle int
+	Seed    int64
+	Frames  int
+	// Errs counts frames delivered with a pipeline error.
+	Errs int
+	// Report is the vehicle's private constraint verdict; its
+	// TotalDegraded counts deadline-degraded frames.
+	Report constraint.LiveReport
+}
+
+// Pass reports whether the fleet-level verdict passed.
+func (r FleetReport) Pass() bool { return r.Fleet.Pass() }
+
+// String renders the fleet verdict: the aggregate constraint lines, the
+// throughput, and one scorecard line per vehicle.
+func (r FleetReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d vehicles, %d frames in %v (%.1f frames/s ≈ %.2f real-time vehicles)\n",
+		r.Vehicles, r.Frames, r.Wall.Round(time.Millisecond), r.FramesPerSec, r.VehiclesPerSec)
+	fmt.Fprintf(&b, "fleet P99.99 %.2f ms\n", r.Fleet.TailMs)
+	b.WriteString(r.Fleet.String())
+	for _, v := range r.PerVehicle {
+		fmt.Fprintf(&b, "vehicle %d (seed %d): %d frames, %d errs, %d degraded, tail %.2f ms, mean %.2f ms\n",
+			v.Vehicle, v.Seed, v.Frames, v.Errs, v.Report.TotalDegraded, v.Report.TailMs, v.Report.MeanMs)
+	}
+	return b.String()
+}

@@ -60,6 +60,12 @@ type ShardStore struct {
 
 	overlay *PriorMap // runtime Adds; never written back to shards
 
+	// Fleet contention bookkeeping: each advised vehicle protects its
+	// {current, next} tiles from eviction, so one vehicle's relocalization
+	// Scan cannot thrash another vehicle's working set out of the cache.
+	protRef      map[int]int   // tile position → protecting-vehicle count
+	vehicleTiles map[int][]int // vehicle ID → protected tile positions
+
 	hits, misses, prefetches, evictions, ioErrors *telemetry.Counter
 	residentGauge                                 *telemetry.Gauge
 	loadMS                                        *telemetry.Dist
@@ -97,6 +103,8 @@ func OpenShardStore(dir string, opts ShardStoreOptions) (*ShardStore, error) {
 		resident:      make(map[int]*residentTile),
 		lru:           list.New(),
 		overlay:       &PriorMap{nextID: idx.MaxID},
+		protRef:       make(map[int]int),
+		vehicleTiles:  make(map[int][]int),
 		hits:          reg.Counter("mapstore/hits"),
 		misses:        reg.Counter("mapstore/misses"),
 		prefetches:    reg.Counter("mapstore/prefetches"),
@@ -196,7 +204,7 @@ func (s *ShardStore) getTileLocked(pos int, prefetch bool) []Keyframe {
 	s.resident[pos] = rt
 	s.residentBytes += rt.mem
 	for s.budget > 0 && s.residentBytes > s.budget && s.lru.Len() > 1 {
-		victim := s.lru.Back().Value.(*residentTile)
+		victim := s.evictionVictimLocked()
 		s.lru.Remove(victim.elem)
 		delete(s.resident, victim.pos)
 		s.residentBytes -= victim.mem
@@ -204,6 +212,20 @@ func (s *ShardStore) getTileLocked(pos int, prefetch bool) []Keyframe {
 	}
 	s.residentGauge.Set(float64(s.residentBytes))
 	return kfs
+}
+
+// evictionVictimLocked picks the least-recently-used resident tile not
+// protected by any vehicle's advised window. When every eviction candidate
+// is protected, the raw LRU tail is evicted anyway: the byte budget is a
+// hard bound, and contention awareness only reorders victims within it.
+func (s *ShardStore) evictionVictimLocked() *residentTile {
+	for e := s.lru.Back(); e != nil && e != s.lru.Front(); e = e.Prev() {
+		rt := e.Value.(*residentTile)
+		if s.protRef[rt.pos] == 0 {
+			return rt
+		}
+	}
+	return s.lru.Back().Value.(*residentTile)
 }
 
 func (s *ShardStore) loadTile(pos int) ([]Keyframe, error) {
@@ -378,6 +400,58 @@ func (s *ShardStore) Advise(z, velocity float64) {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// AdviseVehicle is Advise for one vehicle of a fleet sharing the store: in
+// addition to the prefetch hint, it marks the vehicle's current tile and the
+// next tile in its travel direction as protected, steering LRU eviction away
+// from every advised vehicle's working set (see evictionVictimLocked).
+// Vehicle IDs are caller-assigned; re-advising moves the protection window.
+func (s *ShardStore) AdviseVehicle(id int, z, velocity float64) {
+	tile := tileOf(z, s.idx.TilePitch)
+	ahead := tile + 1
+	if velocity < 0 {
+		ahead = tile - 1
+	}
+	cur := s.tilePos(tile)
+	next := s.tilePos(ahead)
+
+	s.mu.Lock()
+	if !s.closed {
+		for _, pos := range s.vehicleTiles[id] {
+			if s.protRef[pos]--; s.protRef[pos] <= 0 {
+				delete(s.protRef, pos)
+			}
+		}
+		prot := s.vehicleTiles[id][:0]
+		for _, pos := range [2]int{cur, next} {
+			if pos >= 0 {
+				prot = append(prot, pos)
+				s.protRef[pos]++
+			}
+		}
+		s.vehicleTiles[id] = prot
+
+		if s.prefetchCh != nil && next >= 0 {
+			if _, ok := s.resident[next]; !ok {
+				select {
+				case s.prefetchCh <- next:
+				default: // prefetcher busy; the hint will recur next frame
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// tilePos maps a tile number to its position in idx.Tiles, -1 when the tile
+// does not exist (sparse surveys skip empty tiles).
+func (s *ShardStore) tilePos(tile int) int {
+	pos := sort.Search(len(s.idx.Tiles), func(j int) bool { return s.idx.Tiles[j].Tile >= tile })
+	if pos < len(s.idx.Tiles) && s.idx.Tiles[pos].Tile == tile {
+		return pos
+	}
+	return -1
 }
 
 func (s *ShardStore) prefetchLoop() {

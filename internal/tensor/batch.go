@@ -1,0 +1,138 @@
+package tensor
+
+import "fmt"
+
+// Batched kernels: one sharded call computes N same-shape convolutions (or
+// fully connected layers) for N independent input streams. The win over N
+// solo calls is twofold: one goroutine fan-out amortizes across the whole
+// batch, and the GEMM walks output channels in the outer loop with samples
+// inner, so each weight row is hot in cache while it multiplies every
+// stream's patches.
+//
+// Determinism contract: every output element of sample i is produced by
+// exactly one goroutine running the same per-channel loop body as the solo
+// kernel over sample i's data alone, so each dsts[i] is bitwise-identical
+// to the corresponding solo Conv2DIm2ColParInto / FullyConnectedParInto
+// call — for any worker count and any batch composition.
+
+// batchShape validates that every input shares ins[0]'s shape and that dsts
+// is a parallel slice of non-nil destinations.
+func batchShape(dsts, ins []*T) {
+	if len(ins) == 0 || len(dsts) != len(ins) {
+		panic(fmt.Sprintf("tensor: batch of %d inputs, %d outputs", len(ins), len(dsts)))
+	}
+	c, h, w := ins[0].C, ins[0].H, ins[0].W
+	for i, in := range ins {
+		if in.C != c || in.H != h || in.W != w {
+			panic(fmt.Sprintf("tensor: batch input %d is %dx%dx%d, want %dx%dx%d",
+				i, in.C, in.H, in.W, c, h, w))
+		}
+		if dsts[i] == nil {
+			panic(fmt.Sprintf("tensor: batch output %d is nil", i))
+		}
+	}
+}
+
+// Conv2DIm2ColBatchInto convolves each ins[i] into dsts[i] in one batched
+// im2col GEMM. All inputs must share one shape; every dsts[i] must be
+// non-nil with outC·oh·ow elements (scratch Buf slots qualify). Patch
+// staging for the whole batch comes from s (nil uses a throwaway arena), so
+// a warm serial call allocates nothing. dsts must not alias ins. Each
+// sample's result is bitwise-identical to the solo kernel — see the
+// determinism contract above.
+func Conv2DIm2ColBatchInto(dsts, ins []*T, w []float32, bias []float32, outC, k, stride, pad, workers int, s *Scratch) {
+	batchShape(dsts, ins)
+	oh, ow := convShape(ins[0], len(w), outC, k, stride, pad)
+	b := len(ins)
+	patchRows := ins[0].C * k * k
+	cols := oh * ow
+	if int64(b)*int64(outC)*int64(patchRows)*int64(cols) < parMinMACs {
+		workers = 1
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	// One contiguous patch matrix for the whole batch: sample i's rows
+	// live at patches[i·patchRows·cols : (i+1)·patchRows·cols].
+	patches := s.Patches(b * patchRows * cols)
+	for i := range dsts {
+		dsts[i] = intoShape(dsts[i], outC, oh, ow)
+	}
+	if workers <= 1 {
+		lowerPatchesBatchRange(patches, ins, k, stride, pad, oh, ow, 0, b*patchRows)
+		convGemmBatchRange(dsts, patches, w, bias, patchRows, cols, 0, b*outC)
+		return
+	}
+	shard(b*patchRows, workers, func(lo, hi int) {
+		lowerPatchesBatchRange(patches, ins, k, stride, pad, oh, ow, lo, hi)
+	})
+	shard(b*outC, workers, func(lo, hi int) {
+		convGemmBatchRange(dsts, patches, w, bias, patchRows, cols, lo, hi)
+	})
+}
+
+// lowerPatchesBatchRange lowers batch patch-matrix rows [lo,hi), where row
+// unit u addresses sample u/patchRows, patch row u%patchRows. Each unit
+// runs the solo lowering over one row of one sample's patch block.
+func lowerPatchesBatchRange(patches []float32, ins []*T, k, stride, pad, oh, ow, lo, hi int) {
+	patchRows := ins[0].C * k * k
+	cols := oh * ow
+	block := patchRows * cols
+	for u := lo; u < hi; u++ {
+		i, row := u/patchRows, u%patchRows
+		lowerPatchesRange(patches[i*block:(i+1)*block], ins[i], k, stride, pad, oh, ow, row, row+1)
+	}
+}
+
+// convGemmBatchRange computes GEMM units [lo,hi), where unit u addresses
+// output channel u/len(dsts) of sample u%len(dsts) — channel-major so
+// consecutive units reuse one hot weight row across the whole batch. Each
+// unit runs the solo per-channel GEMM body over its own sample's block.
+func convGemmBatchRange(dsts []*T, patches, w, bias []float32, patchRows, cols, lo, hi int) {
+	b := len(dsts)
+	block := patchRows * cols
+	for u := lo; u < hi; u++ {
+		oc, i := u/b, u%b
+		convGemmRange(dsts[i].Data, patches[i*block:(i+1)*block], w, bias, patchRows, cols, oc, oc+1)
+	}
+}
+
+// FullyConnectedBatchInto computes each ins[i]'s fully connected layer into
+// dsts[i] in one batched call: output neurons are the outer loop with
+// samples inner, so each weight row is read once per neuron while hot and
+// dotted against every stream. All inputs must share one shape; every
+// dsts[i] must be non-nil with outN elements. A warm serial call allocates
+// nothing. Each sample's result is bitwise-identical to the solo
+// FullyConnectedParInto.
+func FullyConnectedBatchInto(dsts, ins []*T, w []float32, bias []float32, outN, workers int) {
+	batchShape(dsts, ins)
+	inN := ins[0].Len()
+	if len(w) != outN*inN {
+		panic(fmt.Sprintf("tensor: fc weights len %d, want %d", len(w), outN*inN))
+	}
+	b := len(ins)
+	if int64(b)*int64(outN)*int64(inN) < parMinMACs {
+		workers = 1
+	}
+	for i := range dsts {
+		dsts[i] = intoShape(dsts[i], outN, 1, 1)
+	}
+	if workers <= 1 {
+		fcBatchRange(dsts, ins, w, bias, inN, 0, outN)
+		return
+	}
+	shard(outN, workers, func(lo, hi int) {
+		fcBatchRange(dsts, ins, w, bias, inN, lo, hi)
+	})
+}
+
+// fcBatchRange computes output neurons [lo,hi) for every sample, neurons
+// outer and samples inner. Each (neuron, sample) cell runs the solo
+// four-chain dot product over that sample's input alone.
+func fcBatchRange(dsts, ins []*T, w, bias []float32, inN, lo, hi int) {
+	for o := lo; o < hi; o++ {
+		for i := range ins {
+			fcRange(dsts[i].Data, ins[i].Data, w, bias, inN, o, o+1)
+		}
+	}
+}

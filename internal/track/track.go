@@ -74,6 +74,10 @@ type Config struct {
 	// of float32. Track results are unaffected (boxes come from template
 	// matching); only the computational profile changes.
 	Quantized bool
+	// Executor runs the network's forward passes. nil uses dnn.Default().
+	// A fleet shares one batching executor across many engines so
+	// concurrent same-shape calls gather into one batched GEMM.
+	Executor *dnn.Executor
 }
 
 // DefaultConfig returns the standard tracking configuration.
@@ -95,6 +99,7 @@ type Engine struct {
 	cfg    Config
 	tower  *dnn.Network
 	head   *dnn.Network
+	exec   *dnn.Executor
 	nextID int
 
 	tracks    []*Track
@@ -128,7 +133,10 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.TemplateSize < 4 {
 		return nil, fmt.Errorf("track: TemplateSize %d too small", cfg.TemplateSize)
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, exec: cfg.Executor}
+	if e.exec == nil {
+		e.exec = dnn.Default()
+	}
 	if cfg.RunDNN {
 		e.tower = dnn.TinyTrackerTower(32)
 		e.head = dnn.TinyTrackerHead(e.tower.OutShape())
@@ -309,13 +317,13 @@ func (e *Engine) propagate(tr *Track, frame *img.Gray) (dnnDur, otherDur time.Du
 	// concat slot before branch B's pass reuses the ping-pong buffers.
 	if e.cfg.RunDNN {
 		startDNN := time.Now()
-		a := e.tower.ForwardScratch(toTensorInto(sc.input, targetSmall.ResizeInto(&sc.net, 32, 32)), &sc.s)
+		a := e.exec.Forward(e.tower, toTensorInto(sc.input, targetSmall.ResizeInto(&sc.net, 32, 32)), &sc.s)
 		n := a.Len()
 		concat := sc.s.Hold(0, 2*n, 1, 1)
 		copy(concat.Data[:n], a.Data)
-		b := e.tower.ForwardScratch(toTensorInto(sc.input, searchSmall.ResizeInto(&sc.net, 32, 32)), &sc.s)
+		b := e.exec.Forward(e.tower, toTensorInto(sc.input, searchSmall.ResizeInto(&sc.net, 32, 32)), &sc.s)
 		copy(concat.Data[n:], b.Data)
-		_ = e.head.ForwardScratch(concat, &sc.s)
+		_ = e.exec.Forward(e.head, concat, &sc.s)
 		dnnDur = time.Since(startDNN)
 	}
 
