@@ -6,7 +6,7 @@ TELEMETRY_COVER_FLOOR ?= 80
 # suite's determinism claims, so nearly every branch must be exercised.
 FAULTINJECT_COVER_FLOOR ?= 90
 
-.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke
+.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke tail-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race:
 # the kernel benches, parsed into the schema'd trajectory file
 # BENCH_$(BENCH_N).json with the measurement it is compared against
 # embedded alongside (see internal/benchjson). Takes a few minutes.
-BENCH_N ?= 2
+BENCH_N ?= 3
 BENCH_BASELINE_NAME ?= BenchmarkRunner
 BENCH_BASELINE_NS ?= 15657601
 BENCH_BASELINE_FPS ?= 63.87
@@ -39,6 +39,7 @@ bench:
 	@rm -f bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkRunner$$' -benchtime 100x -count 3 . | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkFleet$$' -benchtime 50x . | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkRunnerTail$$' -benchtime 100x -count 3 . | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkDegradedPipeline$$' -benchtime 50x ./internal/pipeline | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkShardedReloc$$' ./internal/slam | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkExtractFeatures$$' ./internal/slam | tee -a bench.out
@@ -101,12 +102,21 @@ fleet-smoke:
 	$(GO) run ./cmd/adfleet -vehicles 3 -frames 20 -dnn=false -width 384 -height 192 -survey 20 \
 		-deadline 100ms -fault 'DET:delay=60ms:every=5' -fault-vehicle 1
 
+# Tail smoke: the closed-loop tail-scheduler suite under the race detector
+# (controller law, pinned-window/Step equivalence, in-order shrink, anytime
+# drain and golden trace), then a short stall-injected end-to-end run
+# through the CLI with the scheduler and anytime DET on.
+tail-smoke:
+	$(GO) test -race -run 'TestTail|TestAnytime|TestWallAnytimeCommitsCoarseFrame|TestChaosAnytimeEquivalence|TestGoldenAnytimeTrace' ./internal/pipeline
+	$(GO) run ./cmd/adpipe -frames 40 -dnn=false -width 384 -height 192 -survey 20 \
+		-inflight 4 -deadline 100ms -anytime -tail 40ms -fault 'DET:delay=32ms:every=7:burst=3'
+
 # The tier the concurrency work is held to: compile everything, vet, run
 # the full test suite under the race detector (which includes the chaos
 # suite), fuzz the map decoder, drive the chaos and fleet scenarios end to
 # end through the CLIs, then hold the committed benchmark trajectory to the
 # regression gate.
-check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke bench-gate
+check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke tail-smoke bench-gate
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

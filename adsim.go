@@ -154,6 +154,22 @@ func NewRunner(p *Pipeline, opts RunnerOptions) (*Runner, error) {
 	return pipeline.NewRunner(p, opts)
 }
 
+// TailScheduler is the closed-loop tail-latency controller: it adapts the
+// pipelined executor's admission window and steps DET's input resolution
+// down a committed ladder when the rolling delivered-latency tail
+// approaches its target, recovering both once the tail subsides. Wire one
+// into RunnerOptions.Tail (pipelined) or Pipeline.AttachTail (sequential;
+// ladder only) — one scheduler serves exactly one executor.
+type TailScheduler = pipeline.TailScheduler
+
+// TailConfig parameterizes a TailScheduler.
+type TailConfig = pipeline.TailConfig
+
+// NewTailScheduler validates a TailConfig and constructs the controller.
+func NewTailScheduler(cfg TailConfig) (*TailScheduler, error) {
+	return pipeline.NewTailScheduler(cfg)
+}
+
 // Fleet drives N vehicle pipelines concurrently with DET/TRA inference
 // multiplexed through one shared batching executor and, optionally, one
 // shared prior-map store. Per-vehicle results are bitwise-identical to solo

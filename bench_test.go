@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"adsim/internal/accel"
 	"adsim/internal/pipeline"
@@ -112,6 +113,67 @@ func BenchmarkRunner(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 	b.ReportMetric(wall.P9999(), "p99.99-ms")
+}
+
+// BenchmarkRunnerTail measures the closed-loop tail scheduler against a
+// static in-flight window on a stall-injected workload: the same seeded
+// scenario with DET stalled 32ms on three of every seven frames, run with
+// deadline enforcement through a window-6 executor. The static/adaptive
+// p99.99-ms spread is the scheduler's delivered-latency win; ns/op tracks
+// the (unchanged) throughput cost of admission control. Functional
+// perception keeps the injected stalls — not machine-dependent DNN time —
+// the workload under measurement.
+func BenchmarkRunnerTail(b *testing.B) {
+	for _, mode := range []string{"static", "adaptive"} {
+		adaptive := mode == "adaptive"
+		b.Run(mode, func(b *testing.B) {
+			cfg := DefaultPipelineConfig(Highway)
+			cfg.Scene.Width, cfg.Scene.Height = 384, 192
+			cfg.SurveyFrames = 20
+			cfg.Detect.RunDNN = false
+			cfg.Track.RunDNN = false
+			cfg.Deadline = DeadlinePolicy{Enforce: true, Anytime: adaptive}
+			sc, err := ParseFaultScenario("DET:delay=32ms:every=7:burst=3", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inj, err := NewFaultInjector(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Inject = inj.Stage
+			p, err := NewPipelineFromConfig(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := RunnerOptions{InFlight: 6}
+			if adaptive {
+				ts, err := NewTailScheduler(TailConfig{
+					Target:        40 * time.Millisecond,
+					InitialWindow: 1,
+					Ladder:        []int{64, 48, 32},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts.Tail = ts
+			}
+			r, err := NewRunner(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wall := NewDistribution(b.N)
+			b.ResetTimer()
+			for res := range r.Run(b.N) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				wall.Add(float64(res.Wall) / 1e6)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+			b.ReportMetric(wall.P9999(), "p99.99-ms")
+		})
+	}
 }
 
 // BenchmarkFleet measures vehicle-stream consolidation: four full native

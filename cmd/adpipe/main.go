@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -40,6 +41,9 @@ func main() {
 		trace    = flag.String("trace", "", "write a JSON-lines trace of every frame to this file")
 		telem    = flag.String("telemetry", "off", "telemetry summary format: json, csv or off; also enables the live constraint verdict")
 		deadline = flag.Duration("deadline", 0, "enforce per-stage deadline budgets split from this frame deadline; budget-blown stages fall back to degraded modes (0 disables)")
+		tailTgt  = flag.Duration("tail", 0, "steer the rolling P99.99 toward this target with the closed-loop tail scheduler: adapts the -inflight admission window and steps DET resolution down -ladder under pressure (0 disables)")
+		anytime  = flag.Bool("anytime", false, "let a budget-blown DET commit a coarser on-time detection set (anytime early exit) instead of shedding it; requires -deadline")
+		ladder   = flag.String("ladder", "", "comma-separated strictly-descending DET input sizes for -tail's resolution ladder (default: derived from the detector's input size)")
 		fault    = flag.String("fault", "", "seeded fault scenario, e.g. 'DET:delay=30ms:every=5,IO:err:p=0.2,SRC:drop:every=50'")
 		seed     = flag.Int64("fault-seed", 1, "seed for the fault scenario's probabilistic rules")
 	)
@@ -59,9 +63,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adpipe: -inflight must be >= 1\n")
 		os.Exit(2)
 	}
-	if *workers != 0 {
-		adsim.SetDNNWorkers(*workers)
+	if *anytime && *deadline <= 0 {
+		fmt.Fprintf(os.Stderr, "adpipe: -anytime needs -deadline enforcement to exit from\n")
+		os.Exit(2)
 	}
+
+	// An instance-scoped executor (not the mutable process default) owns the
+	// DNN kernel workers for both inference stages.
+	exec := adsim.NewDNNExecutor(*workers)
 
 	cfg := adsim.DefaultPipelineConfig(kind)
 	cfg.Scene.Width, cfg.Scene.Height = *width, *height
@@ -70,11 +79,13 @@ func main() {
 	cfg.Track.RunDNN = *dnn
 	cfg.Detect.Quantized = *quant
 	cfg.Track.Quantized = *quant
+	cfg.Detect.Executor = exec
+	cfg.Track.Executor = exec
 
 	var reg *adsim.TelemetryRegistry
 	if *deadline > 0 {
 		reg = adsim.NewTelemetryRegistry(*frames)
-		cfg.Deadline = adsim.DeadlinePolicy{Enforce: true, FrameBudget: *deadline}
+		cfg.Deadline = adsim.DeadlinePolicy{Enforce: true, FrameBudget: *deadline, Anytime: *anytime}
 		cfg.Metrics = reg
 	}
 	faulting := *fault != ""
@@ -109,6 +120,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
 		os.Exit(1)
+	}
+
+	var ts *adsim.TailScheduler
+	var rungs []int
+	if *tailTgt > 0 {
+		rungs, err = tailLadder(*ladder, cfg.Detect.InputSize)
+		if err == nil {
+			ts, err = adsim.NewTailScheduler(adsim.TailConfig{
+				Target:  *tailTgt,
+				Ladder:  rungs,
+				Metrics: reg,
+			})
+		}
+		if err == nil && *inflight == 1 {
+			err = p.AttachTail(ts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	var tw *pipeline.TraceWriter
@@ -172,10 +203,10 @@ func main() {
 	}
 
 	fmt.Printf("running %d %s frames at %dx%d (dnn=%v, survey=%d, inflight=%d, workers=%d)\n",
-		*frames, scene.Kind(kind), *width, *height, *dnn, *survey, *inflight, adsim.DNNWorkers())
+		*frames, scene.Kind(kind), *width, *height, *dnn, *survey, *inflight, exec.Workers())
 	start := time.Now()
 	if *inflight > 1 {
-		r, err := adsim.NewRunner(p, adsim.RunnerOptions{InFlight: *inflight})
+		r, err := adsim.NewRunner(p, adsim.RunnerOptions{InFlight: *inflight, Tail: ts})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
 			os.Exit(1)
@@ -233,6 +264,18 @@ func main() {
 		fmt.Printf("faulted frames %d/%d (dropped or hard stage faults)\n", faulted, *frames)
 	}
 
+	if ts != nil {
+		fmt.Printf("\ntail scheduler (target %v):\n", *tailTgt)
+		fmt.Printf("  window      now %d, min %d (ceiling %d)\n",
+			ts.WindowLimit(), ts.MinWindowLimit(), *inflight)
+		fmt.Printf("  resolution  now %d, deepest rung %d of ladder %v\n",
+			ts.InputSize(), ts.MaxRungDepth(), rungs)
+		fmt.Printf("  rolling tail monitor:\n")
+		for _, line := range strings.Split(strings.TrimRight(ts.Monitor().Snapshot().String(), "\n"), "\n") {
+			fmt.Printf("    %s\n", line)
+		}
+	}
+
 	if col != nil {
 		fmt.Printf("\nper-stage telemetry (queue wait vs execute):\n")
 		var werr error
@@ -259,4 +302,32 @@ func main() {
 		}
 		fmt.Printf("\nend-to-end latency histogram (ms):\n%s", h.Render(48))
 	}
+}
+
+// tailLadder parses -ladder, or derives a short descending ladder from the
+// detector's input size: each rung three quarters of the last, floored to a
+// multiple of 16, never below 32. The scheduler validates the result.
+func tailLadder(spec string, base int) ([]int, error) {
+	if spec == "" {
+		rungs := []int{base}
+		for last := base; ; {
+			next := last * 3 / 4 / 16 * 16
+			if next < 32 || next >= last {
+				break
+			}
+			rungs = append(rungs, next)
+			last = next
+		}
+		return rungs, nil
+	}
+	parts := strings.Split(spec, ",")
+	rungs := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -ladder rung %q", part)
+		}
+		rungs = append(rungs, v)
+	}
+	return rungs, nil
 }

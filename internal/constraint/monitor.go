@@ -43,12 +43,18 @@ type Monitor struct {
 	w     *stats.Window
 	at    []time.Time // delivery times, ring parallel to w's occupancy
 	deg   []bool      // degraded flags, same ring
+	hard  []bool      // hard deadline misses (wall > MaxTailLatencyMs), same ring
 	head  int
 	count int
 	// degInWindow counts true entries among the live ring slots; totalDeg
-	// is the lifetime degraded-frame count.
-	degInWindow int
-	totalDeg    int64
+	// is the lifetime degraded-frame count. hardInWindow/totalHard track
+	// hard deadline misses the same way — frames whose wall latency
+	// exceeded the 100 ms constraint outright, the failures tail-latency
+	// scheduling exists to eliminate.
+	degInWindow  int
+	totalDeg     int64
+	hardInWindow int
+	totalHard    int64
 }
 
 // NewMonitor returns a live monitor with the configured rolling window.
@@ -57,7 +63,12 @@ func NewMonitor(cfg MonitorConfig) *Monitor {
 	if n <= 0 {
 		n = DefaultMonitorWindow
 	}
-	return &Monitor{w: stats.NewWindow(n), at: make([]time.Time, n), deg: make([]bool, n)}
+	return &Monitor{
+		w:    stats.NewWindow(n),
+		at:   make([]time.Time, n),
+		deg:  make([]bool, n),
+		hard: make([]bool, n),
+	}
 }
 
 // Observe folds one delivered frame in: its wall latency (ms) and delivery
@@ -70,16 +81,28 @@ func (m *Monitor) Observe(wallMs float64, at time.Time) {
 // delivered in a deadline-degraded mode (any stage fell back after blowing
 // its budget). O(1) amortized.
 func (m *Monitor) ObserveDegraded(wallMs float64, at time.Time, degraded bool) {
+	hard := wallMs > MaxTailLatencyMs
 	m.mu.Lock()
 	m.w.Add(wallMs)
-	if m.count == len(m.at) && m.deg[m.head] {
-		m.degInWindow-- // the slot being overwritten leaves the window
+	if m.count == len(m.at) {
+		// The slot being overwritten leaves the window.
+		if m.deg[m.head] {
+			m.degInWindow--
+		}
+		if m.hard[m.head] {
+			m.hardInWindow--
+		}
 	}
 	m.at[m.head] = at
 	m.deg[m.head] = degraded
+	m.hard[m.head] = hard
 	if degraded {
 		m.degInWindow++
 		m.totalDeg++
+	}
+	if hard {
+		m.hardInWindow++
+		m.totalHard++
 	}
 	m.head++
 	if m.head == len(m.at) {
@@ -125,6 +148,12 @@ type LiveReport struct {
 	Degraded      int
 	DegradedRate  float64
 	TotalDegraded int64
+	// HardMisses counts frames in the window whose wall latency exceeded
+	// MaxTailLatencyMs outright — frames the vehicle flew blind through,
+	// which no degraded mode excuses; TotalHardMisses is the lifetime
+	// count. The tail study's acceptance bar is zero under the scheduler.
+	HardMisses      int
+	TotalHardMisses int64
 }
 
 // Pass reports whether both live classes passed.
@@ -145,6 +174,10 @@ func (r LiveReport) String() string {
 		fmt.Fprintf(&b, "degraded       %d/%d frames in window (%.1f%%)\n",
 			r.Degraded, r.N, 100*r.DegradedRate)
 	}
+	if r.HardMisses > 0 {
+		fmt.Fprintf(&b, "hard misses    %d/%d frames in window over %dms\n",
+			r.HardMisses, r.N, int(MaxTailLatencyMs))
+	}
 	return b.String()
 }
 
@@ -153,12 +186,14 @@ func (m *Monitor) Snapshot() LiveReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := LiveReport{
-		TailMs:        m.w.Quantile(TailQuantile),
-		MeanMs:        m.w.Mean(),
-		N:             m.w.N(),
-		Total:         m.w.TotalN(),
-		Degraded:      m.degInWindow,
-		TotalDegraded: m.totalDeg,
+		TailMs:          m.w.Quantile(TailQuantile),
+		MeanMs:          m.w.Mean(),
+		N:               m.w.N(),
+		Total:           m.w.TotalN(),
+		Degraded:        m.degInWindow,
+		TotalDegraded:   m.totalDeg,
+		HardMisses:      m.hardInWindow,
+		TotalHardMisses: m.totalHard,
 	}
 	if r.N > 0 {
 		r.DegradedRate = float64(r.Degraded) / float64(r.N)

@@ -274,6 +274,45 @@ func TestMonitorDegradedWindowEviction(t *testing.T) {
 	}
 }
 
+func TestMonitorHardMissTracking(t *testing.T) {
+	m := NewMonitor(MonitorConfig{Window: 8})
+	base := time.Unix(0, 0)
+	at := func(i int) time.Time { return base.Add(time.Duration(i) * 10 * time.Millisecond) }
+	// Frames at exactly the 100ms limit are NOT hard misses (the constraint
+	// is <=); only strictly-over frames count, degraded or not.
+	m.ObserveDegraded(MaxTailLatencyMs, at(0), true)
+	m.Observe(50, at(1))
+	m.Observe(130, at(2))
+	m.ObserveDegraded(250, at(3), true)
+	r := m.Snapshot()
+	if r.HardMisses != 2 || r.TotalHardMisses != 2 {
+		t.Fatalf("hard misses = %d (total %d), want 2/2", r.HardMisses, r.TotalHardMisses)
+	}
+	if !strings.Contains(r.String(), "hard misses    2/4 frames in window over 100ms") {
+		t.Errorf("report = %q, want the hard-miss line", r.String())
+	}
+	// Evicting the misses out of the ring drops the windowed count but the
+	// lifetime count sticks.
+	for i := 4; i < 12; i++ {
+		m.Observe(20, at(i))
+	}
+	r = m.Snapshot()
+	if r.HardMisses != 0 || r.TotalHardMisses != 2 {
+		t.Fatalf("after eviction: %d in window (want 0), total %d (want 2)", r.HardMisses, r.TotalHardMisses)
+	}
+	if strings.Contains(r.String(), "hard misses") {
+		t.Error("report should omit the hard-miss line when the window is clean")
+	}
+	// Wrapping misses over misses keeps the windowed count exact.
+	for i := 12; i < 28; i++ {
+		m.Observe(float64(50+100*(i%2)), at(i)) // alternate 50 / 150
+	}
+	r = m.Snapshot()
+	if r.HardMisses != 4 || r.TotalHardMisses != 10 {
+		t.Fatalf("alternating steady state: %d in window (want 4), total %d (want 10)", r.HardMisses, r.TotalHardMisses)
+	}
+}
+
 func TestMonitorEmptyAndConcurrent(t *testing.T) {
 	m := NewMonitor(MonitorConfig{})
 	snap := m.Snapshot()

@@ -1,0 +1,152 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"adsim/internal/img"
+)
+
+// multiBoxFrame renders several well-separated objects so the detector
+// yields a multi-element detection set for coarsening to cut.
+func multiBoxFrame() *img.Gray {
+	f := img.NewGray(320, 240)
+	f.Fill(90)
+	for _, b := range []img.Rect{
+		img.RectWH(20, 50, 48, 40),
+		img.RectWH(120, 40, 20, 65),
+		img.RectWH(200, 60, 50, 42),
+		img.RectWH(270, 30, 22, 24),
+	} {
+		f.FillRect(b, 60)
+		f.StrokeRect(b, 255)
+	}
+	return f
+}
+
+// Zero-valued BudgetOpts must reproduce DetectTimed exactly — same boxes,
+// full run, quality 1.
+func TestDetectBudgetedZeroOptsMatchesDetectTimed(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := multiBoxFrame()
+	want, _ := d.DetectTimed(f)
+	got, _, info := d.DetectBudgeted(f, BudgetOpts{})
+	if info.EarlyExit || info.Quality != 1 {
+		t.Fatalf("zero opts reported anytime exit: %+v", info)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d detections, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("detection %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// A resolution-ladder rung change alone must not change the detection set:
+// boxes come from the functional proposal path on the full frame. This is
+// the property that lets the tail scheduler scale resolution without
+// breaking Step/Runner bitwise equivalence.
+func TestDetectBudgetedResolutionInvariant(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := multiBoxFrame()
+	want, _ := d.DetectTimed(f)
+	for _, size := range []int{32, 48, 96} {
+		got, _, info := d.DetectBudgeted(f, BudgetOpts{InputSize: size})
+		if info.EarlyExit {
+			t.Fatalf("size %d: unexpected anytime exit", size)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("size %d: got %d detections, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: detection %d = %+v, want %+v", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// An expired deadline forces the earliest exit: no layers run, the quality
+// floor applies, and the committed set is the non-empty confidence prefix.
+func TestDetectBudgetedDeadlineExit(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := multiBoxFrame()
+	full, _ := d.DetectTimed(f)
+	if len(full) < 2 {
+		t.Fatalf("scene yields %d detections; need >= 2 for a visible cut", len(full))
+	}
+
+	got, _, info := d.DetectBudgeted(f, BudgetOpts{Deadline: time.Now().Add(-time.Second)})
+	if !info.EarlyExit || info.LayersRun != 0 {
+		t.Fatalf("expired deadline: info = %+v, want earliest exit", info)
+	}
+	if info.Quality != AnytimeQualityFloor {
+		t.Fatalf("quality = %v, want floor %v", info.Quality, AnytimeQualityFloor)
+	}
+	if len(got) == 0 || len(got) >= len(full) {
+		t.Fatalf("coarsened set has %d of %d detections; want a non-empty strict subset", len(got), len(full))
+	}
+	for i := range got {
+		if got[i] != full[i] {
+			t.Fatalf("coarsened set is not a confidence prefix: det %d = %+v, want %+v", i, got[i], full[i])
+		}
+	}
+}
+
+// VirtualFrac is the deterministic anytime clock: the layer count, quality
+// and committed set are pure functions of the fraction, and a repeated call
+// is identical.
+func TestDetectBudgetedVirtualFracDeterministic(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := multiBoxFrame()
+	a, _, ia := d.DetectBudgeted(f, BudgetOpts{VirtualFrac: 0.3})
+	b, _, ib := d.DetectBudgeted(f, BudgetOpts{VirtualFrac: 0.3})
+	if ia != ib {
+		t.Fatalf("virtual anytime info not deterministic: %+v vs %+v", ia, ib)
+	}
+	if !ia.EarlyExit || ia.LayersRun >= ia.LayersTotal {
+		t.Fatalf("frac 0.3 should exit early: %+v", ia)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("virtual anytime set not deterministic: %d vs %d detections", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("virtual anytime det %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// With the DNN disabled the virtual cut still applies, from the
+	// fraction alone.
+	cfg := DefaultConfig()
+	cfg.RunDNN = false
+	dn, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := dn.DetectTimed(f)
+	got, _, info := dn.DetectBudgeted(f, BudgetOpts{VirtualFrac: 0.25})
+	if !info.EarlyExit {
+		t.Fatalf("RunDNN=false virtual anytime did not exit: %+v", info)
+	}
+	if wantQ := AnytimeQualityFloor + (1-AnytimeQualityFloor)*0.25; info.Quality != wantQ {
+		t.Fatalf("quality = %v, want %v", info.Quality, wantQ)
+	}
+	if len(got) == 0 || len(got) > len(full) {
+		t.Fatalf("coarsened %d of %d detections", len(got), len(full))
+	}
+}

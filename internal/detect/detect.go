@@ -19,6 +19,7 @@ package detect
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -92,6 +93,13 @@ type Detector struct {
 	net     *dnn.Network
 	exec    *dnn.Executor
 	scratch sync.Pool // of *detScratch
+
+	// nets caches networks for non-default input sizes — the tail
+	// scheduler's resolution-ladder rungs. Built lazily; a rung is visited
+	// many times once the controller settles, so the cache keeps rung
+	// changes allocation-cheap.
+	mu   sync.Mutex
+	nets map[int]*dnn.Network
 }
 
 // detScratch is the per-call buffer set for the DNN sub-path: the resized
@@ -124,6 +132,24 @@ func New(cfg Config) (*Detector, error) {
 	return d, nil
 }
 
+// Warm pre-builds the per-size networks for the given input sizes so a
+// resolution-ladder transition mid-run never pays first-use network
+// construction inside a frame's deadline. Sizes the detector already holds
+// (including the configured InputSize) are skipped; invalid sizes are
+// ignored — the ladder was validated where it was committed. A no-op when
+// the DNN sub-path is disabled.
+func (d *Detector) Warm(sizes ...int) {
+	if !d.cfg.RunDNN {
+		return
+	}
+	for _, size := range sizes {
+		if size <= 0 || size%16 != 0 {
+			continue
+		}
+		d.netFor(size)
+	}
+}
+
 // PaperWorkload returns the paper-scale DET network as a plain feed-forward
 // stack (used by layer-wise analyses like the roofline experiment).
 func PaperWorkload() *dnn.Network { return dnn.YOLOv2(416) }
@@ -146,18 +172,77 @@ func (d *Detector) Detect(frame *img.Gray) []Detection {
 // LastTiming accessor) means a pipelined frame N+1 can never overwrite the
 // breakdown frame N is about to read.
 func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
+	dets, tm, _ := d.DetectBudgeted(frame, BudgetOpts{})
+	return dets, tm
+}
+
+// BudgetOpts steers one Detect call's latency–accuracy trade, the per-call
+// face of the tail scheduler's two knobs (DESIGN.md §12). The zero value
+// reproduces DetectTimed exactly.
+type BudgetOpts struct {
+	// InputSize overrides Config.InputSize for this call — a resolution-
+	// ladder rung. 0 (or an invalid size, anything not a positive multiple
+	// of 16) keeps the configured size.
+	InputSize int
+	// Deadline, when nonzero, arms the anytime exit for wall-clock budget
+	// enforcement: the DNN forward stops at the first layer boundary past
+	// the deadline and the detection set is coarsened (see AnytimeInfo).
+	Deadline time.Time
+	// VirtualFrac, when in (0,1), arms the deterministic anytime exit the
+	// virtual enforcement clock uses: the forward runs ceil(frac*layers)
+	// layers, with no timers involved, so the result is a pure function of
+	// the inputs. Ignored when Deadline is set.
+	VirtualFrac float64
+}
+
+// AnytimeInfo reports how a budgeted Detect call executed.
+type AnytimeInfo struct {
+	// EarlyExit is true when the DNN forward stopped at a layer boundary
+	// before the last layer (or, with RunDNN off under VirtualFrac, when
+	// the virtual clock modeled such a stop).
+	EarlyExit bool
+	// LayersRun / LayersTotal locate the exit boundary (zero when RunDNN
+	// is off).
+	LayersRun, LayersTotal int
+	// Quality is the modeled relative detection quality of the committed
+	// set: 1 for a full run, AnytimeQualityFloor + (1-floor)·progress for
+	// an early exit. The coarsening keeps the top ceil(Quality·n) of the n
+	// candidate detections by confidence.
+	Quality float64
+}
+
+// AnytimeQualityFloor is the modeled relative quality of the earliest
+// anytime exit — the first-exit head of an anytime network retains most of
+// the prominent detections even when almost no layers ran (the deep layers
+// mostly refine small, low-confidence objects). Exits between the first
+// and last boundary interpolate linearly up to 1.
+const AnytimeQualityFloor = 0.6
+
+// DetectBudgeted runs the DET engine with a per-call input resolution and
+// an optional anytime exit. The functional detection path (proposal decode
+// on the full frame) is independent of the DNN input size, so a resolution
+// change alone never changes the detection set — only the compute profile;
+// an anytime exit additionally coarsens the committed set (highest
+// confidences kept) as the modeled cost of stopping the network early.
+func (d *Detector) DetectBudgeted(frame *img.Gray, opt BudgetOpts) ([]Detection, Timing, AnytimeInfo) {
+	info := AnytimeInfo{Quality: 1}
+	size := d.cfg.InputSize
+	if opt.InputSize > 0 && opt.InputSize%16 == 0 {
+		size = opt.InputSize
+	}
 	startOther := time.Now()
 
 	// Pre-processing: resize to network input and normalize, reusing a
-	// pooled scratch so the steady-state call allocates nothing.
+	// pooled scratch so the steady-state call allocates nothing. A rung
+	// change reshapes the pooled input tensor once, then that size is warm.
 	var sc *detScratch
 	if d.cfg.RunDNN {
 		sc, _ = d.scratch.Get().(*detScratch)
-		if sc == nil {
-			sc = &detScratch{input: tensor.New(1, d.cfg.InputSize, d.cfg.InputSize)}
+		if sc == nil || sc.input.H != size {
+			sc = &detScratch{input: tensor.New(1, size, size)}
 		}
 		sc.s.Quantized = d.cfg.Quantized
-		frame.ResizeInto(&sc.small, d.cfg.InputSize, d.cfg.InputSize)
+		frame.ResizeInto(&sc.small, size, size)
 		for i, p := range sc.small.Pix {
 			sc.input.Data[i] = float32(p) / 255
 		}
@@ -166,11 +251,38 @@ func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
 
 	// DNN forward pass (computational fidelity; see package comment).
 	var dnnDur time.Duration
+	progress := 1.0
 	if d.cfg.RunDNN {
+		net := d.netFor(size)
+		info.LayersTotal = len(net.Layers)
+		info.LayersRun = info.LayersTotal
 		startDNN := time.Now()
-		_ = d.exec.Forward(d.net, sc.input, &sc.s)
+		switch {
+		case !opt.Deadline.IsZero():
+			_, ran := d.exec.ForwardAnytime(net, sc.input, &sc.s, func(int) bool {
+				return time.Now().Before(opt.Deadline)
+			})
+			info.LayersRun = ran
+		case opt.VirtualFrac > 0 && opt.VirtualFrac < 1:
+			target := int(math.Ceil(opt.VirtualFrac * float64(info.LayersTotal)))
+			_, ran := d.exec.ForwardAnytime(net, sc.input, &sc.s, func(next int) bool {
+				return next < target
+			})
+			info.LayersRun = ran
+		default:
+			_ = d.exec.Forward(net, sc.input, &sc.s)
+		}
 		dnnDur = time.Since(startDNN)
 		d.scratch.Put(sc)
+		if info.LayersRun < info.LayersTotal {
+			info.EarlyExit = true
+			progress = float64(info.LayersRun) / float64(info.LayersTotal)
+		}
+	} else if opt.VirtualFrac > 0 && opt.VirtualFrac < 1 {
+		// No network to exit from, but the virtual clock still models the
+		// anytime cut deterministically from the budget fraction alone.
+		info.EarlyExit = true
+		progress = opt.VirtualFrac
 	}
 
 	// Post-processing: proposal decode + confidence filter + NMS.
@@ -183,9 +295,50 @@ func (d *Detector) DetectTimed(frame *img.Gray) ([]Detection, Timing) {
 		}
 	}
 	dets = NMS(dets, d.cfg.NMSThreshold)
+	if info.EarlyExit {
+		info.Quality = AnytimeQualityFloor + (1-AnytimeQualityFloor)*progress
+		dets = coarsenAnytime(dets, info.Quality)
+	}
 	postDur := time.Since(startPost)
 
-	return dets, Timing{DNN: dnnDur, Other: preDur + postDur}
+	return dets, Timing{DNN: dnnDur, Other: preDur + postDur}, info
+}
+
+// netFor returns the network for an input size, lazily building and caching
+// ladder rungs other than the configured default.
+func (d *Detector) netFor(size int) *dnn.Network {
+	if size == d.cfg.InputSize {
+		return d.net
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n, ok := d.nets[size]; ok {
+		return n
+	}
+	if d.nets == nil {
+		d.nets = make(map[int]*dnn.Network)
+	}
+	n := dnn.TinyYOLO(size)
+	d.nets[size] = n
+	return n
+}
+
+// coarsenAnytime keeps the top ceil(quality·n) detections by confidence —
+// NMS output is already confidence-descending, so the cut is a prefix. At
+// least one detection survives whenever any candidate exists: the anytime
+// contract is a coarser result, never an empty one.
+func coarsenAnytime(dets []Detection, quality float64) []Detection {
+	if len(dets) == 0 {
+		return dets
+	}
+	k := int(math.Ceil(quality * float64(len(dets))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(dets) {
+		k = len(dets)
+	}
+	return dets[:k]
 }
 
 // NMS performs greedy non-maximum suppression: detections are processed in

@@ -1,0 +1,70 @@
+package dnn
+
+import (
+	"adsim/internal/tensor"
+)
+
+// This file is the anytime-inference seam: a forward pass that can stop at
+// any layer boundary when its time budget is nearly spent, returning the
+// deepest features computed so far instead of blowing the deadline. It is
+// the mechanism behind the pipeline's anytime DET mode — a budget-pressed
+// detection frame commits a coarser-but-on-time result rather than missing
+// outright (see internal/pipeline/deadline.go and DESIGN.md §12).
+
+// Checkpoint is the anytime-execution probe. Before executing layer i
+// (0-based), the forward pass asks keep(i) whether the remaining budget
+// still covers more work; a false answer stops the pass at that boundary.
+// keep is called once per layer in ascending order, from the calling
+// goroutine only.
+type Checkpoint func(next int) bool
+
+// ForwardAnytimeScratch is ForwardScratch with layer-boundary checkpoints:
+// the pass stops before the first layer whose checkpoint reports false and
+// returns the output of the last executed layer (in itself when no layer
+// ran) along with the number of layers executed. A pass whose checkpoint
+// never fires is bitwise-identical to ForwardScratch. The returned tensor
+// aliases scratch memory under the usual Scratch ownership rules.
+func (n *Network) ForwardAnytimeScratch(in *tensor.T, s *Scratch, keep Checkpoint) (*tensor.T, int) {
+	s.begin()
+	out := in
+	for i, l := range n.Layers {
+		if keep != nil && !keep(i) {
+			return out, i
+		}
+		out = l.ForwardScratch(out, s)
+	}
+	return out, len(n.Layers)
+}
+
+// ForwardAnytime is the executor's anytime forward: the layer loop of
+// forwardOne (conv/FC kernels sharded across this executor's workers) with
+// a checkpoint consulted at every layer boundary. It always runs inline and
+// unbatched, even on a batching executor — an anytime call is
+// latency-critical by definition, so it never waits on the gather seam.
+// With s == nil a pooled arena is used and a caller-owned copy is returned.
+func (e *Executor) ForwardAnytime(n *Network, in *tensor.T, s *Scratch, keep Checkpoint) (*tensor.T, int) {
+	if s == nil {
+		sc := e.AcquireScratch()
+		out, ran := e.ForwardAnytime(n, in, sc, keep)
+		out = out.Clone()
+		e.ReleaseScratch(sc)
+		return out, ran
+	}
+	w := e.Workers()
+	s.begin()
+	out := in
+	for i, l := range n.Layers {
+		if keep != nil && !keep(i) {
+			return out, i
+		}
+		switch l := l.(type) {
+		case *Conv:
+			out = l.forward(out, s, w)
+		case *FC:
+			out = l.forward(out, s, w)
+		default:
+			out = l.ForwardScratch(out, s)
+		}
+	}
+	return out, len(n.Layers)
+}

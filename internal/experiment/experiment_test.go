@@ -18,7 +18,7 @@ func fastOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablate-cameras", "ablate-cooling", "ablate-noise", "ablate-objects", "ablate-reloc",
 		"accuracy", "energy", "fig10", "fig11", "fig12", "fig13", "fig2", "fig6", "fig7",
-		"headline", "platform-analysis", "quantized", "roofline", "seeds", "storage", "table1", "table2", "table3"}
+		"headline", "platform-analysis", "quantized", "roofline", "seeds", "storage", "table1", "table2", "table3", "tail"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -627,6 +627,61 @@ func TestQuantizedExperiment(t *testing.T) {
 	}
 	out := res.Render()
 	for _, want := range []string{"Engine", "DET", "TRA", "model-ASIC-ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTailStudy(t *testing.T) {
+	// DNN-free sizing: the injected stalls alone create the queueing the
+	// scheduler must defeat. Detection stays functional, so a frame sheds
+	// detections only when the wall-mode deadline race declares it missed —
+	// rare at this sizing's 3ms margin, but not impossible, so detection
+	// rates are checked for sanity rather than equality.
+	res, err := runTailStudy(tailParams{Frames: 160, DNN: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "tail" {
+		t.Fatalf("ID = %q", res.ID())
+	}
+	base, sched := res.Baseline, res.Scheduled
+	if base.MinWindow != tailCeiling || base.MaxRung != 0 || base.Anytime != 0 {
+		t.Errorf("static run touched scheduler state: %+v", base)
+	}
+	if sched.MinWindow != 1 {
+		t.Errorf("scheduled MinWindow = %d, want 1 (conservative start)", sched.MinWindow)
+	}
+	if sched.MaxRung == 0 {
+		t.Errorf("controller never descended the resolution ladder under sustained stalls")
+	}
+	if base.MeanDets <= 0 || sched.MeanDets <= 0 {
+		t.Errorf("degenerate detection rates: %.3f vs %.3f dets/frame",
+			base.MeanDets, sched.MeanDets)
+	}
+	// Wall-clock verdicts widen under the race detector's slowdown; the
+	// structural assertions above hold regardless.
+	// At this sizing the accuracy proxy has no systematic edge — both runs
+	// differ only by deadline-race noise — so the strict Pass() ordering is
+	// left to the full study; here the tail must improve, nothing may cross
+	// the constraint, and accuracy must stay within noise.
+	if !raceEnabled {
+		if sched.HardMisses != 0 {
+			t.Errorf("scheduled run delivered %d frames past the constraint", sched.HardMisses)
+		}
+		if sched.TailMs >= base.TailMs {
+			t.Errorf("tail not reduced:\n%s", res.Render())
+		}
+		// One-sided: CPU contention from parallel tests makes the STATIC
+		// baseline shed more (deeper window, more deadline races), never
+		// the scheduled run — so only a scheduled-run deficit is a defect.
+		if sched.MeanDets < 0.95*base.MeanDets {
+			t.Errorf("accuracy proxy regressed: %.3f vs %.3f", sched.MeanDets, base.MeanDets)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"static", "adaptive", "tail-study", "p99.99-ms", "hard-miss"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}

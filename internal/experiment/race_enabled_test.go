@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector instruments this build.
+// Wall-clock deadline assertions widen under its ~10x slowdown.
+const raceEnabled = true

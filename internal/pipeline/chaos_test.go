@@ -312,6 +312,67 @@ func TestChaosFlakyShardStoreIO(t *testing.T) {
 	}
 }
 
+// anytimeChaosConfig is chaosConfig with the deterministic anytime exit
+// armed: injected DET delays in (budget/2, budget] exit early instead of
+// riding the frame, delays beyond the budget still miss outright.
+func anytimeChaosConfig(t *testing.T, kind scene.Kind, spec string, seed int64) Config {
+	t.Helper()
+	cfg := chaosConfig(t, kind, spec, seed)
+	cfg.Deadline.Anytime = true
+	return cfg
+}
+
+// TestChaosAnytimeEquivalence extends the chaos contract to the anytime
+// exit: under Virtual+Anytime enforcement a DET stall past half the budget
+// (35ms default) commits a coarser on-time detection set flagged with the
+// mask's Anytime bit, a stall past the full budget is still a full miss,
+// and both executors deliver the identical sequence. The two injected
+// cadences overlap at frames % 15 == 0, where the longer delay wins and
+// the frame must miss, not exit anytime.
+func TestChaosAnytimeEquivalence(t *testing.T) {
+	const (
+		frames = 24
+		spec   = "DET:delay=20ms:every=3,DET:delay=50ms:every=5"
+		seed   = 7
+	)
+	seq := runChaosStep(t, anytimeChaosConfig(t, scene.Urban, spec, seed), frames)
+	pipe := runChaosRunner(t, anytimeChaosConfig(t, scene.Urban, spec, seed), frames, 4)
+	requireIdenticalRuns(t, seq, pipe)
+
+	// The same scenario without faults: full detection sets per frame.
+	clean := runChaosStep(t, anytimeChaosConfig(t, scene.Urban, "DET:delay=1ms:every=1000000", seed), frames)
+
+	for i := range seq.masks {
+		m := seq.masks[i]
+		dets := seq.results[i].Detections
+		switch {
+		case i%5 == 0: // 50ms > 35ms budget: full miss, never anytime
+			if !m.Has(StageDet) || m.Anytime() {
+				t.Errorf("frame %d mask = %v, want a plain DET miss", i, m)
+			}
+			if dets != nil {
+				t.Errorf("frame %d: missed DET frame carries detections", i)
+			}
+		case i%3 == 0: // 20ms in (17.5ms, 35ms]: anytime exit
+			if !m.Anytime() || m.AnyMiss() {
+				t.Errorf("frame %d mask = %v, want anytime without a miss", i, m)
+			}
+			if !m.Any() {
+				t.Errorf("frame %d: anytime frame not counted as degraded", i)
+			}
+			full := len(clean.results[i].Detections)
+			if full > 0 && (len(dets) == 0 || len(dets) > full) {
+				t.Errorf("frame %d: anytime set has %d detections, clean run %d — want a non-empty subset",
+					i, len(dets), full)
+			}
+		default:
+			if m.Any() {
+				t.Errorf("clean frame %d mask = %v", i, m)
+			}
+		}
+	}
+}
+
 // TestGoldenChaosTrace pins the end-to-end chaos behaviour to a committed
 // per-frame (degraded mask, error) trace: a fixed seed + scenario must
 // reproduce the trace bit-for-bit on every run, so any silent drift in
@@ -372,6 +433,64 @@ func TestGoldenChaosTrace(t *testing.T) {
 		}
 		if g != w {
 			t.Errorf("golden trace drift at line %d:\n  got  %q\n  want %q", i+1, g, w)
+		}
+	}
+}
+
+// TestGoldenAnytimeTrace pins the Virtual+Anytime degraded-mode sequencing
+// to a committed trace, the same way TestGoldenChaosTrace pins the plain
+// deadline path: a mix of anytime exits (20ms cadence), full DET misses
+// (50ms cadence, winning where the two overlap) and LOC misses must
+// reproduce bit-for-bit. Regenerate with UPDATE_GOLDEN=1 after an
+// intentional behaviour change.
+func TestGoldenAnytimeTrace(t *testing.T) {
+	const (
+		frames = 40
+		spec   = "DET:delay=20ms:every=3,DET:delay=50ms:every=7,LOC:delay=90ms:every=11"
+		seed   = 42
+	)
+	run := runChaosStep(t, anytimeChaosConfig(t, scene.Urban, spec, seed), frames)
+	var b strings.Builder
+	for i := range run.results {
+		e := run.errs[i]
+		if e == "" {
+			e = "-"
+		}
+		fmt.Fprintf(&b, "frame=%02d degraded=%s dets=%d err=%s\n",
+			i, run.masks[i], len(run.results[i].Detections), e)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "anytime_golden.trace")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden anytime trace rewritten (%d frames)", frames)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) > n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("anytime trace drift at line %d:\n  got  %q\n  want %q", i+1, g, w)
 		}
 	}
 }

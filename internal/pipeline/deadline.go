@@ -89,7 +89,24 @@ type DeadlinePolicy struct {
 	// wall-clock enforcement. Virtual runs are bitwise-reproducible
 	// across executors and machines.
 	Virtual bool
+	// Anytime lets anytime-capable stages (DET) exit early at a layer
+	// boundary when their budget is nearly spent, committing a coarser
+	// on-time result — flagged as the mask's Anytime bit — instead of
+	// missing outright. Under wall-clock enforcement the stage body races
+	// a guarded deadline (AnytimeGuardFrac of the budget is reserved for
+	// the work outside the network); under Virtual enforcement the exit is
+	// decided deterministically from the injected delay alone: a delay in
+	// (budget/2, budget] exits anytime with the remaining budget fraction,
+	// a delay beyond the budget is still a full miss.
+	Anytime bool
 }
+
+// AnytimeGuardFrac is the slice of an anytime stage's budget reserved for
+// its non-network work (pre-processing, proposal decode, NMS): the anytime
+// deadline handed to the stage body is start + (1-guard)·budget, so an
+// early-exited attempt still commits inside the real budget. This is the
+// anytime-exit error budget of DESIGN.md §12.
+const AnytimeGuardFrac = 0.2
 
 // resolve fills in the effective per-stage budgets.
 func (d DeadlinePolicy) resolve() [NumStages]time.Duration {
@@ -113,17 +130,35 @@ func (d DeadlinePolicy) resolve() [NumStages]time.Duration {
 }
 
 // DegradedMask records, per frame, which stages blew their budget and fell
-// back to their degraded mode — one bit per StageID.
+// back to their degraded mode — one bit per StageID — plus the Anytime bit
+// (position NumStages) flagging a frame whose DET committed an early-exited
+// coarser result on time. Anytime is deliberately distinct from DET's miss
+// bit: a miss delivered the fallback (no detections at all), an anytime
+// frame delivered a reduced detection set inside the budget.
 type DegradedMask uint16
+
+// anytimeBit is the mask bit position of the Anytime flag, just past the
+// per-stage miss bits.
+const anytimeBit = uint(NumStages)
 
 // Has reports whether the stage degraded on this frame.
 func (m DegradedMask) Has(id StageID) bool { return m&(1<<uint(id)) != 0 }
 
-// Any reports whether any stage degraded on this frame.
+// Anytime reports whether DET exited early and committed a coarser on-time
+// detection set on this frame.
+func (m DegradedMask) Anytime() bool { return m&(1<<anytimeBit) != 0 }
+
+// Any reports whether any stage degraded on this frame — a budget miss or
+// an anytime early exit; either way the frame's quality was reduced.
 func (m DegradedMask) Any() bool { return m != 0 }
 
-// String renders the degraded stages as "DET|LOC", or "-" for a clean
-// frame.
+// AnyMiss reports whether any stage actually blew its budget and delivered
+// its fallback (the anytime bit alone does not count: that frame still
+// delivered fresh, if coarser, output on time).
+func (m DegradedMask) AnyMiss() bool { return m&^(1<<anytimeBit) != 0 }
+
+// String renders the degraded stages as "DET|LOC", with an anytime early
+// exit rendered as "DET~", or "-" for a clean frame.
 func (m DegradedMask) String() string {
 	if m == 0 {
 		return "-"
@@ -134,6 +169,9 @@ func (m DegradedMask) String() string {
 			parts = append(parts, id.String())
 		}
 	}
+	if m.Anytime() {
+		parts = append(parts, StageDet.String()+"~")
+	}
 	return strings.Join(parts, "|")
 }
 
@@ -143,18 +181,21 @@ func (m DegradedMask) String() string {
 type deadlineMetrics struct {
 	miss      *telemetry.Counter
 	degraded  *telemetry.Counter
+	anytime   *telemetry.Counter
 	stageMiss [NumStages]*telemetry.Counter
 	stageMS   [NumStages]*telemetry.Dist
 }
 
 // newDeadlineMetrics resolves the deadline metric handles against a
 // registry: deadline/miss (stage budget misses), deadline/degraded
-// (frames delivered with a non-empty mask), deadline/miss/<stage>, and
+// (frames delivered with a non-empty mask), deadline/anytime (frames whose
+// DET committed an early-exited result), deadline/miss/<stage>, and
 // the deadline/stage_ms/<stage> charged-time distributions.
 func newDeadlineMetrics(reg *telemetry.Registry) deadlineMetrics {
 	m := deadlineMetrics{
 		miss:     reg.Counter("deadline/miss"),
 		degraded: reg.Counter("deadline/degraded"),
+		anytime:  reg.Counter("deadline/anytime"),
 	}
 	for id := StageID(0); id < NumStages; id++ {
 		m.stageMiss[id] = reg.Counter("deadline/miss/" + id.String())

@@ -89,6 +89,13 @@ type StageSpec struct {
 	// execution as the hold state a later Fallback replays. Called from
 	// the stage's own execution context only, so it needs no locking.
 	Held func(fs *frameState)
+	// Anytime marks a stage whose body supports an anytime early exit
+	// under DeadlinePolicy.Anytime (DET): when its budget is nearly spent
+	// the body stops the network at a layer boundary and commits a coarser
+	// on-time result instead of missing. The body reads the exit signal
+	// from the frame state (detDeadline under wall-clock enforcement,
+	// anytimeFrac under virtual) and reports the exit via frameState.anytime.
+	Anytime bool
 }
 
 // Graph is a validated declarative stage graph.
@@ -220,6 +227,23 @@ type frameState struct {
 	// (the leg speed limit cap and stop-line ramp); <= 0 keeps the
 	// planner's configured target speed.
 	targetSpeed float64
+	// detSize is the DET input resolution the tail scheduler's ladder
+	// committed for this frame at admission (0 = the detector's configured
+	// size). Stamped before SRC runs and read only by DET, so the
+	// executors' frame hand-off is all the ordering it needs. Resolution
+	// changes never alter the functional detection set (detect.BudgetOpts),
+	// which is why a wall-clock-driven ladder preserves Step/Runner
+	// bitwise equivalence.
+	detSize int
+	// detDeadline and anytimeFrac are DET's anytime-exit signals, set by
+	// runStage when the policy arms them: detDeadline is the guarded
+	// wall-clock finish line (wall enforcement), anytimeFrac the
+	// deterministic completed-budget fraction (virtual enforcement).
+	// anytime reports back that the body actually exited early; DET's
+	// Writes adapter carries it from a raced attempt to the live frame.
+	detDeadline time.Time
+	anytimeFrac float64
+	anytime     bool
 	// degraded accumulates the frame's DegradedMask bits. Atomic because
 	// concurrent same-frame stages (DET ∥ LOC) may both miss their budget;
 	// the executors seal it into res.Degraded at delivery.
@@ -230,7 +254,16 @@ type frameState struct {
 // A CAS loop rather than atomic.Or: the module targets go 1.22, which
 // predates Uint32.Or.
 func (fs *frameState) markDegraded(id StageID) {
-	bit := uint32(1) << uint(id)
+	fs.orDegraded(uint32(1) << uint(id))
+}
+
+// markAnytime sets the mask's anytime bit (DET committed an early-exited
+// coarser result on time).
+func (fs *frameState) markAnytime() {
+	fs.orDegraded(uint32(1) << anytimeBit)
+}
+
+func (fs *frameState) orDegraded(bit uint32) {
 	for {
 		old := fs.degraded.Load()
 		if old&bit != 0 || fs.degraded.CompareAndSwap(old, old|bit) {
@@ -345,9 +378,24 @@ func (p *Pipeline) runStage(spec StageSpec, fs *frameState, ready time.Time) boo
 				spec.Reads(att, fs)
 				spec.Run(att) // engine state advances as under wall mode; output discarded
 			} else {
+				if spec.Anytime && p.deadline.Anytime && 2*delay > budget {
+					// Deterministic anytime rule: more than half the budget
+					// consumed by the injected stall ⇒ the body exits early
+					// at the remaining-budget fraction. A pure function of
+					// (scenario, stage, frame), so virtual runs stay
+					// bitwise-reproducible.
+					fs.anytimeFrac = 1 - float64(delay)/float64(budget)
+				}
 				err = spec.Run(fs)
 			}
 		default:
+			if spec.Anytime && p.deadline.Anytime {
+				// Arm the body's anytime exit: the guarded slice of the
+				// budget is the finish line for network work, the rest is
+				// reserved for the body's pre/post-processing so an early
+				// exit still commits before the miss timer below.
+				fs.detDeadline = time.Now().Add(budget - time.Duration(AnytimeGuardFrac*float64(budget)))
+			}
 			spec.Fallback(fs)
 			att := &frameState{admitted: fs.admitted}
 			spec.Reads(att, fs)
@@ -383,6 +431,12 @@ func (p *Pipeline) runStage(spec StageSpec, fs *frameState, ready time.Time) boo
 		fs.markDegraded(spec.ID)
 		p.met.miss.Inc()
 		p.met.stageMiss[spec.ID].Inc()
+	}
+	if spec.Anytime && fs.anytime && !missed {
+		// The body exited early and its (possibly raced) attempt committed
+		// in time: a coarser on-time frame, not a miss.
+		fs.markAnytime()
+		p.met.anytime.Inc()
 	}
 	if err != nil {
 		fs.errs[spec.ID] = err

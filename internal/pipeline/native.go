@@ -157,6 +157,13 @@ type Pipeline struct {
 	// quiescent Drain) touches its slot, so no locking.
 	pending [NumStages]chan struct{}
 
+	// tail is the sequential executor's tail controller (AttachTail): Step
+	// stamps each frame's DET resolution rung from it and feeds delivered
+	// wall latencies back. The pipelined Runner takes its scheduler
+	// through RunnerOptions.Tail instead — admission control lives with
+	// the window.
+	tail *TailScheduler
+
 	// held is each stage's last good output, replayed by the degraded
 	// fallbacks. Each field is written only from its own stage's
 	// execution context.
@@ -251,13 +258,18 @@ func (p *Pipeline) buildGraph() Graph {
 	}
 	g.stages[StageDet] = StageSpec{
 		ID: StageDet, Engine: p.det, Deps: []StageID{StageSrc}, Run: p.runDet,
+		Anytime: true,
 		Reads: func(dst, src *frameState) {
 			dst.res.Frame = src.res.Frame
+			dst.detSize = src.detSize
+			dst.detDeadline = src.detDeadline
+			dst.anytimeFrac = src.anytimeFrac
 		},
 		Writes: func(dst, src *frameState) {
 			dst.res.Detections = src.res.Detections
 			dst.res.Timing.Det = src.res.Timing.Det
 			dst.res.Timing.DetDNN = src.res.Timing.DetDNN
+			dst.anytime = src.anytime
 		},
 		// DET miss ⇒ TRA-only frame: no fresh detections; the tracker
 		// coasts its table on motion alone. The zero-value fields already
@@ -391,6 +403,25 @@ func (p *Pipeline) Graph() *Graph { return &p.g }
 // speed limit then caps the motion planner's target speed.
 func (p *Pipeline) AttachMission(m *mission.Planner) { p.mis = m }
 
+// AttachTail wires a tail-latency controller into the SEQUENTIAL executor:
+// every Step is stamped with the controller's current DET resolution rung
+// and its delivered wall latency feeds the rolling tail signal. With one
+// frame in flight the admission-window knob is pinned at 1, so only the
+// resolution ladder (and, via DeadlinePolicy.Anytime, the anytime exit)
+// acts. Pipelined runs pass the scheduler to RunnerOptions.Tail instead —
+// never to both: a scheduler serves exactly one executor.
+func (p *Pipeline) AttachTail(t *TailScheduler) error {
+	if t == nil {
+		return fmt.Errorf("pipeline: nil tail scheduler")
+	}
+	if err := t.attach(1); err != nil {
+		return err
+	}
+	p.det.Warm(t.ladder...)
+	p.tail = t
+	return nil
+}
+
 // Localizer exposes the LOC engine (for map/statistics inspection).
 func (p *Pipeline) Localizer() *slam.Engine { return p.loc }
 
@@ -403,12 +434,24 @@ func (p *Pipeline) Tracker() *track.Engine { return p.tra }
 // the same graph across multiple in-flight frames.
 func (p *Pipeline) Step() (FrameResult, error) {
 	fs := &frameState{admitted: time.Now()}
+	if p.tail != nil {
+		// Sequential admission never blocks (the window is pinned at 1 and
+		// nothing else is in flight); this claims the slot and commits the
+		// frame's resolution rung.
+		if size, ok := p.tail.admit(); ok {
+			fs.detSize = size
+		}
+	}
 	p.runFrame(fs)
 	p.sealFrame(fs)
 	err := fs.err()
+	wall := time.Since(fs.admitted)
+	if p.tail != nil {
+		p.tail.frameDone(float64(wall) / 1e6)
+	}
 	p.sink.FrameDone(telemetry.FrameEnd{
 		Frame:    fs.res.Frame.Index,
-		Wall:     time.Since(fs.admitted),
+		Wall:     wall,
 		Err:      err != nil,
 		Degraded: fs.res.Degraded.Any(),
 	})
@@ -435,10 +478,17 @@ func (p *Pipeline) runSrc(fs *frameState) error {
 // runDet executes the DET stage for one frame, filling Detections and the
 // DET timings. Timing comes back from the engine by return value, so
 // overlapping frames in the pipelined runner cannot alias each other's
-// instrumentation.
+// instrumentation. The frame state carries the tail scheduler's per-frame
+// resolution rung and the deadline layer's anytime-exit signals into the
+// engine, and the engine's early-exit flag back out.
 func (p *Pipeline) runDet(fs *frameState) error {
 	start := time.Now()
-	dets, tm := p.det.DetectTimed(fs.res.Frame.Image)
+	dets, tm, info := p.det.DetectBudgeted(fs.res.Frame.Image, detect.BudgetOpts{
+		InputSize:   fs.detSize,
+		Deadline:    fs.detDeadline,
+		VirtualFrac: fs.anytimeFrac,
+	})
+	fs.anytime = info.EarlyExit
 	fs.res.Detections = dets
 	fs.res.Timing.Det = time.Since(start)
 	fs.res.Timing.DetDNN = tm.DNN

@@ -15,7 +15,17 @@ type RunnerOptions struct {
 	// (the pipelining window). 1 degenerates to sequential Step behaviour;
 	// values above 1 let frame N+1's DET/LOC start while frame N is still
 	// in TRA→FUSION→MOTPLAN. 0 selects DefaultInFlight.
+	//
+	// With Tail set this is the window CEILING: the scheduler shrinks the
+	// live admission window below it under tail pressure and grows back on
+	// recovery, never above InFlight and never below 1.
 	InFlight int
+	// Tail, when non-nil, puts admission under the closed-loop
+	// tail-latency controller (see tail.go): the in-flight window adapts
+	// to the rolling P99.99 and each admitted frame is stamped with the
+	// controller's current DET resolution rung. A scheduler serves exactly
+	// one executor; NewRunner claims it.
+	Tail *TailScheduler
 }
 
 // DefaultInFlight is the default pipelining window. Three frames cover the
@@ -74,6 +84,12 @@ func NewRunner(p *Pipeline, opts RunnerOptions) (*Runner, error) {
 	if opts.InFlight < 1 {
 		return nil, fmt.Errorf("pipeline: InFlight %d must be positive", opts.InFlight)
 	}
+	if opts.Tail != nil {
+		if err := opts.Tail.attach(opts.InFlight); err != nil {
+			return nil, err
+		}
+		p.det.Warm(opts.Tail.ladder...)
+	}
 	return &Runner{
 		p:       p,
 		opts:    opts,
@@ -112,6 +128,7 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 	outputs[StageControl] = append(outputs[StageControl], deliver)
 
 	window := make(chan struct{}, n) // admission tokens: bounds frames in flight
+	tail := r.opts.Tail              // non-nil: the scheduler IS the window
 	var stages sync.WaitGroup        // every engine-stage goroutine, for shutdown
 
 	closeAll := func(chs []chan *frameState) {
@@ -121,17 +138,33 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 	}
 
 	// SRC: render frames in scenario order and admit them into the window.
+	// Under a tail scheduler, admission blocks on the ADAPTIVE window (the
+	// live limit, <= n) while the stage edges above stay buffered to the
+	// ceiling n — so a mid-flight shrink only slows admission, it can never
+	// make an in-flight frame's fan-out send block and deadlock a join.
+	// The admitted frame is stamped with the controller's current
+	// resolution rung under the same lock that decides rung transitions,
+	// so scale changes reach DET strictly in admission order.
 	srcSpec := g.stages[StageSrc]
 	srcOut := outputs[StageSrc]
 	go func() {
 		defer closeAll(srcOut)
 		for i := 0; frames <= 0 || i < frames; i++ {
-			select {
-			case window <- struct{}{}:
-			case <-r.quit:
-				return
+			var detSize int
+			if tail != nil {
+				size, ok := tail.admit()
+				if !ok {
+					return // Stop interrupted admission
+				}
+				detSize = size
+			} else {
+				select {
+				case window <- struct{}{}:
+				case <-r.quit:
+					return
+				}
 			}
-			fs := &frameState{admitted: time.Now()}
+			fs := &frameState{admitted: time.Now(), detSize: detSize}
 			r.p.execStage(srcSpec, fs)
 			for _, ch := range srcOut {
 				ch <- fs
@@ -201,7 +234,12 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 				Err:         err,
 				Wall:        wall,
 			}
-			<-window // frame delivered: free its in-flight slot
+			if tail != nil {
+				// Frees the slot AND feeds the controller its tail signal.
+				tail.frameDone(float64(wall) / 1e6)
+			} else {
+				<-window // frame delivered: free its in-flight slot
+			}
 		}
 		// All frames are delivered, but stages off the terminal
 		// close-propagation chain may still be draining abandoned late
@@ -219,5 +257,10 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 // before the stage goroutines exit. Safe to call multiple times and from
 // any goroutine, including while ranging over Run's channel.
 func (r *Runner) Stop() {
-	r.stop.Do(func() { close(r.quit) })
+	r.stop.Do(func() {
+		close(r.quit)
+		if r.opts.Tail != nil {
+			r.opts.Tail.interrupt() // unblock a SRC goroutine waiting on admission
+		}
+	})
 }
