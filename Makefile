@@ -6,7 +6,7 @@ TELEMETRY_COVER_FLOOR ?= 80
 # suite's determinism claims, so nearly every branch must be exercised.
 FAULTINJECT_COVER_FLOOR ?= 90
 
-.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke tail-smoke
+.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke tail-smoke scenario-smoke
 
 build:
 	$(GO) build ./...
@@ -78,10 +78,12 @@ bench-smoke:
 alloc-gate:
 	$(GO) test -run 'TestAlloc' -v ./internal/tensor ./internal/dnn ./internal/detect ./internal/track | grep -E '^(=== RUN|--- (FAIL|PASS)|FAIL|ok)'
 
-# Short fuzz smoke over the ADM1 prior-map decoder (go test -fuzz works on
-# one package at a time; -run '^$' skips the unit tests it already ran).
+# Short fuzz smoke over the ADM1 prior-map decoder and the unified scenario
+# program parser (go test -fuzz works on one package at a time; -run '^$'
+# skips the unit tests it already ran).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadPriorMap -fuzztime=10s -run='^$$' ./internal/slam
+	$(GO) test -fuzz=FuzzParseScenarioProgram -fuzztime=10s -run='^$$' ./internal/scenario
 
 # Chaos smoke: the deterministic fault-injection suite under the race
 # detector (Step/Runner equivalence, golden trace, degraded-deadline and
@@ -111,12 +113,23 @@ tail-smoke:
 	$(GO) run ./cmd/adpipe -frames 40 -dnn=false -width 384 -height 192 -survey 20 \
 		-inflight 4 -deadline 100ms -anytime -tail 40ms -fault 'DET:delay=32ms:every=7:burst=3'
 
+# Scenario smoke: the scenario-program layer under the race detector
+# (parser/validator/library, scene timeline determinism, program-driven
+# Step/Runner equivalence and per-vehicle fleet assignment), then one
+# library program replayed end to end through each CLI — adpipe prints its
+# constraint scorecard, adfleet assigns a program to one vehicle.
+scenario-smoke:
+	$(GO) test -race ./internal/scenario ./internal/scene
+	$(GO) test -race -run 'TestScenarioProgram|TestFleetSceneAssignment|TestScenariosStudy' ./internal/pipeline ./internal/experiment
+	$(GO) run ./cmd/adpipe -scenario mixed-stress -frames 40 -dnn=false -width 384 -height 192 -survey 20 -deadline 100ms
+	$(GO) run ./cmd/adfleet -vehicles 2 -frames 20 -dnn=false -width 384 -height 192 -survey 20 -assign '1=cut-in'
+
 # The tier the concurrency work is held to: compile everything, vet, run
 # the full test suite under the race detector (which includes the chaos
 # suite), fuzz the map decoder, drive the chaos and fleet scenarios end to
 # end through the CLIs, then hold the committed benchmark trajectory to the
 # regression gate.
-check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke tail-smoke bench-gate
+check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke tail-smoke scenario-smoke bench-gate
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \
@@ -128,8 +141,8 @@ fmt-check:
 # backing, the constraint monitor and the fault injector), with enforced
 # floors on internal/telemetry and internal/faultinject.
 cover:
-	$(GO) test -coverprofile=cover.out -coverpkg=./internal/telemetry/...,./internal/stats/...,./internal/constraint/...,./internal/faultinject/... \
-		./internal/telemetry/... ./internal/stats/... ./internal/constraint/... ./internal/faultinject/... ./internal/pipeline/...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/telemetry/...,./internal/stats/...,./internal/constraint/...,./internal/faultinject/...,./internal/scenario/... \
+		./internal/telemetry/... ./internal/stats/... ./internal/constraint/... ./internal/faultinject/... ./internal/scenario/... ./internal/pipeline/...
 	$(GO) tool cover -func=cover.out | tail -1
 	@total="$$($(GO) tool cover -func=cover.out | grep 'internal/telemetry/' | \
 		awk '{ sub(/%/, "", $$3); sum += $$3; n++ } END { if (n) printf "%.1f", sum / n; else print 0 }')"; \

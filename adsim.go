@@ -36,6 +36,7 @@ import (
 	"adsim/internal/experiment"
 	"adsim/internal/faultinject"
 	"adsim/internal/pipeline"
+	"adsim/internal/scenario"
 	"adsim/internal/scene"
 	"adsim/internal/slam"
 	"adsim/internal/stats"
@@ -414,6 +415,79 @@ func NewFaultInjector(sc FaultScenario) (*FaultInjector, error) { return faultin
 // adpipe -fault flag accepts (e.g. "DET:delay=30ms:every=5,IO:err:p=0.2").
 func ParseFaultScenario(spec string, seed int64) (FaultScenario, error) {
 	return faultinject.Parse(spec, seed)
+}
+
+// ScenarioProgram is a validated, replayable scenario program: phased world
+// clauses (traffic density, driver profiles, illumination, blackout and
+// occlusion windows, loop segments) and fault rules in one text format.
+// See internal/scenario for the grammar; the committed library lives in
+// scenarios/ and ships compiled into the binary.
+type ScenarioProgram = scenario.Program
+
+// SceneTimeline is a program's compiled world timeline; Configure installs
+// it onto a scene configuration (SceneConfig.Timeline).
+type SceneTimeline = scene.Timeline
+
+// ScenePhase is one phase of a SceneTimeline: a time range plus the world
+// parameters it overrides while active.
+type ScenePhase = scene.Phase
+
+// SceneTimeWindow is a blackout/occlusion interval within a phase.
+type SceneTimeWindow = scene.TimeWindow
+
+// SceneConfig parameterizes the synthetic world generator
+// (PipelineConfig.Scene and FleetConfig.Scenes use it).
+type SceneConfig = scene.Config
+
+// DefaultSceneConfig returns the standard world configuration for a
+// scenario kind.
+func DefaultSceneConfig(kind ScenarioKind) SceneConfig { return scene.DefaultConfig(kind) }
+
+// DriverProfile selects how scripted traffic behaves (calm or aggressive
+// cut-in/hard-brake maneuvers).
+type DriverProfile = scene.DriverProfile
+
+// Driver profiles.
+const (
+	DriverCalm       = scene.DriverCalm
+	DriverAggressive = scene.DriverAggressive
+)
+
+// ParseScenarioProgram parses and statically validates a scenario program
+// (phase ordering, parameter ranges, loop-topology constraints) before any
+// frame renders.
+func ParseScenarioProgram(name, src string) (*ScenarioProgram, error) {
+	return scenario.Parse(name, src)
+}
+
+// LoadScenarioProgram loads a program from the committed library by name.
+func LoadScenarioProgram(name string) (*ScenarioProgram, error) { return scenario.Load(name) }
+
+// ResolveScenarioProgram loads a program by library name or, failing that,
+// by file path — the lookup behind the -scenario CLI flags.
+func ResolveScenarioProgram(ref string) (*ScenarioProgram, error) { return scenario.Resolve(ref) }
+
+// ScenarioLibrary lists the committed scenario-program names.
+func ScenarioLibrary() []string { return scenario.Library() }
+
+// FaultScenarioFromProgram lifts a program's fault rules into a seeded
+// FaultScenario for NewFaultInjector.
+func FaultScenarioFromProgram(prog *ScenarioProgram, seed int64) FaultScenario {
+	return faultinject.FromProgram(prog, seed)
+}
+
+// ConstraintScorecard folds one whole scenario run — every delivered
+// frame's wall and per-stage latencies — into a per-scenario constraint
+// verdict. Replaying the same program and seed folds identical samples.
+type ConstraintScorecard = constraint.Scorecard
+
+// ScorecardReport is a scorecard's rendered verdict.
+type ScorecardReport = constraint.ScorecardReport
+
+// NewConstraintScorecard starts an empty scorecard for one (scenario,
+// seed) run driven at the configured source frame rate.
+func NewConstraintScorecard(scenarioName string, seed int64, fps float64) *ConstraintScorecard {
+	return constraint.NewScorecard(scenarioName, seed, fps)
 }
 
 // ExperimentOptions tune experiment execution.

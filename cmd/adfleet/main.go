@@ -10,12 +10,15 @@
 //	adfleet -vehicles 8 -frames 100 -scenario highway -inflight 4
 //	adfleet -vehicles 4 -frames 200 -deadline 100ms -fault 'DET:delay=30ms:every=5' -fault-vehicle 1
 //	adfleet -vehicles 2 -frames 50 -batch=false -shared-map=false   # fully private resources
+//	adfleet -vehicles 4 -frames 100 -assign '1=cut-in,3=blackout'   # per-vehicle scenario programs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,7 +31,8 @@ func main() {
 	var (
 		vehicles = flag.Int("vehicles", 4, "vehicle streams to multiplex")
 		frames   = flag.Int("frames", 50, "frames to process per vehicle")
-		scenario = flag.String("scenario", "urban", "scenario kind: urban or highway")
+		scenario = flag.String("scenario", "urban", "template scenario kind every vehicle drives: urban or highway")
+		assign   = flag.String("assign", "", "per-vehicle scenario programs as comma-separated INDEX=PROGRAM pairs (library name or .adsc path), e.g. '1=cut-in,3=blackout'; assigned vehicles keep their derived seed and the program's fault rules")
 		width    = flag.Int("width", 512, "frame width")
 		height   = flag.Int("height", 256, "frame height")
 		survey   = flag.Int("survey", 60, "prior-map survey frames")
@@ -123,6 +127,43 @@ func main() {
 		}
 		fc.Injects = map[int]func(string, int) (time.Duration, error){*faultVeh: inj.Stage}
 	}
+	if *assign != "" {
+		fc.Scenes = map[int]adsim.SceneConfig{}
+		for _, pair := range strings.Split(*assign, ",") {
+			idxStr, ref, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fail(2, "bad -assign entry %q (want INDEX=PROGRAM)", pair)
+			}
+			idx, err := strconv.Atoi(strings.TrimSpace(idxStr))
+			if err != nil || idx < 0 || idx >= *vehicles {
+				fail(2, "bad -assign vehicle index %q (fleet has %d vehicles)", idxStr, *vehicles)
+			}
+			if _, dup := fc.Scenes[idx]; dup {
+				fail(2, "-assign lists vehicle %d twice", idx)
+			}
+			prog, err := adsim.ResolveScenarioProgram(strings.TrimSpace(ref))
+			if err != nil {
+				fail(2, "%v", err)
+			}
+			sc := prog.Configure(cfg.Scene)
+			sc.Seed = 0 // keep the fleet's per-vehicle seed derivation (base seed + index)
+			fc.Scenes[idx] = sc
+			if len(prog.Faults) > 0 {
+				if _, dup := fc.Injects[idx]; dup {
+					fail(2, "vehicle %d has both -fault and program %q fault rules", idx, prog.Name)
+				}
+				inj, err := adsim.NewFaultInjector(adsim.FaultScenarioFromProgram(prog, *faultSd))
+				if err != nil {
+					fail(2, "%v", err)
+				}
+				if fc.Injects == nil {
+					fc.Injects = map[int]func(string, int) (time.Duration, error){}
+				}
+				fc.Injects[idx] = inj.Stage
+				faulting = true
+			}
+		}
+	}
 
 	f, err := adsim.NewFleet(fc)
 	if err != nil {
@@ -156,7 +197,9 @@ func main() {
 	})
 
 	fmt.Printf("\n%s", rep)
-	if faulting {
+	if *fault != "" {
 		fmt.Printf("faulted frames %d (vehicle %d under %q)\n", faulted, *faultVeh, *fault)
+	} else if faulting {
+		fmt.Printf("faulted frames %d (under assigned program fault rules)\n", faulted)
 	}
 }

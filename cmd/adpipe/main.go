@@ -9,6 +9,9 @@
 //	adpipe -scenario urban -frames 100 -inflight 3 -telemetry json
 //	adpipe -scenario urban -frames 200 -deadline 100ms
 //	adpipe -frames 200 -deadline 100ms -fault 'DET:delay=30ms:every=5,SRC:drop:every=50'
+//	adpipe -scenario rush-hour -frames 300 -deadline 100ms     # library program + scorecard
+//	adpipe -scenario ./my.adsc -base highway -seed 7 -frames 200
+//	adpipe -list-scenarios
 package main
 
 import (
@@ -27,7 +30,10 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "urban", "scenario kind: urban or highway")
+		scenario = flag.String("scenario", "urban", "scenario: urban, highway, a library program name (see -list-scenarios), or a path to a .adsc program file")
+		base     = flag.String("base", "urban", "base world kind a scenario program phases over: urban or highway")
+		seed     = flag.Int64("seed", 0, "scene seed override (0 keeps the scenario default)")
+		list     = flag.Bool("list-scenarios", false, "list the committed scenario-program library and exit")
 		frames   = flag.Int("frames", 50, "frames to process")
 		width    = flag.Int("width", 512, "frame width")
 		height   = flag.Int("height", 256, "frame height")
@@ -45,18 +51,38 @@ func main() {
 		anytime  = flag.Bool("anytime", false, "let a budget-blown DET commit a coarser on-time detection set (anytime early exit) instead of shedding it; requires -deadline")
 		ladder   = flag.String("ladder", "", "comma-separated strictly-descending DET input sizes for -tail's resolution ladder (default: derived from the detector's input size)")
 		fault    = flag.String("fault", "", "seeded fault scenario, e.g. 'DET:delay=30ms:every=5,IO:err:p=0.2,SRC:drop:every=50'")
-		seed     = flag.Int64("fault-seed", 1, "seed for the fault scenario's probabilistic rules")
+		faultSd  = flag.Int64("fault-seed", 1, "seed for the fault scenario's probabilistic rules")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, n := range adsim.ScenarioLibrary() {
+			fmt.Println(n)
+		}
+		return
+	}
+
 	kind := adsim.Urban
+	var prog *adsim.ScenarioProgram
 	switch *scenario {
 	case "urban":
 	case "highway":
 		kind = adsim.Highway
 	default:
-		fmt.Fprintf(os.Stderr, "adpipe: unknown scenario %q\n", *scenario)
-		os.Exit(2)
+		p, err := adsim.ResolveScenarioProgram(*scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(2)
+		}
+		prog = p
+		switch *base {
+		case "urban":
+		case "highway":
+			kind = adsim.Highway
+		default:
+			fmt.Fprintf(os.Stderr, "adpipe: unknown -base %q (want urban or highway)\n", *base)
+			os.Exit(2)
+		}
 	}
 
 	if *inflight < 1 {
@@ -81,6 +107,19 @@ func main() {
 	cfg.Track.Quantized = *quant
 	cfg.Detect.Executor = exec
 	cfg.Track.Executor = exec
+	if prog != nil {
+		cfg.Scene = prog.Configure(cfg.Scene)
+	}
+	if *seed != 0 {
+		cfg.Scene.Seed = *seed
+	}
+	// Static validation runs before any frame renders; warnings (silent
+	// parameter coercions) surface here, hard errors below via the pipeline.
+	if warns, err := cfg.Scene.Validate(); err == nil {
+		for _, w := range warns {
+			fmt.Fprintf(os.Stderr, "adpipe: warning: %s\n", w)
+		}
+	}
 
 	var reg *adsim.TelemetryRegistry
 	if *deadline > 0 {
@@ -90,12 +129,24 @@ func main() {
 	}
 	faulting := *fault != ""
 	if faulting {
-		sc, err := adsim.ParseFaultScenario(*fault, *seed)
+		if prog != nil && len(prog.Faults) > 0 {
+			fmt.Fprintf(os.Stderr, "adpipe: program %q carries its own fault rules; drop -fault\n", prog.Name)
+			os.Exit(2)
+		}
+		sc, err := adsim.ParseFaultScenario(*fault, *faultSd)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
 			os.Exit(2)
 		}
 		inj, err := adsim.NewFaultInjector(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Inject = inj.Stage
+	} else if prog != nil && len(prog.Faults) > 0 {
+		faulting = true
+		inj, err := adsim.NewFaultInjector(adsim.FaultScenarioFromProgram(prog, *faultSd))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adpipe: %v\n", err)
 			os.Exit(2)
@@ -164,8 +215,21 @@ func main() {
 
 	wall := adsim.NewDistribution(*frames)
 
+	// A scenario program gets a per-scenario constraint scorecard: every
+	// delivered frame's end-to-end and per-stage latencies fold into one
+	// replayable verdict.
+	var card *adsim.ConstraintScorecard
+	if prog != nil {
+		card = adsim.NewConstraintScorecard(prog.Name, cfg.Scene.Seed, cfg.Scene.FPS)
+	}
+
 	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
 	record := func(i int, res adsim.FrameResult) {
+		if card != nil {
+			card.Observe(ms(res.Timing.E2E), map[string]float64{
+				"DET": ms(res.Timing.Det), "TRA": ms(res.Timing.Tra), "LOC": ms(res.Timing.Loc),
+			}, res.Degraded.Any())
+		}
 		e2e.Add(ms(res.Timing.E2E))
 		e2eSamples = append(e2eSamples, ms(res.Timing.E2E))
 		det.Add(ms(res.Timing.Det))
@@ -196,12 +260,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "adpipe: frame %d: %v\n", i, err)
 			os.Exit(1)
 		}
+		if card != nil {
+			card.ObserveError()
+		}
 		faulted++
 		if *verbose {
 			fmt.Printf("frame %3d: FAULT %v\n", i, err)
 		}
 	}
 
+	if prog != nil {
+		fmt.Printf("scenario program %q (seed %d), base world %s\n",
+			prog.Name, cfg.Scene.Seed, scene.Kind(kind))
+	}
 	fmt.Printf("running %d %s frames at %dx%d (dnn=%v, survey=%d, inflight=%d, workers=%d)\n",
 		*frames, scene.Kind(kind), *width, *height, *dnn, *survey, *inflight, exec.Workers())
 	start := time.Now()
@@ -245,6 +316,10 @@ func main() {
 	fmt.Printf("localized %d/%d frames; relocalizations=%d, loop closures=%d, map=%v\n",
 		tracked, *frames, p.Localizer().Relocalizations(),
 		p.Localizer().LoopClosures(), p.Localizer().Map())
+
+	if card != nil {
+		fmt.Printf("\nscenario scorecard:\n%s", card.Report())
+	}
 
 	if *deadline > 0 {
 		fmt.Printf("\ndeadline enforcement (frame budget %v):\n", *deadline)

@@ -1,0 +1,97 @@
+package constraint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func foldCleanRun(s *Scorecard, n int) {
+	for i := 0; i < n; i++ {
+		s.Observe(50, map[string]float64{"DET": 20, "LOC": 30, "TRA": 5}, false)
+	}
+}
+
+func TestScorecardPass(t *testing.T) {
+	s := NewScorecard("rush-hour", 42, 10)
+	foldCleanRun(s, MinTailSamples)
+	r := s.Report()
+	if !r.Pass() {
+		t.Fatalf("clean run fails:\n%s", r)
+	}
+	if r.FPS != 10 {
+		t.Errorf("FPS = %g, want the configured 10", r.FPS)
+	}
+	if r.Dominant != "LOC" {
+		t.Errorf("dominant = %q, want LOC (largest tail)", r.Dominant)
+	}
+	if r.Scenario != "rush-hour" || r.Seed != 42 {
+		t.Errorf("identity = %q/%d", r.Scenario, r.Seed)
+	}
+	if len(r.Stages) != 3 {
+		t.Errorf("stages = %+v", r.Stages)
+	}
+}
+
+func TestScorecardHardMissesDiscountRate(t *testing.T) {
+	s := NewScorecard("blackout", 1, 10)
+	foldCleanRun(s, MinTailSamples)
+	for i := 0; i < MinTailSamples; i++ {
+		s.Observe(150, map[string]float64{"DET": 140}, true)
+	}
+	r := s.Report()
+	if r.Pass() {
+		t.Fatalf("run with half its frames over %gms passes:\n%s", MaxTailLatencyMs, r)
+	}
+	if r.HardMisses != MinTailSamples || r.Degraded != MinTailSamples {
+		t.Errorf("hard = %d, degraded = %d, want %d each", r.HardMisses, r.Degraded, MinTailSamples)
+	}
+	if r.FPS >= 10 {
+		t.Errorf("FPS = %g not discounted by hard misses", r.FPS)
+	}
+	if r.Performance.Passed {
+		t.Errorf("performance passed with tail %g ms", r.TailMs)
+	}
+}
+
+func TestScorecardErrorsFail(t *testing.T) {
+	s := NewScorecard("mixed-stress", 1, 10)
+	foldCleanRun(s, MinTailSamples)
+	s.ObserveError()
+	r := s.Report()
+	if r.Pass() {
+		t.Fatal("run with an errored frame passes")
+	}
+	if r.Errors != 1 {
+		t.Errorf("errors = %d", r.Errors)
+	}
+}
+
+// TestScorecardReplayIdentical: folding the same samples yields the
+// identical report — the scorecard half of scenario replayability.
+func TestScorecardReplayIdentical(t *testing.T) {
+	mk := func() ScorecardReport {
+		s := NewScorecard("cut-in", 7, 10)
+		for i := 0; i < MinTailSamples+100; i++ {
+			wall := 40 + float64(i%17)
+			s.Observe(wall, map[string]float64{"DET": wall / 2, "TRA": wall / 4}, i%50 == 0)
+		}
+		s.ObserveError()
+		return s.Report()
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replayed scorecards differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestScorecardString(t *testing.T) {
+	s := NewScorecard("loop-closure", 3, 10)
+	foldCleanRun(s, MinTailSamples)
+	out := s.Report().String()
+	for _, want := range []string{"loop-closure", "PASS", "dominant stage LOC", "stage DET"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report %q missing %q", out, want)
+		}
+	}
+}

@@ -18,7 +18,7 @@ func fastOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablate-cameras", "ablate-cooling", "ablate-noise", "ablate-objects", "ablate-reloc",
 		"accuracy", "energy", "fig10", "fig11", "fig12", "fig13", "fig2", "fig6", "fig7",
-		"headline", "platform-analysis", "quantized", "roofline", "seeds", "storage", "table1", "table2", "table3", "tail"}
+		"headline", "platform-analysis", "quantized", "roofline", "scenarios", "seeds", "storage", "table1", "table2", "table3", "tail"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %v, want %v", got, want)
@@ -682,6 +682,44 @@ func TestTailStudy(t *testing.T) {
 	}
 	out := res.Render()
 	for _, want := range []string{"static", "adaptive", "tail-study", "p99.99-ms", "hard-miss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestScenariosStudy(t *testing.T) {
+	// Small per-program sizing: the sweep's value here is structural — every
+	// library program compiles, runs, scores and replays — not the latency
+	// numbers, which need full-size runs to mean anything.
+	res, err := runScenariosStudy(scenariosParams{Frames: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "scenarios" {
+		t.Fatalf("ID = %q", res.ID())
+	}
+	if len(res.Runs) < 6 {
+		t.Fatalf("swept %d programs, want the whole library (>= 6)", len(res.Runs))
+	}
+	degraded := 0
+	for _, run := range res.Runs {
+		if run.Report.Frames != 25 || run.Report.Errors != 0 {
+			t.Errorf("%s: frames=%d errors=%d", run.Report.Scenario, run.Report.Frames, run.Report.Errors)
+		}
+		if !run.ReplayOK {
+			t.Errorf("%s: replay diverged", run.Report.Scenario)
+		}
+		degraded += run.Report.Degraded
+	}
+	if degraded == 0 {
+		t.Error("no program exercised the degraded path; the fault-bearing library programs are inert")
+	}
+	if !res.Pass() {
+		t.Errorf("structural sweep fails its own bar:\n%s", res.Render())
+	}
+	out := res.Render()
+	for _, want := range []string{"rush-hour", "cut-in", "blackout", "loop-closure", "mixed-stress", "replay IDENTICAL", "scenario-sweep"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}

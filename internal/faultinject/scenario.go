@@ -2,9 +2,8 @@ package faultinject
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
-	"time"
+
+	"adsim/internal/scenario"
 )
 
 // Parse builds a scenario from a compact comma-separated rule list, the
@@ -21,23 +20,21 @@ import (
 // err, and drop (an alias for err, conventionally used on SRC). Modifiers
 // are every=N, burst=N, p=0.x, and frames=A-B (inclusive; A alone pins one
 // frame, "A-" leaves the range open-ended).
+//
+// Parse is a shim over the unified scenario-program parser: the rule
+// grammar is the fault sub-grammar of internal/scenario, so every -fault
+// spec is also a valid scenario program. Specs containing world (phase)
+// statements are rejected here — run those as scenario programs, which
+// carry both a world timeline and fault rules.
 func Parse(spec string, seed int64) (Scenario, error) {
-	sc := Scenario{Seed: seed}
-	for _, tok := range strings.Split(spec, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		r, err := parseRule(tok)
-		if err != nil {
-			return Scenario{}, err
-		}
-		sc.Rules = append(sc.Rules, r)
+	prog, err := scenario.Parse("", spec)
+	if err != nil {
+		return Scenario{}, err
 	}
-	if len(sc.Rules) == 0 {
-		return Scenario{}, fmt.Errorf("faultinject: empty scenario %q", spec)
+	if prog.Timeline != nil {
+		return Scenario{}, fmt.Errorf("faultinject: spec %q contains world (phase) statements; run it as a scenario program", spec)
 	}
-	return sc, nil
+	return FromRules(prog.Faults, seed), nil
 }
 
 // MustParse is Parse that panics on a malformed spec — for tests and
@@ -50,60 +47,19 @@ func MustParse(spec string, seed int64) Scenario {
 	return sc
 }
 
-func parseRule(tok string) (Rule, error) {
-	parts := strings.Split(tok, ":")
-	if len(parts) < 2 {
-		return Rule{}, fmt.Errorf("faultinject: rule %q needs STAGE:action", tok)
+// FromRules converts scenario-program fault rules (already validated by
+// the program parser) into a runnable Scenario with the given seed.
+func FromRules(rules []scenario.FaultRule, seed int64) Scenario {
+	sc := Scenario{Seed: seed}
+	for _, r := range rules {
+		sc.Rules = append(sc.Rules, Rule(r))
 	}
-	r := Rule{Stage: strings.ToUpper(strings.TrimSpace(parts[0]))}
-	for _, p := range parts[1:] {
-		key, val, hasVal := strings.Cut(strings.TrimSpace(p), "=")
-		var err error
-		switch key {
-		case "err", "drop":
-			if hasVal {
-				return Rule{}, fmt.Errorf("faultinject: rule %q: %s takes no value", tok, key)
-			}
-			r.Err = true
-		case "delay":
-			r.Delay, err = time.ParseDuration(val)
-		case "every":
-			r.Every, err = strconv.Atoi(val)
-		case "burst":
-			r.Burst, err = strconv.Atoi(val)
-		case "p":
-			r.P, err = strconv.ParseFloat(val, 64)
-		case "frames":
-			r.From, r.To, err = parseRange(val)
-		default:
-			return Rule{}, fmt.Errorf("faultinject: rule %q: unknown field %q", tok, key)
-		}
-		if err != nil {
-			return Rule{}, fmt.Errorf("faultinject: rule %q: bad %s: %v", tok, key, err)
-		}
-	}
-	return r, nil
+	return sc
 }
 
-// parseRange parses "A-B", "A-" (open-ended) or "A" (a single frame) into
-// the inclusive [From,To] convention where To == 0 means unbounded.
-func parseRange(s string) (from, to int, err error) {
-	lo, hi, ranged := strings.Cut(s, "-")
-	if from, err = strconv.Atoi(lo); err != nil {
-		return 0, 0, err
-	}
-	switch {
-	case !ranged:
-		to = from
-	case hi == "":
-		to = 0
-	default:
-		if to, err = strconv.Atoi(hi); err != nil {
-			return 0, 0, err
-		}
-	}
-	if ranged && hi != "" && to < from {
-		return 0, 0, fmt.Errorf("range %q is inverted", s)
-	}
-	return from, to, nil
+// FromProgram extracts a program's fault rules as a runnable Scenario.
+// Programs with no fault rules yield an empty scenario whose injector
+// never fires.
+func FromProgram(prog *scenario.Program, seed int64) Scenario {
+	return FromRules(prog.Faults, seed)
 }

@@ -8,6 +8,7 @@ import (
 
 	"adsim/internal/constraint"
 	"adsim/internal/dnn"
+	"adsim/internal/scene"
 	"adsim/internal/slam"
 	"adsim/internal/telemetry"
 )
@@ -23,6 +24,15 @@ type FleetConfig struct {
 	// Seeds[i] seeds vehicle i's scenario. Empty derives seeds from the
 	// template (Config.Scene.Seed + i); otherwise len must equal Vehicles.
 	Seeds []int64
+	// Scenes overrides the template scene configuration for specific
+	// vehicles (key = vehicle index) — per-vehicle scenario assignment, so
+	// different vehicles in one fleet drive different scenario programs
+	// (scenario.Program.Configure builds the per-vehicle scene.Config).
+	// The seed rules still apply on top: Seeds[i] wins, then a nonzero
+	// Seed in the assigned scene, then the template derivation — so one
+	// scenario can be assigned to several vehicles without colliding
+	// streams.
+	Scenes map[int]scene.Config
 	// InFlight is each vehicle Runner's pipelining window; 0 selects
 	// DefaultInFlight.
 	InFlight int
@@ -92,10 +102,17 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	for i := 0; i < cfg.Vehicles; i++ {
 		vcfg := cfg.Config
-		vcfg.Scene.Seed = cfg.Config.Scene.Seed + int64(i)
-		if len(cfg.Seeds) > 0 {
-			vcfg.Scene.Seed = cfg.Seeds[i]
+		seed := cfg.Config.Scene.Seed + int64(i)
+		if sc, ok := cfg.Scenes[i]; ok {
+			vcfg.Scene = sc
+			if sc.Seed != 0 {
+				seed = sc.Seed
+			}
 		}
+		if len(cfg.Seeds) > 0 {
+			seed = cfg.Seeds[i]
+		}
+		vcfg.Scene.Seed = seed
 		if vcfg.Detect.Executor == nil {
 			vcfg.Detect.Executor = exec
 		}

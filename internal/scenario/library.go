@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"adsim/scenarios"
+)
+
+// libraryExt is the scenario-program file extension.
+const libraryExt = ".adsc"
+
+// Library returns the names of the committed scenario programs, sorted.
+func Library() []string {
+	entries, err := scenarios.FS.ReadDir(".")
+	if err != nil {
+		return nil // the embed is compiled in; this cannot happen
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), libraryExt); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load parses a program from the committed library by name.
+func Load(name string) (*Program, error) {
+	src, err := scenarios.FS.ReadFile(name + libraryExt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no library program %q (have: %s)", name, strings.Join(Library(), ", "))
+	}
+	return Parse(name, string(src))
+}
+
+// LoadFile parses a program from a file on disk; the program's name is the
+// file's base name without its extension.
+func LoadFile(path string) (*Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return Parse(name, string(src))
+}
+
+// Resolve loads a program from the library if name matches a committed
+// program, otherwise treats name as a file path. This is the lookup rule
+// behind command-line -scenario flags.
+func Resolve(name string) (*Program, error) {
+	if _, err := scenarios.FS.ReadFile(name + libraryExt); err == nil {
+		return Load(name)
+	}
+	return LoadFile(name)
+}

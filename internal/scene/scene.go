@@ -143,6 +143,11 @@ type Config struct {
 	NumPeds     int
 	NumSigns    int
 	Seed        int64
+	// LaneWidth is the lane width in meters; 0 selects DefaultLaneWidth.
+	LaneWidth float64
+	// NumLanes is the carriageway width in lanes; 0 selects the archetype
+	// default (3 for Highway, 2 for Urban).
+	NumLanes int
 	// LoopLength, when positive, makes the rendered world periodic in Z
 	// with this period (meters): driving past it revisits the same
 	// scenery, which is what exercises the SLAM engine's loop closing.
@@ -156,6 +161,25 @@ type Config struct {
 	// ("the map is built under different weather conditions"); rBRIEF's
 	// binary intensity comparisons are invariant to monotone scaling.
 	Illumination float64
+	// Timeline, when non-nil, drives the world through phased changes —
+	// traffic density, driver profile, illumination, road geometry,
+	// blackout/occlusion windows, loop segments — as scenario time passes.
+	// nil keeps the static single-phase behavior. Timelines are usually
+	// compiled from a scenario program (internal/scenario), which
+	// statically validates them before any frame renders.
+	Timeline *Timeline
+}
+
+// DefaultLaneWidth is the lane width (meters) used when Config.LaneWidth
+// is zero.
+const DefaultLaneWidth = 3.5
+
+// defaultLanes returns the archetype's lane count.
+func defaultLanes(k Kind) int {
+	if k == Urban {
+		return 2
+	}
+	return 3
 }
 
 // DefaultConfig returns a KITTI-like configuration: 1242×375 frames at
@@ -181,22 +205,50 @@ func DefaultConfig(kind Kind) Config {
 	return cfg
 }
 
-// validate normalizes a config, applying defaults for zero fields.
-func (c *Config) validate() error {
+// Validate normalizes the config (applying defaults for zero fields) and
+// reports problems on two channels: hard violations come back as the
+// error, while conditions the generator will silently repair — today, a
+// loop world configured with moving actors, which New coerces to a static
+// world — come back as human-readable warnings. Generator.Warnings
+// re-exposes the same list after construction.
+func (c *Config) Validate() (warnings []string, err error) {
 	if c.Width <= 0 || c.Height <= 0 {
-		return fmt.Errorf("scene: invalid frame size %dx%d", c.Width, c.Height)
+		return nil, fmt.Errorf("scene: invalid frame size %dx%d", c.Width, c.Height)
 	}
 	if c.FPS <= 0 {
 		c.FPS = 10
 	}
 	if c.EgoSpeed < 0 {
-		return fmt.Errorf("scene: negative ego speed %v", c.EgoSpeed)
+		return nil, fmt.Errorf("scene: negative ego speed %v", c.EgoSpeed)
+	}
+	if c.EgoSpeed > MaxEgoSpeed {
+		return nil, fmt.Errorf("scene: ego speed %v above %v m/s", c.EgoSpeed, float64(MaxEgoSpeed))
 	}
 	if c.Illumination < 0 || c.Illumination > 2 {
-		return fmt.Errorf("scene: illumination %v outside [0,2]", c.Illumination)
+		return nil, fmt.Errorf("scene: illumination %v outside [0,2]", c.Illumination)
 	}
 	if c.Illumination == 0 {
 		c.Illumination = 1
 	}
-	return nil
+	if c.LaneWidth == 0 {
+		c.LaneWidth = DefaultLaneWidth
+	}
+	if c.LaneWidth < MinLaneWidth || c.LaneWidth > MaxLaneWidth {
+		return nil, fmt.Errorf("scene: lane width %v outside [%v,%v]", c.LaneWidth, float64(MinLaneWidth), float64(MaxLaneWidth))
+	}
+	if c.NumLanes == 0 {
+		c.NumLanes = defaultLanes(c.Kind)
+	}
+	if c.NumLanes < 1 || c.NumLanes > MaxLanes {
+		return nil, fmt.Errorf("scene: %d lanes outside [1,%d]", c.NumLanes, MaxLanes)
+	}
+	if c.LoopLength > 0 && (c.NumVehicles > 0 || c.NumPeds > 0) {
+		warnings = append(warnings, fmt.Sprintf(
+			"scene: loop world is static and periodic; dropping %d vehicles and %d pedestrians (set NumVehicles/NumPeds to 0 to silence)",
+			c.NumVehicles, c.NumPeds))
+	}
+	if err := c.Timeline.Validate(); err != nil {
+		return nil, err
+	}
+	return warnings, nil
 }

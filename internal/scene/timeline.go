@@ -1,0 +1,194 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+)
+
+// DriverProfile selects how the moving actors around the ego behave. The
+// profiles mirror the aggressivity index of driver-behaviour simulators:
+// calm traffic holds lane and speed; aggressive traffic injects cut-in and
+// hard-brake maneuvers — the events that stress the tracker (sudden box
+// displacement) and the planner (closing-gap obstacles).
+type DriverProfile int
+
+const (
+	// DriverCalm traffic holds lane and speed (the pre-timeline behavior).
+	DriverCalm DriverProfile = iota
+	// DriverAggressive traffic starts cut-in and hard-brake maneuvers on a
+	// seeded event process.
+	DriverAggressive
+)
+
+func (d DriverProfile) String() string {
+	if d == DriverAggressive {
+		return "aggressive"
+	}
+	return "calm"
+}
+
+// TimeWindow is a half-open interval [Start, End) in scenario seconds.
+type TimeWindow struct {
+	Start, End float64
+}
+
+// Contains reports whether t lies inside the window.
+func (w TimeWindow) Contains(t float64) bool { return t >= w.Start && t < w.End }
+
+// PhaseSet is the bitmask of which optional clauses a Phase carries. Unset
+// parameters inherit their current value across phase boundaries, so a
+// phase only states what changes.
+type PhaseSet uint16
+
+const (
+	SetDensity PhaseSet = 1 << iota
+	SetPedDensity
+	SetDriver
+	SetIllumination
+	SetEgoSpeed
+	SetLaneWidth
+	SetNumLanes
+)
+
+// Has reports whether clause c is present.
+func (s PhaseSet) Has(c PhaseSet) bool { return s&c != 0 }
+
+// Phase is one segment of a scenario timeline: a time range plus the world
+// parameters that change when it begins. Parameters persist across phase
+// boundaries until a later phase overrides them; LoopLength and the
+// blackout/occlusion windows are scoped to their own phase only.
+type Phase struct {
+	// Start and End bound the phase in scenario seconds; End <= 0 leaves
+	// the phase open-ended (it runs until the next phase or forever).
+	Start, End float64
+
+	// Set records which of the optional world clauses below are present.
+	Set PhaseSet
+
+	// Density is moving-vehicle density in vehicles per km of road ahead;
+	// the generator's arrival process spawns and despawns to hold it.
+	// Setting 0 clears moving vehicles.
+	Density float64
+	// PedDensity is the pedestrian/cyclist density in actors per km.
+	PedDensity float64
+	// Driver selects the traffic behavior profile.
+	Driver DriverProfile
+	// Illumination scales rendered pixels exactly like Config.Illumination.
+	Illumination float64
+	// EgoSpeed changes the ego vehicle's speed (m/s).
+	EgoSpeed float64
+	// LaneWidth and NumLanes change the road geometry.
+	LaneWidth float64
+	NumLanes  int
+
+	// LoopLength, when positive, renders this phase as a periodic loop of
+	// that many meters anchored at the ego position on phase entry — the
+	// reloc/loop-closure-forcing route segment. Loop phases are static:
+	// moving actors are despawned at entry, and programs that would spawn
+	// actors inside a loop phase are rejected by validation.
+	LoopLength float64
+
+	// Blackouts are sensor-blackout windows (the camera delivers a black
+	// frame); Occlusions draw a large foreground occluder over the scene.
+	// Both must lie inside the phase's own time range.
+	Blackouts  []TimeWindow
+	Occlusions []TimeWindow
+}
+
+// Timeline is an ordered list of phases driving a Generator: the compiled
+// form of a scenario program. A nil Timeline (or one with no phases) leaves
+// the generator in its static single-phase behavior.
+type Timeline struct {
+	Phases []Phase
+}
+
+// Validate checks phase ordering and parameter ranges. It returns the
+// first violation; the scenario package reports richer, source-anchored
+// errors before a timeline is ever built, so this is the scene layer's own
+// defensive check.
+func (tl *Timeline) Validate() error {
+	if tl == nil {
+		return nil
+	}
+	prevEnd := math.Inf(-1)
+	density, peds := -1.0, -1.0 // unknown until a phase sets them
+	for i := range tl.Phases {
+		ph := &tl.Phases[i]
+		if !(ph.Start >= 0) { // negated to also reject NaN
+			return fmt.Errorf("scene: phase %d starts at %gs (negative)", i, ph.Start)
+		}
+		if math.IsNaN(ph.End) {
+			return fmt.Errorf("scene: phase %d has NaN end time", i)
+		}
+		if ph.End > 0 && ph.End <= ph.Start {
+			return fmt.Errorf("scene: phase %d range %g-%gs is empty", i, ph.Start, ph.End)
+		}
+		if ph.Start < prevEnd {
+			return fmt.Errorf("scene: phase %d at %gs overlaps the previous phase", i, ph.Start)
+		}
+		if ph.End <= 0 && i != len(tl.Phases)-1 {
+			return fmt.Errorf("scene: open-ended phase %d is not last", i)
+		}
+		prevEnd = ph.End
+		// Range checks are written in negated form so NaN (which fails
+		// every comparison) is rejected rather than slipping through.
+		if ph.Set.Has(SetDensity) {
+			if !(ph.Density >= 0 && ph.Density <= MaxDensityPerKm) {
+				return fmt.Errorf("scene: phase %d density %g outside [0,%g]/km", i, ph.Density, MaxDensityPerKm)
+			}
+			density = ph.Density
+		}
+		if ph.Set.Has(SetPedDensity) {
+			if !(ph.PedDensity >= 0 && ph.PedDensity <= MaxDensityPerKm) {
+				return fmt.Errorf("scene: phase %d peds %g outside [0,%g]/km", i, ph.PedDensity, MaxDensityPerKm)
+			}
+			peds = ph.PedDensity
+		}
+		if ph.Set.Has(SetIllumination) && !(ph.Illumination > 0 && ph.Illumination <= 2) {
+			return fmt.Errorf("scene: phase %d illumination %g outside (0,2]", i, ph.Illumination)
+		}
+		if ph.Set.Has(SetEgoSpeed) && !(ph.EgoSpeed >= 0 && ph.EgoSpeed <= MaxEgoSpeed) {
+			return fmt.Errorf("scene: phase %d egospeed %g outside [0,%g]", i, ph.EgoSpeed, MaxEgoSpeed)
+		}
+		if ph.Set.Has(SetLaneWidth) && !(ph.LaneWidth >= MinLaneWidth && ph.LaneWidth <= MaxLaneWidth) {
+			return fmt.Errorf("scene: phase %d lanewidth %g outside [%g,%g]", i, ph.LaneWidth, MinLaneWidth, MaxLaneWidth)
+		}
+		if ph.Set.Has(SetNumLanes) && (ph.NumLanes < 1 || ph.NumLanes > MaxLanes) {
+			return fmt.Errorf("scene: phase %d lanes %d outside [1,%d]", i, ph.NumLanes, MaxLanes)
+		}
+		if ph.LoopLength < 0 {
+			return fmt.Errorf("scene: phase %d negative loop length", i)
+		}
+		if ph.LoopLength > 0 {
+			if math.Mod(ph.LoopLength, 6) != 0 {
+				return fmt.Errorf("scene: phase %d loop length %gm is not a multiple of 6m (lane-dash period)", i, ph.LoopLength)
+			}
+			if density > 0 || peds > 0 {
+				return fmt.Errorf("scene: phase %d is a loop segment but moving-actor density is %g/km vehicles, %g/km peds — loop worlds are static; set density=0 and peds=0 first", i, math.Max(density, 0), math.Max(peds, 0))
+			}
+		}
+		for _, w := range append(append([]TimeWindow{}, ph.Blackouts...), ph.Occlusions...) {
+			if !(w.End > w.Start) {
+				return fmt.Errorf("scene: phase %d window %g-%gs is empty", i, w.Start, w.End)
+			}
+			if !(w.Start >= ph.Start) || (ph.End > 0 && !(w.End <= ph.End)) {
+				return fmt.Errorf("scene: phase %d window %g-%gs outside phase range %g-%gs", i, w.Start, w.End, ph.Start, ph.End)
+			}
+		}
+	}
+	return nil
+}
+
+// Parameter bounds enforced by Timeline.Validate and Config.Validate.
+const (
+	// MaxDensityPerKm bounds the arrival process (a bumper-to-bumper lane
+	// holds ~150 vehicles/km; beyond that the spawner cannot place actors).
+	MaxDensityPerKm = 200.0
+	// MaxEgoSpeed bounds ego speed in m/s (~250 km/h).
+	MaxEgoSpeed = 70.0
+	// MinLaneWidth/MaxLaneWidth bound lane geometry in meters.
+	MinLaneWidth = 2.5
+	MaxLaneWidth = 6.0
+	// MaxLanes bounds the carriageway width.
+	MaxLanes = 8
+)

@@ -1,0 +1,290 @@
+package scene
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallCfg is a fast test sizing of the urban archetype.
+func smallCfg() Config {
+	cfg := DefaultConfig(Urban)
+	cfg.Width, cfg.Height = 160, 80
+	cfg.Seed = 5
+	return cfg
+}
+
+// stressTimeline exercises every timeline mechanism in under six seconds of
+// scenario time: an aggressive dense phase, then a dusk phase with blackout
+// and occlusion windows, then a slow narrow-road phase.
+func stressTimeline() *Timeline {
+	return &Timeline{Phases: []Phase{
+		{Start: 0, End: 2,
+			Set:     SetDensity | SetPedDensity | SetDriver,
+			Density: 30, PedDensity: 10, Driver: DriverAggressive},
+		{Start: 2, End: 4,
+			Set:          SetIllumination | SetEgoSpeed,
+			Illumination: 0.5, EgoSpeed: 9,
+			Blackouts:  []TimeWindow{{Start: 2.5, End: 2.8}},
+			Occlusions: []TimeWindow{{Start: 3.2, End: 3.6}}},
+		{Start: 4,
+			Set:       SetLaneWidth | SetNumLanes | SetEgoSpeed,
+			LaneWidth: 2.8, NumLanes: 2, EgoSpeed: 6},
+	}}
+}
+
+// requireIdenticalStreams steps both generators n frames and requires a
+// bitwise-identical frame stream: pixels, truth annotations (IDs included),
+// poses and timestamps.
+func requireIdenticalStreams(t *testing.T, a, b *Generator, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		fa, fb := a.Step(), b.Step()
+		if fa.Index != fb.Index || fa.Time != fb.Time || fa.EgoPose != fb.EgoPose {
+			t.Fatalf("frame %d: header diverged: %+v vs %+v", i, fa, fb)
+		}
+		if !bytes.Equal(fa.Image.Pix, fb.Image.Pix) {
+			t.Fatalf("frame %d: pixels diverged", i)
+		}
+		if !reflect.DeepEqual(fa.Truth, fb.Truth) {
+			t.Fatalf("frame %d: truth diverged:\n%+v\n%+v", i, fa.Truth, fb.Truth)
+		}
+	}
+}
+
+// TestTimelineBitwiseDeterminism: the same Config and Seed produce the
+// bitwise-identical frame/truth/ID sequence across two independent
+// generators — with no timeline, under a full stress timeline, and under a
+// phase-scoped loop segment. This is the replayability contract every
+// scenario program inherits.
+func TestTimelineBitwiseDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"static", func(c *Config) {}},
+		{"stress timeline", func(c *Config) { c.Timeline = stressTimeline() }},
+		{"loop phase", func(c *Config) {
+			c.Timeline = &Timeline{Phases: []Phase{
+				{Start: 1, LoopLength: 12},
+			}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCfg()
+			tc.mut(&cfg)
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdenticalStreams(t, a, b, 60)
+		})
+	}
+}
+
+// TestDegenerateProgramMatchesStatic: a one-phase timeline that overrides
+// nothing is the degenerate scenario program every static Config is — its
+// frame stream is bitwise-identical to Timeline == nil.
+func TestDegenerateProgramMatchesStatic(t *testing.T) {
+	static := smallCfg()
+	phased := smallCfg()
+	phased.Timeline = &Timeline{Phases: []Phase{{Start: 0}}}
+	a, err := New(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(phased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalStreams(t, a, b, 40)
+}
+
+// TestTruthIDStabilityAcrossDespawn: under the arrival process, a track ID
+// that leaves the world never returns, and an ID never changes class — the
+// contract the tracker and the truth annotations depend on. Turnover must
+// actually happen for the test to mean anything.
+func TestTruthIDStabilityAcrossDespawn(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Timeline = &Timeline{Phases: []Phase{
+		{Start: 0, Set: SetDensity | SetPedDensity, Density: 25, PedDensity: 10},
+	}}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classOf := map[int]Class{}
+	retired := map[int]bool{}
+	live := map[int]bool{}
+	for i := 0; i < 120; i++ {
+		g.Step()
+		cur := map[int]bool{}
+		for _, a := range g.actors {
+			cur[a.id] = true
+			if retired[a.id] {
+				t.Fatalf("frame %d: despawned ID %d resurrected", i, a.id)
+			}
+			if c, seen := classOf[a.id]; seen && c != a.class {
+				t.Fatalf("frame %d: ID %d changed class %v -> %v", i, a.id, c, a.class)
+			}
+			classOf[a.id] = a.class
+		}
+		for id := range live {
+			if !cur[id] {
+				retired[id] = true
+			}
+		}
+		live = cur
+	}
+	if len(retired) == 0 {
+		t.Fatal("no actor turnover in 120 frames; the stability check never bit")
+	}
+	if len(classOf) <= len(live) {
+		t.Fatalf("only %d IDs ever allocated for %d live actors", len(classOf), len(live))
+	}
+}
+
+// TestLoopLapPixelIdentical: inside a loop phase, frames one loop period
+// apart are pixel-identical with identical truth — every lap revisits the
+// same scenery with the same IDs, which is what hands the SLAM engine true
+// loop-closure evidence.
+func TestLoopLapPixelIdentical(t *testing.T) {
+	cfg := smallCfg()
+	cfg.EgoSpeed = 12 // 1.2 m/frame at 10 fps: a 12 m loop laps every 10 frames
+	cfg.Timeline = &Timeline{Phases: []Phase{{Start: 1, LoopLength: 12}}}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]Frame, 40)
+	for i := range frames {
+		frames[i] = g.Step()
+	}
+	for _, i := range []int{12, 17, 23} {
+		a, b := frames[i], frames[i+10]
+		if !bytes.Equal(a.Image.Pix, b.Image.Pix) {
+			t.Errorf("frames %d and %d (one lap apart) differ in pixels", i, i+10)
+		}
+		if !reflect.DeepEqual(a.Truth, b.Truth) {
+			t.Errorf("frames %d and %d differ in truth:\n%+v\n%+v", i, i+10, a.Truth, b.Truth)
+		}
+	}
+	// The real pose keeps advancing even though the rendered world wraps.
+	if frames[39].EgoPose.Z <= frames[29].EgoPose.Z {
+		t.Error("ego pose stopped advancing inside the loop")
+	}
+}
+
+// TestLoopCoercionWarning: a loop world configured with moving actors is
+// repaired, not rejected — the coercion surfaces as a validation warning
+// and the world holds only signs.
+func TestLoopCoercionWarning(t *testing.T) {
+	cfg := smallCfg()
+	cfg.LoopLength = 120
+	cfg.NumVehicles, cfg.NumPeds = 4, 2
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns := g.Warnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], "dropping 4 vehicles and 2 pedestrians") {
+		t.Fatalf("warnings = %q", warns)
+	}
+	for _, a := range g.actors {
+		if a.class != TrafficSign {
+			t.Fatalf("loop world holds a %v", a.class)
+		}
+	}
+	// Silencing works: explicit zero counts validate clean.
+	quiet := smallCfg()
+	quiet.LoopLength = 120
+	quiet.NumVehicles, quiet.NumPeds = 0, 0
+	q, err := New(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Warnings()) != 0 {
+		t.Fatalf("silenced config still warns: %q", q.Warnings())
+	}
+}
+
+// TestLaneGeometryValidation: LaneWidth/NumLanes are validated with
+// archetype defaults for zero values.
+func TestLaneGeometryValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"narrow lane", func(c *Config) { c.LaneWidth = 1.0 }, "lane width"},
+		{"wide lane", func(c *Config) { c.LaneWidth = 9.0 }, "lane width"},
+		{"too many lanes", func(c *Config) { c.NumLanes = 20 }, "lanes outside"},
+		{"negative lanes", func(c *Config) { c.NumLanes = -1 }, "lanes outside"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCfg()
+			tc.mut(&cfg)
+			if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	if g, err := New(smallCfg()); err != nil {
+		t.Fatal(err)
+	} else if c := g.Config(); c.LaneWidth != DefaultLaneWidth || c.NumLanes != defaultLanes(Urban) {
+		t.Fatalf("defaults not applied: LaneWidth=%v NumLanes=%d", c.LaneWidth, c.NumLanes)
+	}
+}
+
+// TestSensorWindows: a blackout window zeroes the rendered frame while
+// ground truth marches on; an occlusion paints the featureless foreground
+// slab. Both are sensor effects — world state (truth, pose) is unaffected.
+func TestSensorWindows(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Timeline = stressTimeline()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blackout, occluded, clear Frame
+	for i := 0; i < 40; i++ {
+		f := g.Step()
+		switch {
+		case f.Time >= 2.5 && f.Time < 2.8:
+			blackout = f
+		case f.Time >= 3.2 && f.Time < 3.6:
+			occluded = f
+		case f.Time < 2:
+			clear = f
+		}
+	}
+	if blackout.Image == nil || occluded.Image == nil || clear.Image == nil {
+		t.Fatal("windows never sampled")
+	}
+	for i, p := range blackout.Image.Pix {
+		if p != 0 {
+			t.Fatalf("blackout frame has live pixel %d at %d", p, i)
+		}
+	}
+	if len(blackout.Truth) == 0 {
+		t.Error("blackout erased ground truth; truth is world state, not sensor state")
+	}
+	// The occluder slab: flat interior fill at the slab shade.
+	cx, cy := int(float64(cfg.Width)*0.4), int(float64(cfg.Height)*0.6)
+	if p := occluded.Image.Pix[cy*cfg.Width+cx]; p != 48 {
+		t.Errorf("occluded frame center pixel = %d, want the 48 slab fill", p)
+	}
+	sum := 0
+	for _, p := range occluded.Image.Pix {
+		sum += int(p)
+	}
+	if sum == 0 {
+		t.Error("occlusion blanked the whole frame; only a blackout may do that")
+	}
+}

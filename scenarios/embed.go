@@ -1,0 +1,11 @@
+// Package scenarios embeds the repository's committed scenario-program
+// library (the *.adsc files alongside this file). internal/scenario loads
+// programs from it by name; see that package for the grammar.
+package scenarios
+
+import "embed"
+
+// FS holds every committed scenario program.
+//
+//go:embed *.adsc
+var FS embed.FS
