@@ -6,7 +6,7 @@ TELEMETRY_COVER_FLOOR ?= 80
 # suite's determinism claims, so nearly every branch must be exercised.
 FAULTINJECT_COVER_FLOOR ?= 90
 
-.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke tail-smoke scenario-smoke
+.PHONY: build vet test race bench bench-gate bench-smoke alloc-gate check cover fmt-check fuzz-smoke chaos-smoke fleet-smoke tail-smoke scenario-smoke soak soak-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race:
 # the kernel benches, parsed into the schema'd trajectory file
 # BENCH_$(BENCH_N).json with the measurement it is compared against
 # embedded alongside (see internal/benchjson). Takes a few minutes.
-BENCH_N ?= 3
+BENCH_N ?= 4
 BENCH_BASELINE_NAME ?= BenchmarkRunner
 BENCH_BASELINE_NS ?= 15657601
 BENCH_BASELINE_FPS ?= 63.87
@@ -39,6 +39,7 @@ bench:
 	@rm -f bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkRunner$$' -benchtime 100x -count 3 . | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkFleet$$' -benchtime 50x . | tee -a bench.out
+	$(GO) test -run '^$$' -bench '^BenchmarkFleetCapacity$$' -benchtime 250x . | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkRunnerTail$$' -benchtime 100x -count 3 . | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkDegradedPipeline$$' -benchtime 50x ./internal/pipeline | tee -a bench.out
 	$(GO) test -run '^$$' -bench '^BenchmarkShardedReloc$$' ./internal/slam | tee -a bench.out
@@ -113,6 +114,18 @@ tail-smoke:
 	$(GO) run ./cmd/adpipe -frames 40 -dnn=false -width 384 -height 192 -survey 20 \
 		-inflight 4 -deadline 100ms -anytime -tail 40ms -fault 'DET:delay=32ms:every=7:burst=3'
 
+# Long-haul soak: thousands of virtual-deadline frames through a churning,
+# admission-controlled fleet under the mixed-stress scenario, with the
+# structural audits (goroutine leaks, heap growth, monitor invariants,
+# churn bitwise parity) under the race detector. Takes about a minute.
+soak:
+	$(GO) test -race -run 'TestFleetSoak|TestFleetChurnBitwiseParity' -count=1 -timeout 20m -v ./internal/pipeline
+
+# The -short scaling of the same harness: a few hundred frames, same
+# churn script and audits. Wired into check and CI.
+soak-smoke:
+	$(GO) test -race -short -run 'TestFleetSoak|TestFleetChurnBitwiseParity' -count=1 ./internal/pipeline
+
 # Scenario smoke: the scenario-program layer under the race detector
 # (parser/validator/library, scene timeline determinism, program-driven
 # Step/Runner equivalence and per-vehicle fleet assignment), then one
@@ -129,7 +142,7 @@ scenario-smoke:
 # suite), fuzz the map decoder, drive the chaos and fleet scenarios end to
 # end through the CLIs, then hold the committed benchmark trajectory to the
 # regression gate.
-check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke tail-smoke scenario-smoke bench-gate
+check: build vet race alloc-gate fuzz-smoke chaos-smoke fleet-smoke tail-smoke scenario-smoke soak-smoke bench-gate
 
 fmt-check:
 	@unformatted="$$(gofmt -l .)"; \

@@ -189,6 +189,16 @@ type VehicleScore = pipeline.VehicleScore
 // NewFleet builds a fleet of vehicle pipelines; nothing executes until Run.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return pipeline.NewFleet(cfg) }
 
+// AdmissionConfig parameterizes the fleet's frame-budget admission
+// controller (FleetConfig.Admission): when the fleet-wide delivered tail
+// overruns the per-frame budget, whole vehicle streams are shed
+// deterministically (lowest priority first) and readmitted with hysteresis
+// once pressure subsides.
+type AdmissionConfig = pipeline.AdmissionConfig
+
+// AdmissionEvent is one shed or readmit decision in FleetReport.Admission.
+type AdmissionEvent = pipeline.AdmissionEvent
+
 // DNNExecutor is an instance-scoped inference executor: it owns its kernel
 // worker count and (optionally) the cross-stream batching seam that gathers
 // concurrent same-shape forward calls into one batched GEMM.

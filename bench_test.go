@@ -12,6 +12,7 @@ package adsim
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -216,6 +217,11 @@ func BenchmarkFleet(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// Pre-pay the one-time cold-start costs (detector ladder weight
+			// init, shard-cache fill, map view construction) so the timed
+			// region measures steady-state consolidation, not first-frame
+			// skew.
+			f.Warm()
 			b.ResetTimer()
 			rep := f.Run(b.N, func(v int, res RunnerResult) {
 				if res.Err != nil {
@@ -227,6 +233,135 @@ func BenchmarkFleet(b *testing.B) {
 			b.ReportMetric(rep.Fleet.TailMs, "p99.99-ms")
 		})
 	}
+}
+
+// BenchmarkFleetCapacity is the capacity curve at the consolidation limit:
+// eight full native pipelines (DNNs on) on one machine, swept across the
+// three fleet operating modes. "plain" is the shared batching executor
+// alone; "phase" adds executor-aware phase-locking so co-resident DET
+// admissions align into deeper same-shape batches; "admit" adds the
+// frame-budget admission controller (100ms wall budget), which sheds whole
+// streams until the delivered tail fits the budget. Compare p99.99-ms
+// across modes for the budget story (admit must hold the windowed tail at
+// or under budget where plain blows through it), batch-depth for the
+// phase-lock win, and admitted for how many of the eight streams the
+// controller sustains at run end. b.N is frames PER VEHICLE.
+func BenchmarkFleetCapacity(b *testing.B) {
+	const vehicles = 8
+	cfg := DefaultPipelineConfig(Highway)
+	cfg.Scene.Width, cfg.Scene.Height = 512, 256
+	cfg.SurveyFrames = 0 // all vehicles share the base surveyed below
+
+	base := slam.NewPriorMap()
+	eng, err := slam.NewEngine(cfg.SLAM, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := scene.New(cfg.Scene)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		f := gen.Step()
+		eng.Survey(f.Image, f.EgoPose)
+	}
+
+	run := func(b *testing.B, fcfg FleetConfig) {
+		fcfg.Vehicles = vehicles
+		fcfg.Config = cfg
+		// A shallow window: delivered wall latency in steady state is
+		// roughly InFlight x the stream's inter-delivery interval, so a
+		// deep window at this population would put the 100ms budget out of
+		// reach for any admitted set — queueing, not compute, would
+		// dominate the tail the controller is trying to govern.
+		fcfg.InFlight = 2
+		fcfg.SharedMap = base
+		// A small rolling window so the end-of-run tail reflects the
+		// post-shed steady state rather than averaging in the admission
+		// controller's settling transient. Sized to the admission decision
+		// cadence (Epoch frames per admitted stream between decisions) so
+		// each decision sees a window mostly refreshed since the last one —
+		// a laggy window double-counts old pressure and over-sheds.
+		fcfg.MonitorWindow = 64
+		f, err := NewFleet(fcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Warm()
+		// Exclude the warm-up forwards from the batch-depth accounting.
+		warmBatches, warmCalls := f.Executor().GatherStats()
+		// The reported tail is sampled from the live fleet monitor the
+		// moment the first stream completes: at that instant the rolling
+		// window holds exactly the steady-state population's deliveries.
+		// Sampling at Wait instead would fold in the end-of-run drain,
+		// where streams the controller had shed flush their remaining
+		// frames all at once — a transient no admission policy governs.
+		var mu sync.Mutex
+		perVehicle := make(map[int]int)
+		steadyTail := -1.0
+		b.ResetTimer()
+		rep := f.Run(b.N, func(v int, res RunnerResult) {
+			if res.Err != nil {
+				b.Error(res.Err)
+			}
+			mu.Lock()
+			perVehicle[v]++
+			if perVehicle[v] == b.N && steadyTail < 0 {
+				steadyTail = f.Snapshot().TailMs
+			}
+			mu.Unlock()
+		})
+		batches, calls := f.Executor().GatherStats()
+		batches -= warmBatches
+		calls -= warmCalls
+		depth := 0.0
+		if batches > 0 {
+			depth = float64(calls) / float64(batches)
+		}
+		admitted := 0
+		for _, vs := range rep.PerVehicle {
+			if !vs.Shed {
+				admitted++
+			}
+		}
+		tail := rep.Fleet.TailMs
+		if steadyTail >= 0 {
+			tail = steadyTail
+		}
+		b.ReportMetric(rep.VehiclesPerSec, "vehicles/s")
+		b.ReportMetric(tail, "p99.99-ms")
+		b.ReportMetric(depth, "batch-depth")
+		b.ReportMetric(float64(admitted), "admitted")
+	}
+
+	b.Run("plain", func(b *testing.B) {
+		run(b, FleetConfig{})
+	})
+	b.Run("phase", func(b *testing.B) {
+		run(b, FleetConfig{PhaseLock: true})
+	})
+	b.Run("admit", func(b *testing.B) {
+		run(b, FleetConfig{
+			PhaseLock: true,
+			Admission: &AdmissionConfig{
+				Target: 100 * time.Millisecond,
+				Epoch:  16,
+				// Wider shed watermark than the default: shed only when
+				// the tail is genuinely near budget, not at the
+				// conservative 0.7 margin, so the cascade stops at the
+				// largest admitted set the budget covers. The readmit
+				// watermark is pinned BELOW one stream's queueing floor
+				// (~2 frame times) so the controller parks there: on a
+				// saturated host every upward probe's re-alignment
+				// transient spikes the max-of-window tail past budget and
+				// is immediately re-shed, which would make the reported
+				// steady state depend on probe phase. Readmission dynamics
+				// are pinned by the admission unit tests and the soak.
+				High: 0.9,
+				Low:  0.3,
+			},
+		})
+	})
 }
 
 // BenchmarkTelemetryOverhead quantifies the cost of full instrumentation:

@@ -11,6 +11,8 @@
 //	adfleet -vehicles 4 -frames 200 -deadline 100ms -fault 'DET:delay=30ms:every=5' -fault-vehicle 1
 //	adfleet -vehicles 2 -frames 50 -batch=false -shared-map=false   # fully private resources
 //	adfleet -vehicles 4 -frames 100 -assign '1=cut-in,3=blackout'   # per-vehicle scenario programs
+//	adfleet -vehicles 8 -frames 200 -phase -admission               # capacity mode: phase-locked batching + budget shedding
+//	adfleet -vehicles 4 -frames 100 -add-at 50 -remove-at 100 -remove-vehicle 1   # runtime churn
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adsim"
@@ -44,6 +47,13 @@ func main() {
 		shared   = flag.Bool("shared-map", true, "serve all vehicles from one shared prior-map store (per-vehicle private overlays)")
 		seed     = flag.Int64("seed", 1, "base scenario seed; vehicle i drives seed+i")
 		deadline = flag.Duration("deadline", 0, "enforce per-stage deadline budgets split from this frame deadline (0 disables)")
+		admit    = flag.Bool("admission", false, "frame-budget admission control: shed whole vehicle streams (lowest priority first) when the fleet P99.99 nears the budget, readmit with hysteresis when it subsides")
+		admitTgt = flag.Duration("admission-target", 0, "admission frame budget the controller steers the fleet tail under (0 = the paper's 100ms; implies -admission)")
+		maxVeh   = flag.Int("max-vehicles", 0, "cap on concurrently admitted vehicle streams, enforced at registration and respected by readmits (0 = uncapped; implies -admission)")
+		phase    = flag.Bool("phase", false, "phase-lock co-resident vehicles' frame admission so the shared executor gathers deeper same-shape DNN batches")
+		addAt    = flag.Int("add-at", 0, "add one vehicle at runtime once this many total frames are delivered (0 disables)")
+		removeAt = flag.Int("remove-at", 0, "remove vehicle -remove-vehicle at runtime once this many total frames are delivered (0 disables)")
+		removeV  = flag.Int("remove-vehicle", 0, "vehicle index removed by -remove-at")
 		fault    = flag.String("fault", "", "seeded fault scenario injected into ONE vehicle, e.g. 'DET:delay=30ms:every=5'")
 		faultVeh = flag.Int("fault-vehicle", 0, "vehicle index the -fault scenario is injected into")
 		faultSd  = flag.Int64("fault-seed", 1, "seed for the fault scenario's probabilistic rules")
@@ -70,6 +80,9 @@ func main() {
 	if *fault != "" && (*faultVeh < 0 || *faultVeh >= *vehicles) {
 		fail(2, "-fault-vehicle %d out of range [0,%d)", *faultVeh, *vehicles)
 	}
+	if *removeAt > 0 && (*removeV < 0 || *removeV >= *vehicles) {
+		fail(2, "-remove-vehicle %d out of range [0,%d)", *removeV, *vehicles)
+	}
 
 	cfg := adsim.DefaultPipelineConfig(kind)
 	cfg.Scene.Width, cfg.Scene.Height = *width, *height
@@ -91,10 +104,17 @@ func main() {
 	}
 
 	fc := adsim.FleetConfig{
-		Vehicles: *vehicles,
-		Config:   cfg,
-		InFlight: *inflight,
-		Executor: exec,
+		Vehicles:  *vehicles,
+		Config:    cfg,
+		InFlight:  *inflight,
+		Executor:  exec,
+		PhaseLock: *phase,
+	}
+	if *admit || *admitTgt > 0 || *maxVeh > 0 {
+		fc.Admission = &adsim.AdmissionConfig{
+			Target:      *admitTgt,
+			MaxAdmitted: *maxVeh,
+		}
 	}
 	if *shared && *survey > 0 {
 		// Survey the shared store once; every vehicle localizes through a
@@ -170,13 +190,28 @@ func main() {
 		fail(1, "%v", err)
 	}
 
-	fmt.Printf("running %d vehicles x %d %s frames at %dx%d (dnn=%v, batch=%v, shared-map=%v, inflight=%d, workers=%d)\n",
+	fmt.Printf("running %d vehicles x %d %s frames at %dx%d (dnn=%v, batch=%v, shared-map=%v, inflight=%d, workers=%d, phase=%v, admission=%v)\n",
 		*vehicles, *frames, *scenario, *width, *height, *dnn,
-		exec.Batching(), fc.SharedMap != nil, *inflight, exec.Workers())
+		exec.Batching(), fc.SharedMap != nil, *inflight, exec.Workers(),
+		*phase, fc.Admission != nil)
 
+	// Churn triggers are keyed to total delivered frames so they land
+	// mid-run at any fleet size; the churn goroutine also unblocks on run
+	// end in case a trigger is set past the run's total frame count.
 	var mu sync.Mutex
 	faulted := 0
-	rep := f.Run(*frames, func(v int, res adsim.RunnerResult) {
+	var delivered atomic.Int64
+	addSig, removeSig := make(chan struct{}), make(chan struct{})
+	var addOnce, removeOnce sync.Once
+	runDone, churnDone := make(chan struct{}), make(chan struct{})
+	if err := f.Start(*frames, func(v int, res adsim.RunnerResult) {
+		n := delivered.Add(1)
+		if *addAt > 0 && n >= int64(*addAt) {
+			addOnce.Do(func() { close(addSig) })
+		}
+		if *removeAt > 0 && n >= int64(*removeAt) {
+			removeOnce.Do(func() { close(removeSig) })
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if res.Err != nil {
@@ -194,9 +229,51 @@ func main() {
 				v, res.Frame.Index, len(res.Detections), len(res.Tracks),
 				res.Pose.Pose.Z, res.Plan.Decision, float64(res.Wall)/1e6, res.Degraded)
 		}
-	})
+	}); err != nil {
+		fail(1, "%v", err)
+	}
+	addedID := -1
+	go func() {
+		defer close(churnDone)
+		if *addAt > 0 {
+			select {
+			case <-addSig:
+				id, err := f.AddVehicle()
+				if err != nil {
+					fail(1, "add vehicle: %v", err)
+				}
+				addedID = id
+			case <-runDone:
+				return
+			}
+		}
+		if *removeAt > 0 {
+			select {
+			case <-removeSig:
+				if err := f.RemoveVehicle(*removeV); err != nil {
+					fail(1, "remove vehicle %d: %v", *removeV, err)
+				}
+			case <-runDone:
+			}
+		}
+	}()
+	rep := f.Wait()
+	close(runDone)
+	<-churnDone
 
 	fmt.Printf("\n%s", rep)
+	if addedID >= 0 {
+		fmt.Printf("churn: vehicle %d added at runtime\n", addedID)
+	}
+	if batches, calls := f.Executor().GatherStats(); batches > 0 {
+		fmt.Printf("gather: %d DNN forwards in %d batches (mean depth %.2f)\n",
+			calls, batches, float64(calls)/float64(batches))
+	}
+	if *verbose {
+		for _, e := range rep.Admission {
+			fmt.Printf("admission %s\n", e)
+		}
+	}
 	if *fault != "" {
 		fmt.Printf("faulted frames %d (vehicle %d under %q)\n", faulted, *faultVeh, *fault)
 	} else if faulting {

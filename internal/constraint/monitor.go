@@ -204,6 +204,15 @@ func (m *Monitor) Snapshot() LiveReport {
 	return r
 }
 
+// TailMs reports the windowed P99.99 frame latency without computing the
+// full verdict set — the hot-path query the fleet admission controller polls
+// every decision epoch.
+func (m *Monitor) TailMs() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.w.Quantile(TailQuantile)
+}
+
 // FPS reports the windowed delivery rate (frames per second).
 func (m *Monitor) FPS() float64 {
 	m.mu.Lock()

@@ -71,6 +71,13 @@ type Config struct {
 	// A fleet shares one batching executor across many detectors so
 	// concurrent same-shape calls gather into one batched GEMM.
 	Executor *dnn.Executor
+	// Nets, when non-nil, is a shared network cache: detectors drawing from
+	// one cache hold the SAME network per input size instead of private
+	// identical copies. The executor's gather seam batches calls on the
+	// same network pointer, so sharing is what makes cross-stream DET
+	// batching possible at all; it also collapses per-vehicle weight memory
+	// to one copy per size. nil keeps networks private.
+	Nets *dnn.NetCache
 }
 
 // DefaultConfig returns the standard detector configuration.
@@ -127,7 +134,7 @@ func New(cfg Config) (*Detector, error) {
 		d.exec = dnn.Default()
 	}
 	if cfg.RunDNN {
-		d.net = dnn.TinyYOLO(cfg.InputSize)
+		d.net = cfg.Nets.Get("tiny-yolo", cfg.InputSize, dnn.TinyYOLO)
 	}
 	return d, nil
 }
@@ -318,7 +325,7 @@ func (d *Detector) netFor(size int) *dnn.Network {
 	if d.nets == nil {
 		d.nets = make(map[int]*dnn.Network)
 	}
-	n := dnn.TinyYOLO(size)
+	n := d.cfg.Nets.Get("tiny-yolo", size, dnn.TinyYOLO)
 	d.nets[size] = n
 	return n
 }

@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"adsim/internal/telemetry"
 	"adsim/internal/tensor"
 )
 
@@ -38,9 +40,36 @@ type Executor struct {
 	leading bool
 	take    []*fwdReq // leader-only staging for the current batch
 
+	// Gather hold (the fleet phase-locking seam): when holdN > 1, a new
+	// leader defers its first drain until the queue holds holdN requests or
+	// holdWait elapses, so co-resident streams whose frame admission is
+	// phase-aligned gather into one deep batch instead of a 1-deep head
+	// batch plus stragglers. holdSig is pulsed on enqueue while a hold is
+	// armed. The wait is bounded, so a mis-sized cohort (a vehicle shed
+	// between fleet updates) costs at most holdWait per leadership, never a
+	// deadlock. Zero holdN (the default) keeps the seam fully timerless.
+	holdN    atomic.Int32
+	holdWait atomic.Int64 // nanoseconds
+	holdSig  chan struct{}
+
+	// Batch-depth instrumentation over the gather seam: how many drains
+	// (batches, singletons included) served how many forward calls. Two
+	// atomic adds per batch — noise next to a GEMM. metrics, when set,
+	// additionally records the per-batch depth distribution.
+	gatherBatches atomic.Int64
+	gatherCalls   atomic.Int64
+	metrics       atomic.Pointer[gatherMetrics]
+
 	reqPool     sync.Pool // *fwdReq, done channel pre-allocated
 	bufsPool    sync.Pool // *batchBufs
 	scratchPool sync.Pool // *Scratch per-worker arenas
+}
+
+// gatherMetrics holds the retained registry handles for batch telemetry.
+type gatherMetrics struct {
+	depth   *telemetry.Dist
+	batches *telemetry.Counter
+	calls   *telemetry.Counter
 }
 
 // fwdReq is one gathered forward call.
@@ -65,7 +94,7 @@ type batchBufs struct {
 // goroutines (<= 0 means runtime.NumCPU()). Calls run inline, unbatched —
 // the right mode for a single stream.
 func NewExecutor(workers int) *Executor {
-	e := &Executor{}
+	e := &Executor{holdSig: make(chan struct{}, 1)}
 	e.SetWorkers(workers)
 	return e
 }
@@ -98,6 +127,55 @@ func (e *Executor) SetWorkers(n int) {
 		n = 0
 	}
 	e.workers.Store(int32(n))
+}
+
+// SetGatherHold arms (or, with cohort <= 1, disarms) the leader hold on the
+// gather seam: a new leader waits until cohort requests are queued — or
+// maxWait elapses — before its first drain. The fleet phase-locker keeps
+// cohort equal to the number of actively admitted vehicles so one barrier
+// round's DET calls land in one batch. Only meaningful on a batching
+// executor; results are unaffected either way (batching never changes
+// outputs), only the batch-depth distribution and the schedule.
+func (e *Executor) SetGatherHold(cohort int, maxWait time.Duration) {
+	if cohort <= 1 || maxWait <= 0 {
+		cohort, maxWait = 0, 0
+	}
+	e.holdN.Store(int32(cohort))
+	e.holdWait.Store(int64(maxWait))
+}
+
+// GatherStats reports how many leader drains (batches, singleton groups
+// included) the gather seam has executed and how many forward calls they
+// served; calls/batches is the mean batch depth. Counts are cumulative —
+// callers comparing configurations should difference two readings.
+func (e *Executor) GatherStats() (batches, calls int64) {
+	return e.gatherBatches.Load(), e.gatherCalls.Load()
+}
+
+// SetMetrics attaches a telemetry registry to the gather seam: every drained
+// batch observes its depth on dnn/batch_depth and bumps dnn/gather_batches /
+// dnn/gather_calls. nil detaches.
+func (e *Executor) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		e.metrics.Store(nil)
+		return
+	}
+	e.metrics.Store(&gatherMetrics{
+		depth:   reg.Dist("dnn/batch_depth"),
+		batches: reg.Counter("dnn/gather_batches"),
+		calls:   reg.Counter("dnn/gather_calls"),
+	})
+}
+
+// noteBatch records one drained gather group of the given depth.
+func (e *Executor) noteBatch(depth int) {
+	e.gatherBatches.Add(1)
+	e.gatherCalls.Add(int64(depth))
+	if m := e.metrics.Load(); m != nil {
+		m.depth.Observe(float64(depth))
+		m.batches.Inc()
+		m.calls.Add(int64(depth))
+	}
 }
 
 // AcquireScratch returns a pooled per-worker inference arena; pair with
@@ -257,6 +335,13 @@ func (e *Executor) forwardGather(n *Network, in *tensor.T, s *Scratch) *tensor.T
 	e.queue = append(e.queue, req)
 	if e.leading {
 		e.mu.Unlock()
+		if e.holdN.Load() > 1 {
+			// Pulse a waiting leader: its cohort may now be complete.
+			select {
+			case e.holdSig <- struct{}{}:
+			default:
+			}
+		}
 		<-req.done
 		out := req.out
 		req.net, req.in, req.s, req.out = nil, nil, nil, nil
@@ -265,6 +350,8 @@ func (e *Executor) forwardGather(n *Network, in *tensor.T, s *Scratch) *tensor.T
 	}
 	e.leading = true
 	e.mu.Unlock()
+
+	e.gatherHold()
 
 	var out *tensor.T
 	for {
@@ -306,8 +393,38 @@ func (e *Executor) forwardGather(n *Network, in *tensor.T, s *Scratch) *tensor.T
 	return out
 }
 
+// gatherHold delays a new leader's first drain until the armed cohort is
+// queued or the hold window expires. Called without e.mu held.
+func (e *Executor) gatherHold() {
+	n := int(e.holdN.Load())
+	if n <= 1 {
+		return
+	}
+	wait := time.Duration(e.holdWait.Load())
+	if wait <= 0 {
+		return
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		e.mu.Lock()
+		queued := len(e.queue)
+		e.mu.Unlock()
+		if queued >= n {
+			return
+		}
+		select {
+		case <-e.holdSig:
+			// re-check the queue; a stale pulse just loops once more
+		case <-timer.C:
+			return
+		}
+	}
+}
+
 // runReqs executes one gathered batch and stores each request's output.
 func (e *Executor) runReqs(reqs []*fwdReq) {
+	e.noteBatch(len(reqs))
 	if len(reqs) == 1 {
 		reqs[0].out = e.forwardOne(reqs[0].net, reqs[0].in, reqs[0].s)
 		return

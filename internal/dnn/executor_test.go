@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
+	"adsim/internal/telemetry"
 	"adsim/internal/tensor"
 )
 
@@ -119,6 +121,73 @@ func TestBatchExecutorGatherBitwise(t *testing.T) {
 	close(fail)
 	if msg, ok := <-fail; ok {
 		t.Fatal(msg)
+	}
+}
+
+// The gather hold is the fleet phase-locker's executor half: with a cohort
+// of N armed, N staggered concurrent calls must land in ONE depth-N batch
+// (the leader waits for the cohort instead of draining a 1-deep head), with
+// the depth recorded by GatherStats and the attached telemetry registry.
+func TestGatherHoldDeepensBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	net := TinyYOLO(32)
+	in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+	var refS Scratch
+	want := net.ForwardScratch(in.Clone(), &refS).Clone()
+
+	exec := NewBatchExecutor(1)
+	reg := telemetry.NewRegistry(0)
+	exec.SetMetrics(reg)
+	const cohort = 4
+	exec.SetGatherHold(cohort, time.Second)
+
+	var wg sync.WaitGroup
+	for v := 0; v < cohort; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(v) * 2 * time.Millisecond) // staggered arrivals
+			var s Scratch
+			out := exec.Forward(net, in, &s)
+			for i := range want.Data {
+				if out.Data[i] != want.Data[i] {
+					t.Error("held gathered forward diverged from solo reference")
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+	batches, calls := exec.GatherStats()
+	if batches != 1 || calls != cohort {
+		t.Errorf("gather stats = %d batches / %d calls, want 1 / %d", batches, calls, cohort)
+	}
+	if got := reg.Counter("dnn/gather_calls").Value(); got != cohort {
+		t.Errorf("telemetry gather_calls = %d, want %d", got, cohort)
+	}
+	if d := reg.Dist("dnn/batch_depth").Snapshot(); d.Max != cohort {
+		t.Errorf("telemetry batch_depth max = %v, want %d", d.Max, cohort)
+	}
+}
+
+// A mis-sized cohort (more vehicles armed than calls arriving) must time out
+// and drain, never deadlock — the hold is bounded by construction.
+func TestGatherHoldTimesOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	net := TinyYOLO(32)
+	in := randInput(rng, net.Input.C, net.Input.H, net.Input.W)
+	exec := NewBatchExecutor(1)
+	exec.SetGatherHold(8, 10*time.Millisecond)
+	var s Scratch
+	if out := exec.Forward(net, in, &s); out == nil {
+		t.Fatal("held forward returned nil")
+	}
+	if batches, calls := exec.GatherStats(); batches != 1 || calls != 1 {
+		t.Errorf("gather stats = %d/%d, want 1/1", batches, calls)
+	}
+	exec.SetGatherHold(0, 0) // disarm: back to the timerless path
+	if out := exec.Forward(net, in, &s); out == nil {
+		t.Fatal("disarmed forward returned nil")
 	}
 }
 

@@ -1,0 +1,591 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"adsim/internal/constraint"
+)
+
+// This file is the fleet capacity layer's control plane: a frame-budget
+// admission controller that sheds and readmits WHOLE vehicle streams when
+// the machine saturates (the paper's 100 ms frame constraint is per frame —
+// once every co-resident stream misses it, nobody is driving autonomously),
+// plus the phase barrier that aligns co-resident streams' frame admission so
+// the executor's gather seam forms deep same-shape batches.
+//
+// Determinism contract: under DeadlinePolicy.Virtual the controller's entire
+// shed/readmit sequence is a pure function of (configs, seeds). The trick is
+// that decisions are made over per-vehicle EPOCH BUCKETS — statistics over
+// each vehicle's own delivered-frame stream, chunked every Epoch frames —
+// and a decision fires only when every admitted stream has an unconsumed
+// bucket. Which real moment a decision happens at varies with scheduling;
+// which frames feed it cannot: a vehicle's stream is the same ordered,
+// deterministic sequence in every run (shedding pauses a stream, it never
+// drops frames from it), so bucket k of vehicle v holds the same frames in
+// every run, and by induction every decision sees identical inputs and the
+// event history is bitwise-reproducible. TestAdmissionDeterministicAcross-
+// Executors pins this across the Step and Runner executors.
+
+// AdmissionConfig parameterizes the fleet admission controller.
+type AdmissionConfig struct {
+	// Target is the frame deadline the controller steers the fleet tail
+	// under; 0 selects DefaultFrameBudget (the paper's 100 ms).
+	Target time.Duration
+	// Epoch is the decision interval, in delivered frames per vehicle; a
+	// decision is taken when every admitted vehicle has completed an
+	// epoch. 0 selects DefaultAdmissionEpoch.
+	Epoch int
+	// High and Low are the shed/readmit watermarks on the pressure signal
+	// (see Pressure in AdmissionEvent): shed at pressure >= High, count a
+	// calm epoch at pressure <= Low. In wall mode pressure is the fleet
+	// rolling P99.99 divided by Target, and zero watermarks default to
+	// 0.7/0.45 — shedding begins BEFORE the tail crosses the deadline, so
+	// the controller has authority while frames still meet it. In Virtual
+	// mode pressure is the epoch's deadline-miss fraction and the defaults
+	// are 0.25/0.05.
+	High, Low float64
+	// Hysteresis is how many consecutive calm epochs must pass before one
+	// shed vehicle is readmitted; 0 selects DefaultAdmissionHysteresis.
+	Hysteresis int
+	// MaxAdmitted caps concurrently admitted vehicles (0 = uncapped). The
+	// cap is enforced immediately at registration time — the static
+	// -max-vehicles form of admission control — and respected by readmits.
+	MaxAdmitted int
+	// Priority ranks vehicles: HIGHER keeps its stream longer. Among
+	// equally unhealthy vehicles the lowest priority is shed first and the
+	// highest readmitted first; missing entries rank 0, and ties break
+	// toward shedding the highest vehicle ID (so vehicle 0 is the most
+	// senior by default).
+	Priority map[int]int
+	// Virtual selects the deterministic pressure signal (epoch
+	// deadline-miss fractions from the DegradedMask stream, which under
+	// DeadlinePolicy.Virtual is a pure function of scenario and seed)
+	// instead of the wall-clock fleet tail. Use with Virtual deadline
+	// enforcement; the shed/readmit sequence becomes seed-deterministic.
+	Virtual bool
+}
+
+// Default admission parameters.
+const (
+	DefaultAdmissionEpoch      = 16
+	DefaultAdmissionHysteresis = 2
+	// Wall-mode watermark defaults (fraction of Target).
+	DefaultAdmissionHigh = 0.7
+	DefaultAdmissionLow  = 0.45
+	// Virtual-mode watermark defaults (epoch miss fraction).
+	DefaultVirtualAdmissionHigh = 0.25
+	DefaultVirtualAdmissionLow  = 0.05
+)
+
+// AdmissionEvent is one shed or readmit in the controller's history.
+type AdmissionEvent struct {
+	// Decision is the decision epoch the event was taken at (0 =
+	// registration-time MaxAdmitted enforcement).
+	Decision int
+	Vehicle  int
+	// Shed is true for a shed, false for a readmit.
+	Shed bool
+	// Pressure is the signal value the decision saw: fleet tail / target
+	// in wall mode, epoch miss fraction in Virtual mode.
+	Pressure float64
+}
+
+func (e AdmissionEvent) String() string {
+	verb := "readmit"
+	if e.Shed {
+		verb = "shed"
+	}
+	return fmt.Sprintf("decision %d: %s vehicle %d (pressure %.2f)", e.Decision, verb, e.Vehicle, e.Pressure)
+}
+
+// FleetAdmission is the fleet's stream admission controller and phase
+// barrier. Vehicles register once, their runners consult it before every
+// frame (via the StreamGate seam), and every delivered frame is folded in
+// through Observe. All methods are safe for concurrent use.
+type FleetAdmission struct {
+	target     float64 // ms
+	epoch      int
+	high, low  float64
+	hysteresis int
+	maxAdm     int
+	virtual    bool
+	shedding   bool // false: pure phase-locker, no decisions
+	phase      bool
+	priority   map[int]int
+
+	// tailSource supplies wall-mode pressure (the fleet monitor); nil in
+	// Virtual mode or when detached.
+	tailSource *constraint.Monitor
+	// onActive, when set, is told the actively admitted stream count after
+	// every membership change — the fleet points it at the shared
+	// executor's gather-hold cohort.
+	onActive func(active int)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	veh       map[int]*admVehicle
+	order     []int // registered vehicle IDs, ascending — all iteration is in this order
+	waiting   int   // streams parked at the phase barrier
+	gen       uint64
+	decisions int
+	calm      int
+	history   []AdmissionEvent
+}
+
+// admVehicle is one registered stream's controller state. Its lifetime has
+// TWO ends, because admission (gate) and observation (delivery) are up to
+// an in-flight window apart: admitting clears when the stream stops asking
+// for frames (SRC exhausted, Stop) — a wall-clock moment that governs only
+// the phase barrier, never a decision; observing clears when the stream's
+// final delivered frame has been folded in (Leave) — a stream-position
+// moment, so decision-barrier membership stays schedule-independent.
+type admVehicle struct {
+	id        int
+	priority  int
+	admitting bool // stream still admits frames (Register .. gate leave)
+	observing bool // deliveries still pending (Register .. Leave)
+	shed      bool
+	ended     bool // told to end: Admit returns false
+	sheds     int  // lifetime shed count
+
+	// Current epoch accumulation and the completed, not-yet-consumed
+	// buckets behind it. Bucket boundaries are positions in the vehicle's
+	// own delivered stream, so bucket contents are schedule-independent.
+	n, bad  int
+	wallMax float64
+	buckets []admBucket
+}
+
+// admBucket is one completed per-vehicle epoch: frames, deadline misses,
+// and the worst wall latency seen.
+type admBucket struct {
+	n, bad  int
+	wallMax float64
+}
+
+// NewFleetAdmission builds a standalone admission controller (no phase
+// barrier) — the form the determinism property tests drive directly. Fleets
+// construct theirs through FleetConfig.Admission.
+func NewFleetAdmission(cfg AdmissionConfig) (*FleetAdmission, error) {
+	return newFleetAdmission(cfg, true, false)
+}
+
+func newFleetAdmission(cfg AdmissionConfig, shedding, phase bool) (*FleetAdmission, error) {
+	target := cfg.Target
+	if target == 0 {
+		target = DefaultFrameBudget
+	}
+	if target < 0 {
+		return nil, fmt.Errorf("pipeline: admission target %v must be positive", cfg.Target)
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = DefaultAdmissionEpoch
+	}
+	if epoch < 1 {
+		return nil, fmt.Errorf("pipeline: admission epoch %d must be positive", cfg.Epoch)
+	}
+	high, low := cfg.High, cfg.Low
+	if high == 0 {
+		high = DefaultAdmissionHigh
+		if cfg.Virtual {
+			high = DefaultVirtualAdmissionHigh
+		}
+	}
+	if low == 0 {
+		low = DefaultAdmissionLow
+		if cfg.Virtual {
+			low = DefaultVirtualAdmissionLow
+		}
+	}
+	if high <= low {
+		return nil, fmt.Errorf("pipeline: admission watermarks high %v <= low %v", high, low)
+	}
+	hyst := cfg.Hysteresis
+	if hyst == 0 {
+		hyst = DefaultAdmissionHysteresis
+	}
+	if hyst < 1 {
+		return nil, fmt.Errorf("pipeline: admission hysteresis %d must be positive", cfg.Hysteresis)
+	}
+	if cfg.MaxAdmitted < 0 {
+		return nil, fmt.Errorf("pipeline: MaxAdmitted %d must be >= 0", cfg.MaxAdmitted)
+	}
+	a := &FleetAdmission{
+		target:     float64(target) / 1e6,
+		epoch:      epoch,
+		high:       high,
+		low:        low,
+		hysteresis: hyst,
+		maxAdm:     cfg.MaxAdmitted,
+		virtual:    cfg.Virtual,
+		shedding:   shedding,
+		phase:      phase,
+		priority:   cfg.Priority,
+		veh:        make(map[int]*admVehicle),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a, nil
+}
+
+// setTailSource points wall-mode pressure at the fleet's rolling monitor.
+func (a *FleetAdmission) setTailSource(m *constraint.Monitor) { a.tailSource = m }
+
+// Register adds a vehicle stream to the controller, admitted unless the
+// MaxAdmitted cap forces an immediate shed of the lowest-priority stream.
+// Registering an existing ID resets that vehicle (fleet IDs never recycle).
+func (a *FleetAdmission) Register(vehicle int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.veh[vehicle]; !ok {
+		a.order = append(a.order, vehicle)
+		sort.Ints(a.order)
+	}
+	a.veh[vehicle] = &admVehicle{id: vehicle, priority: a.priority[vehicle], admitting: true, observing: true}
+	if a.maxAdm > 0 {
+		for a.admittedCountLocked() > a.maxAdm {
+			if !a.shedLocked(a.capVictimLocked(), 0) {
+				break
+			}
+		}
+	}
+	a.membershipChangedLocked()
+}
+
+// Leave retires a vehicle's stream from the controller entirely. Call it
+// only once the stream's LAST delivered frame has been observed (the fleet
+// calls it from the consumer after the result channel closes): leaving is
+// then a position in the vehicle's own stream, not a wall-clock moment, so
+// the decision sequence stays schedule-independent even though admission
+// stopped an in-flight window earlier. When the last admitted stream
+// leaves, any still-shed streams are ended too — with nobody delivering
+// frames there are no more decision epochs, so a parked stream could
+// otherwise never resume.
+func (a *FleetAdmission) Leave(vehicle int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.veh[vehicle]
+	if st == nil || !st.observing {
+		return
+	}
+	st.observing = false
+	st.admitting = false
+	if a.admittedCountLocked() == 0 {
+		for _, id := range a.order {
+			if o := a.veh[id]; o.observing && o.shed {
+				o.ended = true
+			}
+		}
+	}
+	// The departure may unblock decisions the barrier was holding for this
+	// stream's next bucket.
+	a.decideLocked()
+	a.membershipChangedLocked()
+}
+
+// leaveAdmitting marks a stream as done ASKING for frames (SRC exhausted or
+// stopped) while its in-flight deliveries may still be pending: it exits
+// the phase barrier and the gather cohort, but stays in the decision
+// barrier until Leave. This half is wall-timed and deliberately has no
+// influence on shed/readmit decisions.
+func (a *FleetAdmission) leaveAdmitting(vehicle int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.veh[vehicle]
+	if st == nil || !st.admitting {
+		return
+	}
+	st.admitting = false
+	a.membershipChangedLocked()
+}
+
+// Admitted reports whether the vehicle's stream is currently admitted.
+func (a *FleetAdmission) Admitted(vehicle int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.veh[vehicle]
+	return st != nil && !st.shed && !st.ended
+}
+
+// Sheds reports how many times the vehicle has been shed.
+func (a *FleetAdmission) Sheds(vehicle int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.veh[vehicle]; st != nil {
+		return st.sheds
+	}
+	return 0
+}
+
+// History returns a copy of the shed/readmit event sequence.
+func (a *FleetAdmission) History() []AdmissionEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]AdmissionEvent(nil), a.history...)
+}
+
+// Observe folds one delivered frame into the vehicle's current epoch
+// bucket: its wall latency (ms) and whether it missed a deadline budget
+// (DegradedMask.AnyMiss — under Virtual enforcement a deterministic bit).
+// Completing a bucket may trigger a decision.
+func (a *FleetAdmission) Observe(vehicle int, wallMs float64, missed bool) {
+	if !a.shedding {
+		return // pure phase-locker: nothing to decide, keep no state
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.veh[vehicle]
+	if st == nil || !st.observing {
+		return
+	}
+	st.n++
+	if missed {
+		st.bad++
+	}
+	if wallMs > st.wallMax {
+		st.wallMax = wallMs
+	}
+	if st.n >= a.epoch {
+		st.buckets = append(st.buckets, admBucket{n: st.n, bad: st.bad, wallMax: st.wallMax})
+		st.n, st.bad, st.wallMax = 0, 0, 0
+		a.decideLocked()
+	}
+}
+
+// admit is the StreamGate entry: block while shed (and, with the phase
+// barrier on, until the fleet's admission beat), false to end the stream.
+func (a *FleetAdmission) admit(vehicle int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.veh[vehicle]
+	if st == nil {
+		return false
+	}
+	for {
+		if st.ended || !st.admitting {
+			return false
+		}
+		if st.shed {
+			a.cond.Wait()
+			continue
+		}
+		if !a.phase {
+			return true
+		}
+		// Phase barrier: park until every actively admitted stream is
+		// parked, then release the round together. Alignment is best
+		// effort — a stream shed mid-wait re-parks without the round —
+		// and never load-bearing for results, only for batch depth.
+		gen := a.gen
+		a.waiting++
+		a.maybeReleaseLocked()
+		for a.gen == gen && !st.shed && !st.ended && st.admitting {
+			a.cond.Wait()
+		}
+		if a.gen != gen {
+			return true // round released (a concurrent shed takes effect next frame)
+		}
+		a.waiting-- // un-park: shed or ended while waiting, recheck
+	}
+}
+
+// activeLocked counts actively admitted streams (running, not shed).
+func (a *FleetAdmission) activeLocked() int {
+	n := 0
+	for _, id := range a.order {
+		if st := a.veh[id]; st.admitting && !st.shed && !st.ended {
+			n++
+		}
+	}
+	return n
+}
+
+// admittedCountLocked counts admitted live streams (deliveries pending).
+func (a *FleetAdmission) admittedCountLocked() int {
+	n := 0
+	for _, id := range a.order {
+		if st := a.veh[id]; st.observing && !st.shed && !st.ended {
+			n++
+		}
+	}
+	return n
+}
+
+// maybeReleaseLocked fires the phase barrier when every active stream is
+// parked at it.
+func (a *FleetAdmission) maybeReleaseLocked() {
+	if !a.phase || a.waiting == 0 {
+		return
+	}
+	if a.waiting >= a.activeLocked() {
+		a.gen++
+		a.waiting = 0
+		a.cond.Broadcast()
+	}
+}
+
+// membershipChangedLocked re-evaluates everything that watches the active
+// set: the phase barrier, the executor cohort callback, and blocked gates.
+func (a *FleetAdmission) membershipChangedLocked() {
+	a.maybeReleaseLocked()
+	if a.onActive != nil {
+		a.onActive(a.activeLocked())
+	}
+	a.cond.Broadcast()
+}
+
+// decideLocked runs decision epochs while every admitted live stream has
+// an unconsumed bucket (a stream that raced ahead may have several queued;
+// each decision consumes exactly one per stream, FIFO, so decision inputs
+// are schedule-independent). Membership is keyed on observing, not
+// admitting: a stream whose SRC already exhausted stays in the barrier
+// until its trailing in-flight deliveries are folded in and Leave fires.
+func (a *FleetAdmission) decideLocked() {
+	for {
+		var admitted []*admVehicle
+		for _, id := range a.order {
+			if st := a.veh[id]; st.observing && !st.shed && !st.ended {
+				admitted = append(admitted, st)
+			}
+		}
+		if len(admitted) == 0 {
+			return
+		}
+		for _, st := range admitted {
+			if len(st.buckets) == 0 {
+				return
+			}
+		}
+		a.decisions++
+		totN, totBad := 0, 0
+		consumed := make([]admBucket, len(admitted))
+		for i, st := range admitted {
+			consumed[i] = st.buckets[0]
+			st.buckets = st.buckets[1:]
+			totN += consumed[i].n
+			totBad += consumed[i].bad
+		}
+		pressure := 0.0
+		if a.virtual {
+			if totN > 0 {
+				pressure = float64(totBad) / float64(totN)
+			}
+		} else if a.tailSource != nil && a.target > 0 {
+			pressure = a.tailSource.TailMs() / a.target
+		}
+
+		switch {
+		case pressure >= a.high:
+			a.calm = 0
+			if len(admitted) > 1 { // never shed the last stream
+				a.shedLocked(a.shedVictimLocked(admitted, consumed), pressure)
+			}
+		case pressure <= a.low:
+			a.calm++
+			if a.calm >= a.hysteresis && a.readmitLocked(pressure) {
+				a.calm = 0
+			}
+		default:
+			a.calm = 0
+		}
+	}
+}
+
+// shedVictimLocked picks the stream to shed: worst epoch badness first
+// (miss fraction in Virtual mode, worst wall latency otherwise), then
+// lowest priority, then highest ID.
+func (a *FleetAdmission) shedVictimLocked(admitted []*admVehicle, consumed []admBucket) *admVehicle {
+	badness := func(i int) float64 {
+		b := consumed[i]
+		if a.virtual {
+			if b.n == 0 {
+				return 0
+			}
+			return float64(b.bad) / float64(b.n)
+		}
+		return b.wallMax
+	}
+	best := 0
+	for i := 1; i < len(admitted); i++ {
+		bi, bb := badness(i), badness(best)
+		vi, vb := admitted[i], admitted[best]
+		if bi > bb ||
+			(bi == bb && vi.priority < vb.priority) ||
+			(bi == bb && vi.priority == vb.priority && vi.id > vb.id) {
+			best = i
+		}
+	}
+	return admitted[best]
+}
+
+// capVictimLocked picks the registration-time MaxAdmitted victim: lowest
+// priority first, then highest ID (no load signal exists yet).
+func (a *FleetAdmission) capVictimLocked() *admVehicle {
+	var victim *admVehicle
+	for _, id := range a.order {
+		st := a.veh[id]
+		if !st.observing || st.shed || st.ended {
+			continue
+		}
+		if victim == nil || st.priority < victim.priority ||
+			(st.priority == victim.priority && st.id > victim.id) {
+			victim = st
+		}
+	}
+	return victim
+}
+
+// shedLocked parks one stream and records the event.
+func (a *FleetAdmission) shedLocked(st *admVehicle, pressure float64) bool {
+	if st == nil || st.shed {
+		return false
+	}
+	st.shed = true
+	st.sheds++
+	a.history = append(a.history, AdmissionEvent{Decision: a.decisions, Vehicle: st.id, Shed: true, Pressure: pressure})
+	a.membershipChangedLocked()
+	return true
+}
+
+// readmitLocked resumes the best shed stream (highest priority, then lowest
+// ID), respecting the MaxAdmitted cap. Reports whether one was readmitted.
+func (a *FleetAdmission) readmitLocked(pressure float64) bool {
+	if a.maxAdm > 0 && a.admittedCountLocked() >= a.maxAdm {
+		return false
+	}
+	var pick *admVehicle
+	for _, id := range a.order {
+		st := a.veh[id]
+		if !st.observing || !st.shed || st.ended {
+			continue
+		}
+		if pick == nil || st.priority > pick.priority {
+			pick = st
+		}
+	}
+	if pick == nil {
+		return false
+	}
+	pick.shed = false
+	a.history = append(a.history, AdmissionEvent{Decision: a.decisions, Vehicle: pick.id, Shed: false, Pressure: pressure})
+	a.membershipChangedLocked()
+	return true
+}
+
+// vehicleGate adapts one vehicle's view of the controller to the runner's
+// StreamGate seam.
+type vehicleGate struct {
+	a  *FleetAdmission
+	id int
+}
+
+func (g vehicleGate) Admit() bool { return g.a.admit(g.id) }
+
+// Leave on the gate is the ADMITTING half only: the runner calls it when
+// the SRC stops asking for frames, while deliveries may still be in
+// flight. The fleet's consumer issues the full FleetAdmission.Leave after
+// the last delivery is observed.
+func (g vehicleGate) Leave() { g.a.leaveAdmitting(g.id) }

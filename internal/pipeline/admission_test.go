@@ -1,0 +1,358 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"adsim/internal/dnn"
+	"adsim/internal/faultinject"
+	"adsim/internal/scene"
+	"adsim/internal/testutil"
+)
+
+// feedEpoch folds one clean-or-missed epoch of frames into the controller
+// for one vehicle.
+func feedEpoch(a *FleetAdmission, vehicle, epoch, misses int) {
+	for i := 0; i < epoch; i++ {
+		a.Observe(vehicle, 0, i < misses)
+	}
+}
+
+// TestAdmissionControllerLaw drives the controller directly through its
+// decision law: pressure over the high watermark sheds the unhealthiest
+// stream, hysteresis gates readmission, the last stream is never shed, and
+// priorities order both directions.
+func TestAdmissionControllerLaw(t *testing.T) {
+	const epoch = 4
+	newAdm := func(t *testing.T, cfg AdmissionConfig) *FleetAdmission {
+		t.Helper()
+		a, err := NewFleetAdmission(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	t.Run("shed-readmit-cycle", func(t *testing.T) {
+		a := newAdm(t, AdmissionConfig{
+			Virtual: true, Epoch: epoch, High: 0.15, Low: 0.05, Hysteresis: 2,
+		})
+		for v := 0; v < 3; v++ {
+			a.Register(v)
+		}
+		// Epoch 1: vehicle 2 misses half its frames; fleet pressure 2/12 ≥
+		// 0.15 sheds the unhealthiest stream.
+		feedEpoch(a, 0, epoch, 0)
+		feedEpoch(a, 1, epoch, 0)
+		feedEpoch(a, 2, epoch, 2)
+		if a.Admitted(2) {
+			t.Fatal("vehicle 2 still admitted after a 50% miss epoch")
+		}
+		if a.Admitted(0) != true || a.Admitted(1) != true {
+			t.Fatal("healthy vehicles were shed")
+		}
+		// A shed stream's residual frames accumulate but neither join the
+		// decision barrier nor fire decisions.
+		feedEpoch(a, 2, epoch, 4)
+		// Epoch 2: calm, but hysteresis=2 holds readmission back.
+		feedEpoch(a, 0, epoch, 0)
+		feedEpoch(a, 1, epoch, 0)
+		if a.Admitted(2) {
+			t.Fatal("readmitted after a single calm epoch despite hysteresis 2")
+		}
+		// Epoch 3: second calm epoch readmits.
+		feedEpoch(a, 0, epoch, 0)
+		feedEpoch(a, 1, epoch, 0)
+		if !a.Admitted(2) {
+			t.Fatal("not readmitted after two calm epochs")
+		}
+		if a.Sheds(2) != 1 {
+			t.Errorf("vehicle 2 shed count = %d, want 1", a.Sheds(2))
+		}
+		want := []AdmissionEvent{
+			{Decision: 1, Vehicle: 2, Shed: true, Pressure: 2.0 / 12.0},
+			{Decision: 3, Vehicle: 2, Shed: false, Pressure: 0},
+		}
+		if got := a.History(); !reflect.DeepEqual(got, want) {
+			t.Errorf("history = %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("never-shed-last", func(t *testing.T) {
+		a := newAdm(t, AdmissionConfig{Virtual: true, Epoch: epoch, High: 0.15, Low: 0.05})
+		a.Register(0)
+		for i := 0; i < 5; i++ {
+			feedEpoch(a, 0, epoch, epoch) // 100% misses
+		}
+		if !a.Admitted(0) {
+			t.Fatal("the only stream was shed")
+		}
+		if len(a.History()) != 0 {
+			t.Errorf("history = %+v, want empty", a.History())
+		}
+	})
+
+	t.Run("priority-orders-shed-and-readmit", func(t *testing.T) {
+		a := newAdm(t, AdmissionConfig{
+			Virtual: true, Epoch: epoch, High: 0.1, Low: 0.05, Hysteresis: 1,
+			Priority: map[int]int{0: 0, 1: 1, 2: 2},
+		})
+		for v := 0; v < 3; v++ {
+			a.Register(v)
+		}
+		// Equal badness everywhere: the LOWEST priority (vehicle 0) goes.
+		for v := 0; v < 3; v++ {
+			feedEpoch(a, v, epoch, 1)
+		}
+		if a.Admitted(0) || !a.Admitted(1) || !a.Admitted(2) {
+			t.Fatalf("equal-badness shed order wrong: admitted = %v %v %v",
+				a.Admitted(0), a.Admitted(1), a.Admitted(2))
+		}
+		// Shed vehicle 1 too, then go calm: the HIGHEST priority of the two
+		// shed streams (vehicle 1) comes back first.
+		feedEpoch(a, 1, epoch, 1)
+		feedEpoch(a, 2, epoch, 1)
+		if a.Admitted(1) {
+			t.Fatal("vehicle 1 survived an over-pressure epoch as the lowest-priority admitted stream")
+		}
+		feedEpoch(a, 2, epoch, 0)
+		if !a.Admitted(1) || a.Admitted(0) {
+			t.Fatalf("readmit order wrong: admitted = %v %v", a.Admitted(0), a.Admitted(1))
+		}
+	})
+
+	t.Run("max-admitted-cap", func(t *testing.T) {
+		a := newAdm(t, AdmissionConfig{Virtual: true, MaxAdmitted: 2, Priority: map[int]int{2: 1}})
+		for v := 0; v < 4; v++ {
+			a.Register(v)
+		}
+		// Cap 2: registrations 3 and 4 each shed the lowest-priority,
+		// highest-ID admitted stream. Vehicle 2 outranks 0 and 1.
+		admitted := []bool{a.Admitted(0), a.Admitted(1), a.Admitted(2), a.Admitted(3)}
+		want := []bool{true, false, true, false}
+		if !reflect.DeepEqual(admitted, want) {
+			t.Fatalf("admitted = %v, want %v (cap 2, vehicle 2 prioritized)", admitted, want)
+		}
+		for _, e := range a.History() {
+			if e.Decision != 0 || !e.Shed {
+				t.Errorf("cap enforcement event %+v, want decision-0 shed", e)
+			}
+		}
+	})
+
+	t.Run("config-validation", func(t *testing.T) {
+		bad := []AdmissionConfig{
+			{High: 0.3, Low: 0.5},
+			{Epoch: -1},
+			{Hysteresis: -2},
+			{MaxAdmitted: -1},
+			{Target: -time.Second},
+		}
+		for i, cfg := range bad {
+			if _, err := NewFleetAdmission(cfg); err == nil {
+				t.Errorf("config %d (%+v) accepted", i, cfg)
+			}
+		}
+	})
+}
+
+// admissionFleetConfig is the shared scenario for the determinism property
+// tests: three vehicles under virtual deadline enforcement, vehicle 1
+// missing its DET budget every other frame via an injected stall.
+func admissionFleetConfig(t *testing.T) FleetConfig {
+	t.Helper()
+	cfg := fastNativeConfig(scene.Urban)
+	cfg.Deadline = DeadlinePolicy{Enforce: true, Virtual: true}
+	cfg.Deadline.Budgets[StageDet] = 20 * time.Millisecond
+	inj, err := faultinject.New(faultinject.MustParse("DET:delay=30ms:every=2", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FleetConfig{
+		Vehicles: 3,
+		Config:   cfg,
+		InFlight: 4,
+		Injects: map[int]func(string, int) (time.Duration, error){
+			1: inj.Stage,
+		},
+		Admission: &AdmissionConfig{
+			Virtual: true, Epoch: 8, High: 0.15, Low: 0.05, Hysteresis: 2,
+		},
+	}
+}
+
+// TestAdmissionDeterministicAcrossExecutors is the admission determinism
+// property: with virtual deadlines and the virtual pressure signal, the
+// shed/readmit event history is a pure function of (configs, seeds) —
+// identical across reruns of the concurrent fleet, and identical to a
+// sequential emulation that feeds the controller each vehicle's Step-
+// executor degrade sequence round-robin with pause-on-shed semantics. The
+// DET-stalled vehicle must go first, before any healthy neighbor (the
+// chaos-shed contract).
+func TestAdmissionDeterministicAcrossExecutors(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const frames = 96
+
+	runFleet := func(t *testing.T) ([]chaosRun, FleetReport) {
+		t.Helper()
+		f, err := NewFleet(admissionFleetConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collectFleet(t, f, frames)
+	}
+	runs1, rep1 := runFleet(t)
+	runs2, rep2 := runFleet(t)
+
+	if len(rep1.Admission) == 0 {
+		t.Fatal("scenario produced no admission events; the property test is vacuous")
+	}
+	if !reflect.DeepEqual(rep1.Admission, rep2.Admission) {
+		t.Fatalf("event history diverged across runs:\n run 1: %+v\n run 2: %+v",
+			rep1.Admission, rep2.Admission)
+	}
+	if first := rep1.Admission[0]; !first.Shed || first.Vehicle != 1 {
+		t.Fatalf("first event %+v, want the DET-stalled vehicle 1 shed before healthy neighbors", first)
+	}
+	sawReadmit := false
+	for _, e := range rep1.Admission {
+		if !e.Shed {
+			sawReadmit = true
+		}
+	}
+	if !sawReadmit {
+		t.Error("scenario never readmitted; hysteresis path unexercised")
+	}
+
+	// Solo Step-executor reference per vehicle: the deterministic per-frame
+	// miss sequence, and the bitwise baseline for delivered results.
+	tmpl := admissionFleetConfig(t)
+	solo := make([]chaosRun, tmpl.Vehicles)
+	for v := 0; v < tmpl.Vehicles; v++ {
+		cfg := admissionFleetConfig(t) // fresh injector per run
+		vcfg := cfg.Config
+		vcfg.Scene.Seed = cfg.Config.Scene.Seed + int64(v)
+		if inj, ok := cfg.Injects[v]; ok {
+			vcfg.Inject = inj
+		}
+		solo[v] = runChaosStep(t, vcfg, frames)
+	}
+
+	// Each vehicle's fleet-delivered sequence must be a bitwise prefix of
+	// its solo sequence (shedding pauses a stream, it never reorders or
+	// drops within it), full-length for never-shed vehicles.
+	for v := 0; v < tmpl.Vehicles; v++ {
+		for _, runs := range [][]chaosRun{runs1, runs2} {
+			got := runs[v]
+			if len(got.results) > frames {
+				t.Fatalf("vehicle %d delivered %d frames, over the %d asked", v, len(got.results), frames)
+			}
+			prefix := chaosRun{
+				results: solo[v].results[:len(got.results)],
+				masks:   solo[v].masks[:len(got.masks)],
+				errs:    solo[v].errs[:len(got.errs)],
+			}
+			requireIdenticalRuns(t, prefix, got)
+		}
+		if v != 1 && len(runs1[v].results) != frames {
+			t.Errorf("healthy vehicle %d delivered %d frames, want all %d", v, len(runs1[v].results), frames)
+		}
+	}
+
+	// Sequential emulation: a fresh controller fed each vehicle's solo miss
+	// sequence one frame at a time, round-robin, skipping shed streams —
+	// no goroutines, no runners. Same law, so same history.
+	emu, err := NewFleetAdmission(*tmpl.Admission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < tmpl.Vehicles; v++ {
+		emu.Register(v)
+	}
+	pos := make([]int, tmpl.Vehicles)
+	left := make([]bool, tmpl.Vehicles)
+	for {
+		progress := false
+		for v := 0; v < tmpl.Vehicles; v++ {
+			if left[v] {
+				continue
+			}
+			if pos[v] >= frames {
+				left[v] = true
+				emu.Leave(v)
+				continue
+			}
+			if !emu.Admitted(v) {
+				continue
+			}
+			emu.Observe(v, 0, solo[v].masks[pos[v]].AnyMiss())
+			pos[v]++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	if got := emu.History(); !reflect.DeepEqual(got, rep1.Admission) {
+		t.Errorf("Step-driven emulation history diverges from the concurrent fleet:\n emu:   %+v\n fleet: %+v",
+			got, rep1.Admission)
+	}
+
+	// The report surfaces the controller's view per vehicle.
+	for _, vs := range rep1.PerVehicle {
+		if vs.Vehicle == 1 && vs.Sheds == 0 {
+			t.Error("stalled vehicle's scorecard shows no sheds")
+		}
+		if vs.Vehicle != 1 && (vs.Sheds != 0 || vs.Shed) {
+			t.Errorf("healthy vehicle %d scorecard marked shed (%d sheds)", vs.Vehicle, vs.Sheds)
+		}
+	}
+}
+
+// TestFleetPhaseLockDeepensBatches is the phase-locking acceptance bar: at
+// 8 co-resident vehicles, aligning admission beats and arming the shared
+// executor's gather hold must at least double the mean DET batch depth over
+// the same fleet left unphased — and, batching being bitwise-transparent,
+// deliver identical results.
+func TestFleetPhaseLockDeepensBatches(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	const vehicles, frames = 8, 10
+	mkCfg := func() Config {
+		cfg := fastNativeConfig(scene.Urban)
+		cfg.Detect.RunDNN = true
+		cfg.Detect.InputSize = 16
+		cfg.SurveyFrames = 10
+		return cfg
+	}
+
+	run := func(t *testing.T, phase bool) (float64, []chaosRun) {
+		t.Helper()
+		f, err := NewFleet(FleetConfig{
+			Vehicles:  vehicles,
+			Config:    mkCfg(),
+			InFlight:  2,
+			PhaseLock: phase,
+			Executor:  dnn.NewBatchExecutor(vehicles),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, _ := collectFleet(t, f, frames)
+		batches, calls := f.Executor().GatherStats()
+		if batches == 0 {
+			t.Fatalf("no batches drained (phase=%v)", phase)
+		}
+		return float64(calls) / float64(batches), runs
+	}
+
+	meanPlain, plainRuns := run(t, false)
+	meanPhased, phasedRuns := run(t, true)
+	t.Logf("mean DET batch depth: unphased %.2f, phase-locked %.2f", meanPlain, meanPhased)
+	if meanPhased < 2*meanPlain {
+		t.Errorf("phase-locked mean batch depth %.2f < 2× unphased %.2f", meanPhased, meanPlain)
+	}
+	for v := 0; v < vehicles; v++ {
+		requireIdenticalRuns(t, plainRuns[v], phasedRuns[v])
+	}
+}

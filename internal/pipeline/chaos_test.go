@@ -14,6 +14,7 @@ import (
 	"adsim/internal/faultinject"
 	"adsim/internal/scene"
 	"adsim/internal/slam"
+	"adsim/internal/testutil"
 )
 
 // This file is the chaos harness: seeded fault scenarios driven through
@@ -579,6 +580,7 @@ func TestDegradedFrameMeetsFrameDeadline(t *testing.T) {
 // touching an engine — verified under -race by stepping the pipeline
 // immediately after close.
 func TestRunnerStopDrainsDegradedInFlight(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	cfg := fastNativeConfig(scene.Urban)
 	cfg.Deadline = DeadlinePolicy{Enforce: true}
 	cfg.Deadline.Budgets[StageDet] = 10 * time.Millisecond

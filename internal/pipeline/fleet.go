@@ -8,6 +8,7 @@ import (
 
 	"adsim/internal/constraint"
 	"adsim/internal/dnn"
+	"adsim/internal/img"
 	"adsim/internal/scene"
 	"adsim/internal/slam"
 	"adsim/internal/telemetry"
@@ -23,15 +24,17 @@ type FleetConfig struct {
 	Config Config
 	// Seeds[i] seeds vehicle i's scenario. Empty derives seeds from the
 	// template (Config.Scene.Seed + i); otherwise len must equal Vehicles.
+	// Vehicles added later (AddVehicle) always use the derivation.
 	Seeds []int64
 	// Scenes overrides the template scene configuration for specific
-	// vehicles (key = vehicle index) — per-vehicle scenario assignment, so
+	// vehicles (key = vehicle ID) — per-vehicle scenario assignment, so
 	// different vehicles in one fleet drive different scenario programs
 	// (scenario.Program.Configure builds the per-vehicle scene.Config).
 	// The seed rules still apply on top: Seeds[i] wins, then a nonzero
 	// Seed in the assigned scene, then the template derivation — so one
 	// scenario can be assigned to several vehicles without colliding
-	// streams.
+	// streams. Keys past the initial Vehicles pre-provision churn: a
+	// vehicle later created by AddVehicle picks up its entry.
 	Scenes map[int]scene.Config
 	// InFlight is each vehicle Runner's pipelining window; 0 selects
 	// DefaultInFlight.
@@ -47,18 +50,39 @@ type FleetConfig struct {
 	// own store per the template (Config.MapStore or a fresh PriorMap).
 	SharedMap slam.MapStore
 	// Deadlines overrides the template deadline policy for specific
-	// vehicles (key = vehicle index).
+	// vehicles (key = vehicle ID).
 	Deadlines map[int]DeadlinePolicy
 	// Injects overrides the template fault injector for specific vehicles
-	// (key = vehicle index). A faulted vehicle must not perturb the others.
+	// (key = vehicle ID). A faulted vehicle must not perturb the others.
 	Injects map[int]func(stage string, frame int) (time.Duration, error)
 	// MonitorWindow sizes the per-vehicle and fleet-level constraint
 	// monitors; 0 selects constraint.DefaultMonitorWindow.
 	MonitorWindow int
 	// Metrics, when non-nil, receives the fleet gauges
-	// (fleet/vehicles_per_sec, fleet/frames_per_sec) after a run.
+	// (fleet/vehicles_per_sec, fleet/frames_per_sec) after a run and
+	// attaches the shared executor's batch-depth instrumentation
+	// (dnn/batch_depth, dnn/gather_batches, dnn/gather_calls).
 	Metrics *telemetry.Registry
+	// Admission, when non-nil, puts the fleet under the frame-budget
+	// admission controller (admission.go): when the fleet cannot hold the
+	// frame deadline for everyone, whole vehicle streams are shed —
+	// lowest-priority, unhealthiest first — and readmitted with hysteresis
+	// once pressure clears. FleetReport marks shed vehicles.
+	Admission *AdmissionConfig
+	// PhaseLock aligns co-resident vehicles' frame admission on a fleet
+	// beat and arms the shared executor's gather hold with the live cohort
+	// size, so concurrently admitted DET forwards meet in the batching
+	// executor's leader drain instead of trickling through one by one.
+	// Results are unchanged (batching is bitwise-transparent); mean batch
+	// depth is what moves — see BenchmarkFleetCapacity.
+	PhaseLock bool
 }
+
+// PhaseGatherHold is how long a phase-locked fleet lets the shared
+// executor's drain leader wait for its cohort. Frame periods are tens of
+// milliseconds; a couple of milliseconds gathers the beat's co-released
+// forwards without denting the budget when a peer is late.
+const PhaseGatherHold = 5 * time.Millisecond
 
 // Fleet drives N vehicle pipelines concurrently, one pipelined Runner per
 // vehicle, with DET/TRA inference multiplexed through one shared (typically
@@ -66,24 +90,46 @@ type FleetConfig struct {
 // vehicle's delivered results are bitwise-identical to the same seed run
 // solo (see TestFleetMatchesSoloRunners) — sharing changes the schedule and
 // the cost, never the outputs.
+//
+// The membership is dynamic: AddVehicle and RemoveVehicle churn streams
+// mid-run without perturbing the survivors, and an admission controller
+// (FleetConfig.Admission) sheds streams when the machine saturates. Run is
+// Start + Wait for callers with static membership.
 type Fleet struct {
 	cfg      FleetConfig
 	exec     *dnn.Executor
+	nets     *dnn.NetCache
 	fleetMon *constraint.Monitor
+	adm      *FleetAdmission
+
+	mu       sync.Mutex
 	vehicles []*fleetVehicle
+	nextID   int
+	started  bool
+	startT   time.Time
+	frames   int
+	onResult func(vehicle int, res RunnerResult)
 }
 
-// fleetVehicle is one stream: its pipeline, runner and private monitor.
+// fleetVehicle is one stream: its pipeline, runner, private monitor and
+// shared-store view. delivered/errs are owned by the consumer goroutine and
+// read only after done closes.
 type fleetVehicle struct {
-	id   int
-	seed int64
-	p    *Pipeline
-	r    *Runner
-	mon  *constraint.Monitor
+	id      int
+	seed    int64
+	p       *Pipeline
+	r       *Runner
+	mon     *constraint.Monitor
+	store   *slam.VehicleStore
+	done    chan struct{}
+	removed bool
+
+	delivered int
+	errs      int
 }
 
 // NewFleet builds the N vehicle pipelines (surveying per the template) and
-// their runners. Nothing executes until Run.
+// their runners. Nothing executes until Start/Run.
 func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Vehicles < 1 {
 		return nil, fmt.Errorf("pipeline: fleet of %d vehicles", cfg.Vehicles)
@@ -98,116 +144,335 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	f := &Fleet{
 		cfg:      cfg,
 		exec:     exec,
+		nets:     dnn.NewNetCache(),
 		fleetMon: constraint.NewMonitor(constraint.MonitorConfig{Window: cfg.MonitorWindow}),
 	}
+	if cfg.Admission != nil || cfg.PhaseLock {
+		acfg := AdmissionConfig{}
+		shedding := cfg.Admission != nil
+		if shedding {
+			acfg = *cfg.Admission
+		}
+		adm, err := newFleetAdmission(acfg, shedding, cfg.PhaseLock)
+		if err != nil {
+			return nil, err
+		}
+		if shedding && !acfg.Virtual {
+			adm.setTailSource(f.fleetMon)
+		}
+		if cfg.PhaseLock {
+			adm.onActive = func(active int) { exec.SetGatherHold(active, PhaseGatherHold) }
+		}
+		f.adm = adm
+	}
+	if cfg.Metrics != nil {
+		exec.SetMetrics(cfg.Metrics)
+	}
 	for i := 0; i < cfg.Vehicles; i++ {
-		vcfg := cfg.Config
-		seed := cfg.Config.Scene.Seed + int64(i)
-		if sc, ok := cfg.Scenes[i]; ok {
-			vcfg.Scene = sc
-			if sc.Seed != 0 {
-				seed = sc.Seed
-			}
+		if _, err := f.addVehicleLocked(); err != nil {
+			return nil, err
 		}
-		if len(cfg.Seeds) > 0 {
-			seed = cfg.Seeds[i]
-		}
-		vcfg.Scene.Seed = seed
-		if vcfg.Detect.Executor == nil {
-			vcfg.Detect.Executor = exec
-		}
-		if vcfg.Track.Executor == nil {
-			vcfg.Track.Executor = exec
-		}
-		if cfg.SharedMap != nil {
-			vcfg.MapStore = slam.NewVehicleStore(i, cfg.SharedMap)
-		}
-		if dl, ok := cfg.Deadlines[i]; ok {
-			vcfg.Deadline = dl
-		}
-		if inj, ok := cfg.Injects[i]; ok {
-			vcfg.Inject = inj
-		}
-		mon := constraint.NewMonitor(constraint.MonitorConfig{Window: cfg.MonitorWindow})
-		sinks := []telemetry.Sink{mon, f.fleetMon}
-		if vcfg.Telemetry != nil {
-			sinks = append(sinks, vcfg.Telemetry)
-		}
-		vcfg.Telemetry = telemetry.Multi(sinks...)
-
-		p, err := NewNative(vcfg)
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: fleet vehicle %d: %w", i, err)
-		}
-		r, err := NewRunner(p, RunnerOptions{InFlight: cfg.InFlight})
-		if err != nil {
-			return nil, fmt.Errorf("pipeline: fleet vehicle %d: %w", i, err)
-		}
-		f.vehicles = append(f.vehicles, &fleetVehicle{
-			id: i, seed: vcfg.Scene.Seed, p: p, r: r, mon: mon,
-		})
 	}
 	return f, nil
+}
+
+// addVehicleLocked builds and registers the next vehicle (caller holds the
+// lock, or is NewFleet before the fleet escapes).
+func (f *Fleet) addVehicleLocked() (*fleetVehicle, error) {
+	id := f.nextID
+	cfg := f.cfg
+	vcfg := cfg.Config
+	seed := cfg.Config.Scene.Seed + int64(id)
+	if sc, ok := cfg.Scenes[id]; ok {
+		vcfg.Scene = sc
+		if sc.Seed != 0 {
+			seed = sc.Seed
+		}
+	}
+	if id < len(cfg.Seeds) {
+		seed = cfg.Seeds[id]
+	}
+	vcfg.Scene.Seed = seed
+	if vcfg.Detect.Executor == nil {
+		vcfg.Detect.Executor = f.exec
+	}
+	if vcfg.Track.Executor == nil {
+		vcfg.Track.Executor = f.exec
+	}
+	// One shared network per architecture+size across the fleet: weights are
+	// deterministic, so sharing never changes results, but pointer-identical
+	// networks are the precondition for the executor's gather seam to batch
+	// DET/TRA forwards across vehicles (and they cost one copy of memory).
+	if vcfg.Detect.Nets == nil {
+		vcfg.Detect.Nets = f.nets
+	}
+	if vcfg.Track.Nets == nil {
+		vcfg.Track.Nets = f.nets
+	}
+	var store *slam.VehicleStore
+	if cfg.SharedMap != nil {
+		store = slam.NewVehicleStore(id, cfg.SharedMap)
+		vcfg.MapStore = store
+	}
+	if dl, ok := cfg.Deadlines[id]; ok {
+		vcfg.Deadline = dl
+	}
+	if inj, ok := cfg.Injects[id]; ok {
+		vcfg.Inject = inj
+	}
+	mon := constraint.NewMonitor(constraint.MonitorConfig{Window: cfg.MonitorWindow})
+	sinks := []telemetry.Sink{mon, f.fleetMon}
+	if vcfg.Telemetry != nil {
+		sinks = append(sinks, vcfg.Telemetry)
+	}
+	vcfg.Telemetry = telemetry.Multi(sinks...)
+
+	p, err := NewNative(vcfg)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: fleet vehicle %d: %w", id, err)
+	}
+	var gate StreamGate
+	if f.adm != nil {
+		gate = vehicleGate{a: f.adm, id: id}
+	}
+	r, err := NewRunner(p, RunnerOptions{InFlight: cfg.InFlight, Gate: gate})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: fleet vehicle %d: %w", id, err)
+	}
+	v := &fleetVehicle{
+		id: id, seed: vcfg.Scene.Seed, p: p, r: r, mon: mon, store: store,
+		done: make(chan struct{}),
+	}
+	if f.adm != nil {
+		f.adm.Register(id)
+	}
+	f.vehicles = append(f.vehicles, v)
+	f.nextID++
+	return v, nil
 }
 
 // Executor returns the shared inference executor the fleet multiplexes
 // DET/TRA forward passes through.
 func (f *Fleet) Executor() *dnn.Executor { return f.exec }
 
-// Vehicle returns vehicle i's pipeline (for inspection after Run returns;
-// touching it mid-run races with the stage goroutines).
-func (f *Fleet) Vehicle(i int) *Pipeline { return f.vehicles[i].p }
+// Admission returns the fleet's admission controller, nil without one.
+func (f *Fleet) Admission() *FleetAdmission { return f.adm }
+
+// Snapshot returns the live fleet-level constraint verdict over the rolling
+// monitor window — the same measurement the wall-mode admission controller
+// feeds on. Safe to call mid-run; use it to observe the delivered tail at a
+// chosen instant (e.g. steady state) rather than wherever Wait lands.
+func (f *Fleet) Snapshot() constraint.LiveReport { return f.fleetMon.Snapshot() }
+
+// Vehicle returns vehicle id's pipeline (for inspection after the run;
+// touching it mid-run races with the stage goroutines), or nil for an
+// unknown ID.
+func (f *Fleet) Vehicle(id int) *Pipeline {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, v := range f.vehicles {
+		if v.id == id {
+			return v.p
+		}
+	}
+	return nil
+}
+
+// Warm pre-pays every vehicle's one-time cold-start costs so a measured run
+// starts from steady state: one DET forward per vehicle primes the shared
+// executor's scratch pools for the fleet's input shape, and a shared-map
+// advise pages each vehicle's initial tile window into the shard cache.
+// Warm never touches a scenario stream or a stateful engine, so a warmed
+// run's results are bitwise-identical to a cold one.
+func (f *Fleet) Warm() {
+	f.mu.Lock()
+	vehicles := append([]*fleetVehicle(nil), f.vehicles...)
+	f.mu.Unlock()
+	w, h := f.cfg.Config.Scene.Width, f.cfg.Config.Scene.Height
+	for _, v := range vehicles {
+		if w > 0 && h > 0 {
+			v.p.det.Detect(img.NewGray(w, h))
+		}
+		if v.store != nil {
+			v.store.Advise(0, 1)
+			v.store.Candidates(0, 20)
+		}
+	}
+}
 
 // Stop ceases admitting frames on every vehicle; in-flight frames drain and
-// Run returns after all vehicles deliver what was admitted.
+// Wait returns after all vehicles deliver what was admitted.
 func (f *Fleet) Stop() {
-	for _, v := range f.vehicles {
+	f.mu.Lock()
+	vehicles := append([]*fleetVehicle(nil), f.vehicles...)
+	f.mu.Unlock()
+	for _, v := range vehicles {
 		v.r.Stop()
 	}
 }
 
-// Run drives every vehicle for frames frames concurrently and blocks until
-// all streams complete, returning the fleet scorecard. onResult, when
-// non-nil, receives every delivered frame — in order within a vehicle, but
-// concurrently across vehicles (it must be safe for concurrent use).
-func (f *Fleet) Run(frames int, onResult func(vehicle int, res RunnerResult)) FleetReport {
-	start := time.Now()
-	var wg sync.WaitGroup
-	delivered := make([]int, len(f.vehicles))
-	errCount := make([]int, len(f.vehicles))
-	for _, v := range f.vehicles {
-		wg.Add(1)
-		go func(v *fleetVehicle) {
-			defer wg.Done()
-			for res := range v.r.Run(frames) {
-				delivered[v.id]++
-				if res.Err != nil {
-					errCount[v.id]++
-				}
-				if onResult != nil {
-					onResult(v.id, res)
-				}
-			}
-			v.p.Drain()
-		}(v)
+// Start launches every vehicle for frames frames (<= 0: until Stop) and
+// returns immediately; Wait blocks for completion and scores the run.
+// onResult, when non-nil, receives every delivered frame — in order within
+// a vehicle, but concurrently across vehicles (it must be safe for
+// concurrent use). Vehicles added later inherit the same frame count and
+// callback.
+func (f *Fleet) Start(frames int, onResult func(vehicle int, res RunnerResult)) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return fmt.Errorf("pipeline: fleet already started")
 	}
-	wg.Wait()
-	wall := time.Since(start)
+	f.started = true
+	f.frames = frames
+	f.onResult = onResult
+	f.startT = time.Now()
+	for _, v := range f.vehicles {
+		f.startVehicle(v)
+	}
+	return nil
+}
+
+// startVehicle launches one stream's consumer goroutine: drain the runner,
+// feed the admission controller and the caller's callback, then close done.
+func (f *Fleet) startVehicle(v *fleetVehicle) {
+	go func() {
+		defer close(v.done)
+		for res := range v.r.Run(f.frames) {
+			v.delivered++
+			if res.Err != nil {
+				v.errs++
+			}
+			if f.adm != nil {
+				f.adm.Observe(v.id, float64(res.Wall)/1e6, res.Degraded.AnyMiss())
+			}
+			if f.onResult != nil {
+				f.onResult(v.id, res)
+			}
+		}
+		if f.adm != nil {
+			// Full retirement happens HERE, after the final delivery is
+			// observed — a position in the vehicle's stream — not at SRC
+			// exhaustion, which leads deliveries by the in-flight window.
+			f.adm.Leave(v.id)
+		}
+		v.p.Drain()
+	}()
+}
+
+// AddVehicle provisions one new vehicle stream — template specialization,
+// survey, shared-store view, admission registration — and, on a started
+// fleet, launches it immediately. The new vehicle ID (never recycled) is
+// returned. Surviving streams only ever observe the addition as load.
+func (f *Fleet) AddVehicle() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, err := f.addVehicleLocked()
+	if err != nil {
+		return 0, err
+	}
+	if f.started {
+		f.startVehicle(v)
+	}
+	return v.id, nil
+}
+
+// RemoveVehicle retires one vehicle stream mid-run: admission ceases, its
+// in-flight frames drain and are delivered, its engines drain, and its
+// footprint on the shared store (eviction protections) is released — all
+// without perturbing surviving vehicles' results. The vehicle keeps its row
+// in the final FleetReport, marked Removed. Blocks until the stream is
+// fully down.
+func (f *Fleet) RemoveVehicle(id int) error {
+	f.mu.Lock()
+	var v *fleetVehicle
+	for _, x := range f.vehicles {
+		if x.id == id {
+			v = x
+			break
+		}
+	}
+	if v == nil || v.removed {
+		f.mu.Unlock()
+		return fmt.Errorf("pipeline: fleet has no vehicle %d", id)
+	}
+	v.removed = true
+	started := f.started
+	if !started {
+		// Never ran: drop the row entirely.
+		keep := f.vehicles[:0]
+		for _, x := range f.vehicles {
+			if x != v {
+				keep = append(keep, x)
+			}
+		}
+		f.vehicles = keep
+	}
+	f.mu.Unlock()
+
+	v.r.Stop() // also releases the admission gate (StreamGate.Leave)
+	if started {
+		<-v.done // admitted frames delivered, engines drained
+	}
+	if f.adm != nil {
+		f.adm.Leave(id) // no-op when the gate already left
+	}
+	if v.store != nil {
+		v.store.Release()
+	}
+	return nil
+}
+
+// Wait blocks until every vehicle stream (including any added mid-run) has
+// delivered and drained, then returns the fleet scorecard. Call after
+// Start.
+func (f *Fleet) Wait() FleetReport {
+	for {
+		f.mu.Lock()
+		pending := f.vehicles[:0:0]
+		for _, v := range f.vehicles {
+			select {
+			case <-v.done:
+			default:
+				pending = append(pending, v)
+			}
+		}
+		f.mu.Unlock()
+		if len(pending) == 0 {
+			break
+		}
+		for _, v := range pending {
+			<-v.done
+		}
+	}
+	f.mu.Lock()
+	wall := time.Since(f.startT)
+	vehicles := append([]*fleetVehicle(nil), f.vehicles...)
+	f.mu.Unlock()
 
 	rep := FleetReport{
-		Vehicles: len(f.vehicles),
+		Vehicles: len(vehicles),
 		Wall:     wall,
 		Fleet:    f.fleetMon.Snapshot(),
 	}
-	for i, v := range f.vehicles {
-		rep.Frames += delivered[i]
-		rep.PerVehicle = append(rep.PerVehicle, VehicleScore{
+	if f.adm != nil {
+		rep.Admission = f.adm.History()
+	}
+	for _, v := range vehicles {
+		rep.Frames += v.delivered
+		score := VehicleScore{
 			Vehicle: v.id,
 			Seed:    v.seed,
-			Frames:  delivered[i],
-			Errs:    errCount[i],
+			Frames:  v.delivered,
+			Errs:    v.errs,
+			Removed: v.removed,
 			Report:  v.mon.Snapshot(),
-		})
+		}
+		if f.adm != nil {
+			score.Shed = !f.adm.Admitted(v.id)
+			score.Sheds = f.adm.Sheds(v.id)
+		}
+		rep.PerVehicle = append(rep.PerVehicle, score)
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		rep.FramesPerSec = float64(rep.Frames) / secs
@@ -220,6 +485,13 @@ func (f *Fleet) Run(frames int, onResult func(vehicle int, res RunnerResult)) Fl
 		f.cfg.Metrics.Gauge("fleet/frames_per_sec").Set(rep.FramesPerSec)
 	}
 	return rep
+}
+
+// Run drives every vehicle for frames frames concurrently and blocks until
+// all streams complete, returning the fleet scorecard (Start + Wait).
+func (f *Fleet) Run(frames int, onResult func(vehicle int, res RunnerResult)) FleetReport {
+	f.Start(frames, onResult)
+	return f.Wait()
 }
 
 // FleetReport is the fleet-level scorecard of one Run: the aggregate
@@ -238,7 +510,11 @@ type FleetReport struct {
 	VehiclesPerSec float64
 	// Fleet is the constraint verdict over ALL vehicles' frames — its
 	// TailMs is the fleet-level P99.99 frame latency.
-	Fleet      constraint.LiveReport
+	Fleet constraint.LiveReport
+	// Admission is the controller's shed/readmit event history (nil
+	// without admission control). Under DeadlinePolicy.Virtual plus
+	// AdmissionConfig.Virtual it is identical across reruns of a seed.
+	Admission  []AdmissionEvent
 	PerVehicle []VehicleScore
 }
 
@@ -249,6 +525,12 @@ type VehicleScore struct {
 	Frames  int
 	// Errs counts frames delivered with a pipeline error.
 	Errs int
+	// Shed marks a stream the admission controller held shed at run end.
+	Shed bool
+	// Sheds counts how many times the stream was shed during the run.
+	Sheds int
+	// Removed marks a vehicle retired mid-run by RemoveVehicle.
+	Removed bool
 	// Report is the vehicle's private constraint verdict; its
 	// TotalDegraded counts deadline-degraded frames.
 	Report constraint.LiveReport
@@ -264,10 +546,29 @@ func (r FleetReport) String() string {
 	fmt.Fprintf(&b, "fleet: %d vehicles, %d frames in %v (%.1f frames/s ≈ %.2f real-time vehicles)\n",
 		r.Vehicles, r.Frames, r.Wall.Round(time.Millisecond), r.FramesPerSec, r.VehiclesPerSec)
 	fmt.Fprintf(&b, "fleet P99.99 %.2f ms\n", r.Fleet.TailMs)
+	if len(r.Admission) > 0 {
+		sheds := 0
+		for _, e := range r.Admission {
+			if e.Shed {
+				sheds++
+			}
+		}
+		fmt.Fprintf(&b, "admission: %d sheds, %d readmits\n", sheds, len(r.Admission)-sheds)
+	}
 	b.WriteString(r.Fleet.String())
 	for _, v := range r.PerVehicle {
-		fmt.Fprintf(&b, "vehicle %d (seed %d): %d frames, %d errs, %d degraded, tail %.2f ms, mean %.2f ms\n",
+		fmt.Fprintf(&b, "vehicle %d (seed %d): %d frames, %d errs, %d degraded, tail %.2f ms, mean %.2f ms",
 			v.Vehicle, v.Seed, v.Frames, v.Errs, v.Report.TotalDegraded, v.Report.TailMs, v.Report.MeanMs)
+		if v.Sheds > 0 || v.Shed {
+			fmt.Fprintf(&b, ", shed ×%d", v.Sheds)
+			if v.Shed {
+				b.WriteString(" (out)")
+			}
+		}
+		if v.Removed {
+			b.WriteString(" (removed)")
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -10,6 +10,7 @@ import (
 	"adsim/internal/faultinject"
 	"adsim/internal/scene"
 	"adsim/internal/slam"
+	"adsim/internal/testutil"
 )
 
 // surveyedBase surveys frames of the template's scenario into a prior map
@@ -68,6 +69,7 @@ func collectFleet(t *testing.T, f *Fleet, frames int) ([]chaosRun, FleetReport) 
 // through an ordinary Runner with private engines and a private map. The
 // native DNNs are ON so the cross-stream batching seam actually gathers.
 func TestFleetMatchesSoloRunners(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	const vehicles, frames = 3, 8
 	cfg := fastNativeConfig(scene.Urban)
 	cfg.Detect.RunDNN = true

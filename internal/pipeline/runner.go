@@ -26,6 +26,26 @@ type RunnerOptions struct {
 	// controller's current DET resolution rung. A scheduler serves exactly
 	// one executor; NewRunner claims it.
 	Tail *TailScheduler
+	// Gate, when non-nil, is consulted before every frame admission —
+	// BEFORE the in-flight window (and before the tail scheduler): the
+	// fleet-level seam through which an admission controller pauses a shed
+	// stream and a phase-locker aligns co-resident streams' admission
+	// beats. Admit blocking only delays this stream; a false return ends
+	// it (the runner drains and closes as if Stop had been called).
+	Gate StreamGate
+}
+
+// StreamGate is the fleet-level stream admission seam (see RunnerOptions.
+// Gate). Implementations must be safe for concurrent use: Admit is called
+// from the runner's SRC goroutine, Leave additionally from Stop.
+type StreamGate interface {
+	// Admit blocks until the stream may admit its next frame; returning
+	// false ends the stream instead.
+	Admit() bool
+	// Leave marks the stream as done admitting — called when the frame
+	// supply is exhausted, and from Stop to unblock a pending Admit. Must
+	// be idempotent.
+	Leave()
 }
 
 // DefaultInFlight is the default pipelining window. Three frames cover the
@@ -147,9 +167,16 @@ func (r *Runner) Run(frames int) <-chan RunnerResult {
 	// so scale changes reach DET strictly in admission order.
 	srcSpec := g.stages[StageSrc]
 	srcOut := outputs[StageSrc]
+	gate := r.opts.Gate
 	go func() {
 		defer closeAll(srcOut)
+		if gate != nil {
+			defer gate.Leave()
+		}
 		for i := 0; frames <= 0 || i < frames; i++ {
+			if gate != nil && !gate.Admit() {
+				return // shed stream ended, or Stop
+			}
 			var detSize int
 			if tail != nil {
 				size, ok := tail.admit()
@@ -261,6 +288,9 @@ func (r *Runner) Stop() {
 		close(r.quit)
 		if r.opts.Tail != nil {
 			r.opts.Tail.interrupt() // unblock a SRC goroutine waiting on admission
+		}
+		if r.opts.Gate != nil {
+			r.opts.Gate.Leave() // unblock a SRC goroutine waiting at the gate
 		}
 	})
 }

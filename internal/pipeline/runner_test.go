@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"adsim/internal/scene"
+	"adsim/internal/testutil"
 )
 
 // stripSchedule zeroes the fields that legitimately differ between
@@ -99,6 +100,7 @@ func TestRunnerValidation(t *testing.T) {
 // already-admitted frame is still delivered (in order) and the result
 // channel closes without deadlock.
 func TestRunnerGracefulStop(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
 	p, err := NewNative(fastNativeConfig(scene.Highway))
 	if err != nil {
 		t.Fatal(err)

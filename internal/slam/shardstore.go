@@ -444,6 +444,21 @@ func (s *ShardStore) AdviseVehicle(id int, z, velocity float64) {
 	s.mu.Unlock()
 }
 
+// ReleaseVehicle drops vehicle id's eviction protections — the teardown half
+// of AdviseVehicle, called when a fleet vehicle leaves the shared store so
+// its last advised tiles stop pinning cache entries forever. Idempotent;
+// unknown IDs are a no-op.
+func (s *ShardStore) ReleaseVehicle(id int) {
+	s.mu.Lock()
+	for _, pos := range s.vehicleTiles[id] {
+		if s.protRef[pos]--; s.protRef[pos] <= 0 {
+			delete(s.protRef, pos)
+		}
+	}
+	delete(s.vehicleTiles, id)
+	s.mu.Unlock()
+}
+
 // tilePos maps a tile number to its position in idx.Tiles, -1 when the tile
 // does not exist (sparse surveys skip empty tiles).
 func (s *ShardStore) tilePos(tile int) int {

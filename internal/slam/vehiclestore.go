@@ -118,6 +118,17 @@ func (vs *VehicleStore) Advise(z, velocity float64) {
 	}
 }
 
+// Release tears down this vehicle's footprint on the shared base: any
+// eviction protections its Advise calls pinned are dropped so a removed
+// fleet vehicle cannot wedge the shared cache's working set. The view
+// itself stays readable (reads never required advice); Release is
+// idempotent and safe concurrently with other vehicles' traffic.
+func (vs *VehicleStore) Release() {
+	if ss, ok := vs.base.(*ShardStore); ok {
+		ss.ReleaseVehicle(vs.id)
+	}
+}
+
 var (
 	_ MapStore   = (*VehicleStore)(nil)
 	_ Prefetcher = (*VehicleStore)(nil)

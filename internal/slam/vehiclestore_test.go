@@ -170,7 +170,6 @@ func TestAdviseVehicleProtectsTiles(t *testing.T) {
 	first := idx.Tiles[0]
 	store.AdviseVehicle(0, (first.ZMin+first.ZMax)/2, 1)
 	store.mu.Lock()
-	defer store.mu.Unlock()
 	for _, pos := range protPos {
 		stillHeld := false
 		for _, p := range store.vehicleTiles[0] {
@@ -182,4 +181,69 @@ func TestAdviseVehicleProtectsTiles(t *testing.T) {
 			t.Errorf("tile %d still refcounted after the vehicle moved away", pos)
 		}
 	}
+	store.mu.Unlock()
+}
+
+// TestAdviseVehicleReleaseTeardown covers the churn half of the protection
+// lifecycle: removing a vehicle (VehicleStore.Release → ReleaseVehicle)
+// must drop every protection it held — shared protections decrement, not
+// vanish — and be an idempotent no-op afterwards.
+func TestAdviseVehicleReleaseTeardown(t *testing.T) {
+	mono, _ := buildWorld(t, 50)
+	store := openTestStore(t, mono, 8, ShardStoreOptions{CacheBudget: mono.StorageBytes()})
+	idx := store.Index()
+	if len(idx.Tiles) < 2 {
+		t.Skipf("survey produced only %d tiles", len(idx.Tiles))
+	}
+	mid := idx.Tiles[len(idx.Tiles)/2]
+	z := (mid.ZMin + mid.ZMax) / 2
+
+	// Two vehicle views sharing one window: the refcount must survive one
+	// vehicle's teardown and clear on the second's.
+	v0 := NewVehicleStore(0, store)
+	v1 := NewVehicleStore(1, store)
+	v0.Advise(z, 1)
+	v1.Advise(z, 1)
+
+	store.mu.Lock()
+	shared := append([]int(nil), store.vehicleTiles[0]...)
+	if len(shared) == 0 {
+		store.mu.Unlock()
+		t.Fatal("AdviseVehicle protected no tiles")
+	}
+	for _, pos := range shared {
+		if store.protRef[pos] < 2 {
+			t.Errorf("tile %d refcount %d, want >= 2 with two advised vehicles", pos, store.protRef[pos])
+		}
+	}
+	store.mu.Unlock()
+
+	v0.Release()
+	store.mu.Lock()
+	if _, ok := store.vehicleTiles[0]; ok {
+		t.Error("vehicle 0 tiles still tracked after Release")
+	}
+	for _, pos := range shared {
+		if store.protRef[pos] != 1 {
+			t.Errorf("tile %d refcount %d after one release, want 1", pos, store.protRef[pos])
+		}
+	}
+	store.mu.Unlock()
+
+	v1.Release()
+	v1.Release() // idempotent
+	store.mu.Lock()
+	for _, pos := range shared {
+		if store.protRef[pos] != 0 {
+			t.Errorf("tile %d refcount %d after full teardown, want 0", pos, store.protRef[pos])
+		}
+	}
+	if len(store.vehicleTiles) != 0 {
+		t.Errorf("%d vehicle entries remain after full teardown", len(store.vehicleTiles))
+	}
+	store.mu.Unlock()
+
+	// A PriorMap-backed view has no protections to drop; Release must
+	// still be safe.
+	NewVehicleStore(3, mono).Release()
 }

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"fmt"
+	"io"
 	"math"
 	"sort"
 	"sync"
@@ -193,4 +195,22 @@ func (d *Dist) Quantile(q float64) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.w.Quantile(q)
+}
+
+// Render writes every registered metric, one line each in sorted name
+// order: counters as integers, gauges as floats, distributions as a
+// mean/p50/p99/max summary over the current window. CLIs print this after a
+// run; it takes the registry lock only for the name enumeration.
+func (r *Registry) Render(w io.Writer) {
+	for _, name := range r.CounterNames() {
+		fmt.Fprintf(w, "%-28s %d\n", name, r.Counter(name).Value())
+	}
+	for _, name := range r.GaugeNames() {
+		fmt.Fprintf(w, "%-28s %.3f\n", name, r.Gauge(name).Value())
+	}
+	for _, name := range r.DistNames() {
+		s := r.Dist(name).Snapshot()
+		fmt.Fprintf(w, "%-28s n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f\n",
+			name, s.N, s.Mean, s.P50, s.P99, s.Max)
+	}
 }

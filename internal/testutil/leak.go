@@ -1,0 +1,55 @@
+// Package testutil holds small cross-package test harness pieces. Nothing
+// here is imported by production code.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the helpers need; taking the interface
+// keeps testing out of non-test import graphs and lets the checker be
+// exercised from its own tests.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckGoroutines snapshots the goroutine count and returns a function that
+// verifies the count has returned to (at most) the snapshot. Deferred at the
+// top of a test, it turns the shutdown-ordering bug class — a Stop/drain
+// path that strands a stage goroutine — into a structural failure instead of
+// an eventual test-suite hang:
+//
+//	defer testutil.CheckGoroutines(t)()
+//
+// Goroutines wind down asynchronously after a result channel closes (a
+// drained runner's stage goroutines may still be between their last send and
+// exit), so the check polls with a grace period before declaring a leak, and
+// dumps all goroutine stacks on failure.
+func CheckGoroutines(t TB) func() {
+	return CheckGoroutinesWithGrace(t, 2*time.Second)
+}
+
+// CheckGoroutinesWithGrace is CheckGoroutines with an explicit grace period.
+func CheckGoroutinesWithGrace(t TB, grace time.Duration) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		var after int
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before, %d after grace period\n%s", before, after, buf)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Allocation gates consult it: testing.AllocsPerRun is unreliable under
+// -race (the detector and sync.Pool both allocate on their own schedule),
+// so those assertions downgrade to skips while the code under test still
+// runs for race coverage. `make alloc-gate` enforces them without -race.
+const RaceEnabled = true

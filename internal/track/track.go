@@ -78,6 +78,12 @@ type Config struct {
 	// A fleet shares one batching executor across many engines so
 	// concurrent same-shape calls gather into one batched GEMM.
 	Executor *dnn.Executor
+	// Nets, when non-nil, is a shared network cache: engines drawing from
+	// one cache hold the SAME tower/head networks instead of private
+	// identical copies, which is what lets the executor's gather seam batch
+	// forward calls across co-resident streams (the seam groups on the
+	// network pointer). nil keeps networks private.
+	Nets *dnn.NetCache
 }
 
 // DefaultConfig returns the standard tracking configuration.
@@ -138,8 +144,10 @@ func New(cfg Config) (*Engine, error) {
 		e.exec = dnn.Default()
 	}
 	if cfg.RunDNN {
-		e.tower = dnn.TinyTrackerTower(32)
-		e.head = dnn.TinyTrackerHead(e.tower.OutShape())
+		e.tower = cfg.Nets.Get("tiny-tracker-tower", 32, dnn.TinyTrackerTower)
+		e.head = cfg.Nets.Get("tiny-tracker-head", 32, func(int) *dnn.Network {
+			return dnn.TinyTrackerHead(e.tower.OutShape())
+		})
 	}
 	return e, nil
 }
